@@ -1,0 +1,20 @@
+"""F10 — regenerate paper Fig. 10 (received power from BS(-1,2)).
+
+Shape assertions: the first neighbour's power rises as the MS
+approaches it (paper: "when the MS is approaching neighbor BS the
+received power from these BSs is increased").
+"""
+
+from repro.experiments import figure_10
+
+
+def test_figure10_neighbor_power(benchmark):
+    fig = benchmark(figure_10)
+    power = fig.series["Electric Field Intensity BS(-1, 2)"]
+    n = len(power)
+    # approaching the neighbour lifts its power well above the start
+    start = power[: n // 8].mean()
+    assert power.max() > start + 4.0
+    # and the middle of the walk (inside/near (-1,2)) beats the start
+    assert power[n // 3: 2 * n // 3].mean() > start
+    assert fig.render()

@@ -1,0 +1,19 @@
+"""F11 — regenerate paper Fig. 11 (received power from BS(-2,1)).
+
+Shape assertions: the second neighbour peaks during the walk's middle
+dwell, after the first neighbour's initial approach.
+"""
+
+import numpy as np
+
+from repro.experiments import figure_10, figure_11
+
+
+def test_figure11_second_neighbor_power(benchmark):
+    fig = benchmark(figure_11)
+    p11 = fig.series["Electric Field Intensity BS(-2, 1)"]
+    p10 = figure_10().series["Electric Field Intensity BS(-1, 2)"]
+    n = len(p10)
+    assert int(np.argmax(p10[: n // 2])) < int(np.argmax(p11))
+    assert -140.0 < fig.meta["min_dbw"] and fig.meta["max_dbw"] < -60.0
+    assert fig.render()

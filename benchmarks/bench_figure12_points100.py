@@ -1,0 +1,21 @@
+"""F12 — regenerate paper Fig. 12 (3-BS powers + measurement points,
+ping-pong walk).
+
+Shape assertions: three boundary measurement points exist and at each
+one the two strongest of the three plotted BSs are nearly tied — the MS
+is "in the boundary of the 3 cells".
+"""
+
+from repro.experiments import figure_12
+
+
+def test_figure12_measurement_points(benchmark):
+    fig = benchmark(figure_12)
+    assert len(fig.series) == 3
+    points = fig.meta["measurement_epochs"]
+    assert len(points) == 3
+    series = list(fig.series.values())
+    for k in points:
+        top = sorted(s[k] for s in series)
+        assert top[-1] - top[-2] < 2.0  # near-tie at the boundary
+    assert fig.render()

@@ -1,0 +1,19 @@
+"""F13 — regenerate paper Fig. 13 (3-BS powers + measurement points,
+crossing walk).
+
+Shape assertions: three measurement points, serving/neighbour power
+crossovers land where the paper's boundary crossings are.
+"""
+
+from repro.experiments import figure_13
+
+
+def test_figure13_measurement_points(benchmark):
+    fig = benchmark(figure_13)
+    assert len(fig.series) == 3
+    points = fig.meta["measurement_epochs"]
+    assert len(points) == 3
+    crossings = fig.meta["power_crossovers_km"]["(-1, 2)"]
+    measured = fig.meta["measurement_distances_km"]
+    assert crossings and abs(crossings[0] - measured[0]) < 0.3
+    assert fig.render()

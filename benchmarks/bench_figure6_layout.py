@@ -1,0 +1,13 @@
+"""F6 — regenerate paper Fig. 6 (hexagonal cell layout)."""
+
+from repro.experiments import figure_6
+
+
+def test_figure6_layout(benchmark):
+    fig = benchmark(figure_6)
+    assert len(fig.meta["cells"]) == 19
+    assert (0, 0) in fig.meta["cells"]
+    # the six paper neighbours of the centre cell are all present
+    for cell in [(2, -1), (1, 1), (-1, 2), (-2, 1), (-1, -1), (1, -2)]:
+        assert cell in fig.meta["cells"]
+    assert fig.render()

@@ -1,0 +1,14 @@
+"""F7 — regenerate paper Fig. 7 (random-walk pattern, ping-pong walk).
+
+The frozen seed must reproduce the paper's printed cell sequence
+``(0,0) → (2,-1) → (0,0) → (1,-2)`` exactly.
+"""
+
+from repro.experiments import figure_7
+
+
+def test_figure7_pingpong_walk(benchmark):
+    fig = benchmark(figure_7)
+    assert fig.meta["cell_sequence"] == [(0, 0), (2, -1), (0, 0), (1, -2)]
+    assert len(fig.meta["waypoints"]) == 6  # nwalk = 5
+    assert fig.render()

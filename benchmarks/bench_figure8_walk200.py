@@ -1,0 +1,14 @@
+"""F8 — regenerate paper Fig. 8 (random-walk pattern, crossing walk).
+
+The frozen seed must reproduce the paper's printed cell sequence
+``(0,0) → (-1,2) → (-2,1) → (-1,2)`` exactly.
+"""
+
+from repro.experiments import figure_8
+
+
+def test_figure8_crossing_walk(benchmark):
+    fig = benchmark(figure_8)
+    assert fig.meta["cell_sequence"] == [(0, 0), (-1, 2), (-2, 1), (-1, 2)]
+    assert len(fig.meta["waypoints"]) == 11  # nwalk = 10
+    assert fig.render()

@@ -1,0 +1,20 @@
+"""F9 — regenerate paper Fig. 9 (received power from BS(0,0)).
+
+Shape assertions: the serving power decays as the MS walks away, within
+the paper's −140…−60 dB plotting band.
+"""
+
+import numpy as np
+
+from repro.experiments import figure_9
+
+
+def test_figure9_serving_power(benchmark):
+    fig = benchmark(figure_9)
+    power = fig.series["Electric Field Intensity BS(0, 0)"]
+    assert -140.0 < fig.meta["min_dbw"] and fig.meta["max_dbw"] < -60.0
+    early = power[: len(power) // 4].mean()
+    late = power[-len(power) // 4:].mean()
+    assert late < early - 5.0  # walking away: clearly weaker at the end
+    assert np.all(np.isfinite(power))
+    assert fig.render()

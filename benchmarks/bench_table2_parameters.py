@@ -1,0 +1,23 @@
+"""T2 — regenerate paper Table 2 (simulation parameters).
+
+Benchmarks parameter-set construction/validation and the rendered
+parameter sheet.
+"""
+
+from repro.experiments import table_2
+from repro.sim import SimulationParameters
+
+
+def build_and_render() -> str:
+    params = SimulationParameters()
+    # the factories validate the derived substrate configuration
+    params.make_layout()
+    params.make_propagation()
+    params.make_walk()
+    return table_2(params)
+
+
+def test_table2_parameters(benchmark):
+    text = benchmark(build_and_render)
+    for needle in ("Gaussian Distribution", "2000 MHz", "40 m", "1.1"):
+        assert needle in text

@@ -1,0 +1,92 @@
+"""X10 — the QoS frontier: call drops vs wasted signalling.
+
+The paper's introduction frames handover quality as a QoS balance.
+This bench runs the session layer (outage → call drop; handovers →
+signalling cost) over a fading workload and asserts the frame holds:
+
+* "never hand over" minimises signalling but drops calls;
+* "always strongest" never drops but wastes signalling on ping-pong;
+* the fuzzy system keeps **both** low — that is the paper's point.
+"""
+
+from conftest import run_once
+
+from repro.core import Decision, EwmaFilter, FuzzyHandoverSystem, HysteresisHandover
+from repro.sim import (
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+    evaluate_session,
+)
+
+PARAMS = SimulationParameters(
+    n_walks=14,
+    measurement_spacing_km=0.1,
+    shadow_sigma_db=4.0,
+    shadow_decorrelation_km=0.1,
+)
+N_WALKS = 12
+SENSITIVITY = -97.0
+
+
+class _Never:
+    def reset(self):
+        pass
+
+    def decide(self, obs):
+        return Decision(handover=False, stage="never")
+
+
+def policies():
+    return {
+        "fuzzy": EwmaFilter(FuzzyHandoverSystem(cell_radius_km=1.0), 0.3),
+        "strongest-raw": HysteresisHandover(margin_db=0.0),
+        "never": _Never(),
+    }
+
+
+def sweep():
+    layout = PARAMS.make_layout()
+    prop = PARAMS.make_propagation()
+    walk = PARAMS.make_walk()
+    totals = {
+        name: {"dropped": 0, "waste": 0.0, "cost": 0.0}
+        for name in policies()
+    }
+    for seed in range(N_WALKS):
+        trace = walk.generate_seeded(seed)
+        sampler = MeasurementSampler(
+            layout,
+            prop,
+            spacing_km=PARAMS.measurement_spacing_km,
+            fading=PARAMS.make_fading(rng=seed),
+        )
+        series = sampler.measure(trace)
+        for name, policy in policies().items():
+            result = Simulator(policy).run(series)
+            s = evaluate_session(
+                result, sensitivity_dbw=SENSITIVITY, drop_after_km=0.4
+            )
+            totals[name]["dropped"] += int(s.dropped)
+            totals[name]["waste"] += s.wasted_signalling_fraction
+            totals[name]["cost"] += s.signalling_cost
+    for t in totals.values():
+        t["waste"] /= N_WALKS
+        t["cost"] /= N_WALKS
+    return totals
+
+
+def test_x10_qos_frontier(benchmark):
+    results = run_once(benchmark, sweep)
+    fuzzy = results["fuzzy"]
+    never = results["never"]
+    greedy = results["strongest-raw"]
+    # refusing to hand over drops calls; greedy camping does not
+    assert never["dropped"] > greedy["dropped"]
+    assert never["cost"] == 0.0
+    # greedy camping burns far more signalling than the fuzzy system
+    assert greedy["cost"] > 2.0 * fuzzy["cost"]
+    assert greedy["waste"] > fuzzy["waste"]
+    # the fuzzy system holds both failure modes down simultaneously
+    assert fuzzy["dropped"] <= never["dropped"]
+    assert fuzzy["cost"] < greedy["cost"]

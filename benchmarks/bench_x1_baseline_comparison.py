@@ -1,0 +1,54 @@
+"""X1 — fuzzy vs non-fuzzy baselines (the paper's stated future work).
+
+Shared fading workload (shadow fading is the paper's stated cause of
+ping-pong), identical walks for every policy.  Headline assertion:
+the fuzzy system produces fewer ping-pongs than the conventional
+constant-margin hysteresis scheme, and stays on the favourable side of
+the ping-pong/connectivity frontier against the filtered variant too.
+"""
+
+from conftest import run_once
+
+from repro.sim import SimulationParameters, run_grid, summarize_outcomes
+
+PARAMS = SimulationParameters(
+    n_walks=10,
+    measurement_spacing_km=0.1,
+    shadow_sigma_db=4.0,
+    shadow_decorrelation_km=0.1,
+)
+SEEDS = list(range(10))
+
+
+def compare() -> dict[str, dict[str, float]]:
+    out = {}
+    for label, spec in {
+        "fuzzy": ("fuzzy", {"smoothing_alpha": 0.3}),
+        "hysteresis-raw": ("hysteresis", {"margin_db": 4.0}),
+        "hysteresis-filtered": ("hysteresis", {"margin_db": 2.0,
+                                               "smoothing_alpha": 0.3}),
+        "strongest": ("strongest", {}),
+    }.items():
+        out[label] = summarize_outcomes(run_grid(PARAMS, spec, SEEDS))
+    return out
+
+
+def test_x1_baseline_comparison(benchmark):
+    results = run_once(benchmark, compare)
+    fuzzy = results["fuzzy"]
+    raw = results["hysteresis-raw"]
+    filt = results["hysteresis-filtered"]
+    worst = results["strongest"]
+
+    # who wins: the fuzzy system avoids the ping-pong the conventional
+    # raw-margin scheme suffers (by a wide factor)
+    assert fuzzy["ping_pongs_per_run"] < 0.5 * raw["ping_pongs_per_run"]
+    assert fuzzy["ping_pong_rate"] < raw["ping_pong_rate"]
+    # worst-case anchor: always-strongest ping-pongs the most
+    assert worst["ping_pongs_per_run"] > raw["ping_pongs_per_run"]
+    # at a comparable wrong-cell fraction, fuzzy matches or beats the
+    # filtered hysteresis on ping-pong rate
+    assert fuzzy["wrong_cell_fraction"] < filt["wrong_cell_fraction"] + 0.1
+    assert fuzzy["ping_pong_rate"] <= filt["ping_pong_rate"] + 0.05
+    # and it still hands over when needed
+    assert fuzzy["handovers_per_run"] >= 1.0

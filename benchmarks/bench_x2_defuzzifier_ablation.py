@@ -1,0 +1,59 @@
+"""X2 — defuzzifier ablation.
+
+The paper never names its defuzzifier (DESIGN.md substitution #3 argues
+for centroid).  This bench evaluates the full controller surface under
+each strategy and measures (a) how far the decision values drift from
+the centroid reference and (b) whether the paper's headline scenario
+outcomes survive the swap.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import FuzzyHandoverSystem, build_handover_flc
+from repro.experiments import SCENARIO_CROSSING, SCENARIO_PINGPONG
+from repro.sim import SimulationParameters, run_trace
+
+RNG = np.random.default_rng(42)
+GRID = {
+    "CSSP": RNG.uniform(-10, 10, 500),
+    "SSN": RNG.uniform(-120, -80, 500),
+    "DMB": RNG.uniform(0, 1.5, 500),
+}
+
+
+def ablate() -> dict[str, dict[str, float]]:
+    params = SimulationParameters()
+    t_ping = SCENARIO_PINGPONG.generate(params)
+    t_cross = SCENARIO_CROSSING.generate(params)
+    reference = build_handover_flc("min", "max", "min", "centroid")
+    ref_out = reference.evaluate_batch(GRID)
+    out: dict[str, dict[str, float]] = {}
+    for name in ("centroid", "bisector", "mom", "wavg"):
+        flc = build_handover_flc(defuzzifier=name)
+        drift = float(np.abs(flc.evaluate_batch(GRID) - ref_out).mean())
+        _, m_ping = run_trace(
+            params, FuzzyHandoverSystem(flc=flc, cell_radius_km=1.0), t_ping
+        )
+        _, m_cross = run_trace(
+            params, FuzzyHandoverSystem(flc=flc, cell_radius_km=1.0), t_cross
+        )
+        out[name] = {
+            "mean_drift": drift,
+            "pingpong_handovers": m_ping.n_handovers,
+            "crossing_handovers": m_cross.n_handovers,
+        }
+    return out
+
+
+def test_x2_defuzzifier_ablation(benchmark):
+    results = run_once(benchmark, ablate)
+    assert results["centroid"]["mean_drift"] == 0.0
+    # area-based alternatives track the centroid closely...
+    assert results["bisector"]["mean_drift"] < 0.05
+    assert results["wavg"]["mean_drift"] < 0.1
+    # ...and the ping-pong headline survives every smooth defuzzifier
+    for name in ("centroid", "bisector", "wavg"):
+        assert results[name]["pingpong_handovers"] == 0, name
+    # mean-of-maximum is the known outlier (plateau jumps) — report only
+    assert results["mom"]["mean_drift"] >= results["bisector"]["mean_drift"]

@@ -1,0 +1,55 @@
+"""X3 — decision-threshold sweep: where does the paper's 0.7 sit?
+
+Sweeps the handover threshold over 0.50–0.90 on both frozen scenarios.
+The paper's 0.7 must fall inside the operating window that both avoids
+the ping-pong walk's false handovers *and* executes all three crossing
+handovers — the bench asserts that window exists and contains 0.7.
+"""
+
+from conftest import run_once
+
+from repro.core import FuzzyHandoverSystem
+from repro.experiments import SCENARIO_CROSSING, SCENARIO_PINGPONG
+from repro.sim import SimulationParameters, run_trace
+
+THRESHOLDS = (0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90)
+
+
+def sweep() -> dict[float, tuple[int, int, int]]:
+    params = SimulationParameters()
+    t_ping = SCENARIO_PINGPONG.generate(params)
+    t_cross = SCENARIO_CROSSING.generate(params)
+    out = {}
+    for th in THRESHOLDS:
+        _, m_ping = run_trace(
+            params,
+            FuzzyHandoverSystem(threshold=th, cell_radius_km=1.0),
+            t_ping,
+        )
+        _, m_cross = run_trace(
+            params,
+            FuzzyHandoverSystem(threshold=th, cell_radius_km=1.0),
+            t_cross,
+        )
+        out[th] = (
+            m_ping.n_handovers,
+            m_cross.n_handovers,
+            m_cross.n_ping_pongs,
+        )
+    return out
+
+
+def test_x3_threshold_sweep(benchmark):
+    results = run_once(benchmark, sweep)
+    # the paper's operating point works on both scenarios
+    ping_at_07, cross_at_07, pp_at_07 = results[0.70]
+    assert ping_at_07 == 0
+    assert cross_at_07 == 3
+    assert pp_at_07 == 0
+    # too-low thresholds fire on the ping-pong walk
+    assert results[0.50][0] > 0
+    # too-high thresholds starve the crossing walk
+    assert results[0.90][1] < 3
+    # monotonicity: crossing handovers never increase with the threshold
+    cross_counts = [results[th][1] for th in THRESHOLDS]
+    assert all(a >= b for a, b in zip(cross_counts, cross_counts[1:]))

@@ -1,0 +1,42 @@
+"""X6 — serial vs process-parallel sweep execution.
+
+Same (seed × speed) grid through ``run_grid`` and
+``run_grid_parallel``; results must agree exactly, and the parallel
+path's wall time is reported for comparison.  (Speed-up depends on core
+count and task size; the assertion is correctness, the measurement is
+the point.)
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.sim import (
+    SimulationParameters,
+    run_grid,
+    run_grid_parallel,
+)
+
+PARAMS = SimulationParameters(measurement_spacing_km=0.1, n_walks=8)
+SEEDS = list(range(6))
+SPEEDS = [0.0, 30.0]
+SPEC = ("fuzzy", {"smoothing_alpha": 0.5})
+
+
+@pytest.mark.benchmark(group="x6-sweep")
+def test_x6_serial_sweep(benchmark):
+    outs = run_once(benchmark, run_grid, PARAMS, SPEC, SEEDS, SPEEDS)
+    assert len(outs) == len(SEEDS) * len(SPEEDS)
+
+
+@pytest.mark.benchmark(group="x6-sweep")
+def test_x6_parallel_sweep(benchmark):
+    outs = run_once(
+        benchmark, run_grid_parallel, PARAMS, SPEC, SEEDS, SPEEDS
+    )
+    assert len(outs) == len(SEEDS) * len(SPEEDS)
+    # correctness: identical outcomes to the serial path
+    serial = run_grid(PARAMS, SPEC, SEEDS, SPEEDS)
+    for s, p in zip(serial, outs):
+        assert s.walk_seed == p.walk_seed
+        assert s.serving_sequence == p.serving_sequence
+        assert s.metrics.n_handovers == p.metrics.n_handovers

@@ -1,0 +1,92 @@
+"""X9 — propagation-model robustness.
+
+Re-runs both frozen scenarios with the empirical path-loss alternatives
+(Friis free-space, log-distance n=3.2) in place of the paper's dipole
+model.  Findings (asserted):
+
+* the pipeline **never ping-pongs** under any propagation law;
+* handover eagerness tracks the path-loss exponent — the gentle
+  free-space decay keeps neighbours strong and the controller eager,
+  the steep n=3.2 urban decay makes it conservative;
+* every executed handover targets a cell the MS genuinely occupies —
+  no false handovers under any model.
+
+(COST-231/Hata's absolute level sits ~35 dB below the paper's model, so
+using it requires re-anchoring the SSN universe — demonstrated in the
+unit tests, excluded from this shape bench.)
+"""
+
+from conftest import run_once
+
+from repro.core import FuzzyHandoverSystem
+from repro.experiments import SCENARIO_CROSSING, SCENARIO_PINGPONG
+from repro.radio import FreeSpaceModel, LogDistanceModel
+from repro.sim import (
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+    compute_metrics,
+)
+
+MODELS = {
+    "paper-dipole": (None, -85.0),
+    "free-space": (FreeSpaceModel(), -80.0),
+    "log-distance-3.2": (LogDistanceModel(exponent=3.2), -90.0),
+}
+
+
+def sweep():
+    params = SimulationParameters()
+    layout = params.make_layout()
+    out = {}
+    for name, (model, gate) in MODELS.items():
+        prop = model if model is not None else params.make_propagation()
+        row = {}
+        for scen, label in (
+            (SCENARIO_PINGPONG, "ping"),
+            (SCENARIO_CROSSING, "cross"),
+        ):
+            trace = scen.generate(params)
+            series = MeasurementSampler(layout, prop, spacing_km=0.05).measure(
+                trace
+            )
+            policy = FuzzyHandoverSystem(
+                cell_radius_km=1.0, potlc_gate_dbw=gate
+            )
+            result = Simulator(policy).run(series)
+            metrics = compute_metrics(result)
+            # validate every handover target against the true path
+            true_cells = set(
+                map(tuple, layout.cell_sequence(
+                    trace.densify(0.05).positions
+                ))
+            )
+            targets_ok = all(
+                tuple(e.target) in true_cells for e in result.events
+            )
+            row[label] = {
+                "handovers": metrics.n_handovers,
+                "ping_pongs": metrics.n_ping_pongs,
+                "targets_ok": targets_ok,
+            }
+        out[name] = row
+    return out
+
+
+def test_x9_pathloss_robustness(benchmark):
+    results = run_once(benchmark, sweep)
+    # no ping-pong and no false target under any propagation law
+    for name, row in results.items():
+        for label in ("ping", "cross"):
+            assert row[label]["ping_pongs"] == 0, (name, label)
+            assert row[label]["targets_ok"], (name, label)
+    # the paper model reproduces the paper
+    assert results["paper-dipole"]["ping"]["handovers"] == 0
+    assert results["paper-dipole"]["cross"]["handovers"] == 3
+    # eagerness tracks the exponent: gentle decay >= paper >= steep decay
+    assert (
+        results["free-space"]["cross"]["handovers"]
+        >= results["paper-dipole"]["cross"]["handovers"]
+        >= results["log-distance-3.2"]["cross"]["handovers"]
+    )
+    assert results["log-distance-3.2"]["ping"]["handovers"] == 0

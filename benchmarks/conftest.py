@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Heavy artefacts (full speed-sweep tables, fading comparisons) run as
+single-round ``benchmark.pedantic`` measurements — they are experiment
+regenerations first and timing measurements second.  Micro-benchmarks
+(FLC evaluation paths) use the normal calibrated rounds.
+"""
+
+import pytest
+
+from repro.sim import SimulationParameters
+
+
+@pytest.fixture(scope="session")
+def paper_params() -> SimulationParameters:
+    return SimulationParameters()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """One-shot pedantic run for experiment-sized workloads."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""QoS analysis: what handover decisions mean for the call.
+
+The paper's introduction motivates good handover with QoS — balancing
+call dropping against signalling churn.  This example runs the session
+layer over a shadow-fading workload and prints the frontier: dropped
+calls, outage time, signalling cost and the fraction wasted on
+ping-pong, per policy.  It also demonstrates swapping the propagation
+substrate (paper dipole vs log-distance urban) under the same policies.
+
+Run:  python examples/qos_analysis.py [n_walks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import Decision, EwmaFilter, FuzzyHandoverSystem, HysteresisHandover
+from repro.radio import LogDistanceModel
+from repro.sim import (
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+    evaluate_session,
+)
+
+
+class NeverHandover:
+    """The degenerate 'avoid ping-pong by never moving' policy."""
+
+    def reset(self):
+        pass
+
+    def decide(self, obs):
+        return Decision(handover=False, stage="never")
+
+
+def policies(cell_radius_km: float):
+    return {
+        "fuzzy (filtered)": lambda: EwmaFilter(
+            FuzzyHandoverSystem(cell_radius_km=cell_radius_km), 0.3
+        ),
+        "hysteresis 4dB raw": lambda: HysteresisHandover(margin_db=4.0),
+        "always strongest": lambda: HysteresisHandover(margin_db=0.0),
+        "never hand over": lambda: NeverHandover(),
+    }
+
+
+def run_block(title, layout, prop, params, n, sensitivity):
+    print(f"\n== {title} ==")
+    print(f"{'policy':<20} {'drops':>6} {'outage %':>9} "
+          f"{'signalling':>11} {'wasted %':>9}")
+    walk = params.make_walk()
+    for name, factory in policies(params.cell_radius_km).items():
+        drops, outage, cost, waste = 0, [], [], []
+        for seed in range(n):
+            trace = walk.generate_seeded(seed)
+            sampler = MeasurementSampler(
+                layout, prop,
+                spacing_km=params.measurement_spacing_km,
+                fading=params.make_fading(rng=seed),
+            )
+            result = Simulator(factory()).run(sampler.measure(trace))
+            s = evaluate_session(
+                result, sensitivity_dbw=sensitivity, drop_after_km=0.4
+            )
+            drops += int(s.dropped)
+            outage.append(s.outage_fraction)
+            cost.append(s.signalling_cost)
+            waste.append(s.wasted_signalling_fraction)
+        print(f"{name:<20} {drops:>4}/{n:<3} "
+              f"{100 * np.mean(outage):>8.1f}% "
+              f"{np.mean(cost):>11.2f} "
+              f"{100 * np.mean(waste):>8.1f}%")
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    params = SimulationParameters(
+        n_walks=14,
+        measurement_spacing_km=0.1,
+        shadow_sigma_db=4.0,
+        shadow_decorrelation_km=0.1,
+    )
+    layout = params.make_layout()
+
+    run_block(
+        "paper dipole propagation",
+        layout, params.make_propagation(), params, n, sensitivity=-97.0,
+    )
+    run_block(
+        "log-distance urban (n = 3.2)",
+        layout, LogDistanceModel(exponent=3.2), params, n, sensitivity=-107.0,
+    )
+    print(
+        "\nReading: 'never hand over' trades ping-pong for dropped calls;"
+        "\n'always strongest' trades drops for signalling churn; the fuzzy"
+        "\nsystem holds both failure modes down under either propagation law."
+    )
+
+
+if __name__ == "__main__":
+    main()

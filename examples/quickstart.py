@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: the fuzzy handover controller in five minutes.
+
+Builds the paper's FLC, evaluates a few handover situations, shows the
+rule-level explanation of one decision, and runs the full POTLC → FLC →
+PRTLC pipeline over a reproducible random walk.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    HANDOVER_THRESHOLD,
+    FuzzyHandoverSystem,
+    build_handover_flc,
+)
+from repro.experiments import SCENARIO_CROSSING
+from repro.sim import SimulationParameters, run_trace
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The controller by itself: (CSSP, SSN, DMB) -> handover score
+    # ------------------------------------------------------------------
+    flc = build_handover_flc()
+    print("The paper's FLC:", flc)
+    print()
+
+    situations = [
+        # (CSSP dB, SSN dB, DMB, expectation)
+        (-6.0, -85.0, 0.95, "serving falling, strong neighbour, far out"),
+        (+2.0, -85.0, 0.95, "serving recovering -> stay despite neighbour"),
+        (-6.0, -115.0, 0.95, "serving falling but neighbour is weak"),
+        (-1.0, -95.0, 0.30, "everything comfortable near the BS"),
+    ]
+    for cssp, ssn, dmb, label in situations:
+        hd = flc.evaluate(CSSP=cssp, SSN=ssn, DMB=dmb)
+        verdict = "HANDOVER" if hd > HANDOVER_THRESHOLD else "stay"
+        print(f"  CSSP={cssp:+5.1f}  SSN={ssn:6.1f}  DMB={dmb:4.2f}"
+              f"  ->  HD={hd:5.3f}  [{verdict:8s}]  {label}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Why? — rule-level explanation of one decision
+    # ------------------------------------------------------------------
+    print("Explanation of the first situation:")
+    print(flc.explain(CSSP=-6.0, SSN=-85.0, DMB=0.95).describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. The full pipeline over a walk (the paper's Fig. 8 scenario)
+    # ------------------------------------------------------------------
+    params = SimulationParameters()        # paper Table 2 defaults
+    trace = SCENARIO_CROSSING.generate(params)
+    system = FuzzyHandoverSystem(cell_radius_km=params.cell_radius_km)
+    result, metrics = run_trace(params, system, trace)
+
+    print(f"Crossing walk ({trace.total_length:.2f} km, "
+          f"{result.n_epochs} measurement epochs):")
+    print(f"  serving-cell sequence : {result.serving_sequence()}")
+    print(f"  handovers executed    : {metrics.n_handovers}")
+    print(f"  ping-pong handovers   : {metrics.n_ping_pongs}")
+    print(f"  pipeline stages       : {result.stage_histogram()}")
+    for e in result.events:
+        print(f"    step {e.step:3d} @ {e.distance_km:5.2f} km: "
+              f"{e.source} -> {e.target}  (output {e.output:.3f})")
+
+
+if __name__ == "__main__":
+    main()

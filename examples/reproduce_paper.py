@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints the full reproduction report: Tables 1–4 and Figures 6–13 as
+ASCII renderings, followed by the shape verdicts (no handover on the
+ping-pong walk; three handovers on the crossing walk).
+
+Run:  python examples/reproduce_paper.py            # full report
+      python examples/reproduce_paper.py table3     # a single artefact
+"""
+
+import sys
+
+from repro.experiments import EXPERIMENTS, full_report, get_experiment
+from repro.sim import SimulationParameters
+
+
+def main() -> None:
+    params = SimulationParameters()
+    if len(sys.argv) > 1:
+        exp = get_experiment(sys.argv[1])
+        artefact = exp.generate(params) if exp.id not in ("table1",) else exp.generate()
+        print(f"== {exp.id}: {exp.description} ==\n")
+        if hasattr(artefact, "render"):
+            print(artefact.render())
+        else:
+            print(artefact)
+        return
+    print("Reproducing all paper artefacts:",
+          ", ".join(EXPERIMENTS), "\n", flush=True)
+    print(full_report(params))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml because the offline build environment
+lacks the `wheel` package, which modern PEP-660 editable installs
+require; `pip install -e .` falls back to `setup.py develop` through
+this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

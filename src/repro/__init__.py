@@ -1,0 +1,53 @@
+"""repro — a from-scratch reproduction of the fuzzy-based handover
+system of Barolli, Xhafa, Durresi & Koyama (ICPP Workshops 2008).
+
+The package is organised as one sub-package per subsystem:
+
+* :mod:`repro.fuzzy` — generic Mamdani fuzzy-logic engine (membership
+  functions, rule bases, inference, defuzzifiers, vectorised batch
+  evaluation);
+* :mod:`repro.geometry` — the paper's hexagonal (i, j) cell lattice;
+* :mod:`repro.radio` — tilted-dipole propagation, shadow fading, the
+  2 dB / 10 km/h speed penalty;
+* :mod:`repro.mobility` — the Monte-Carlo random walk plus extension
+  models and the scenario seed-search;
+* :mod:`repro.core` — the paper's contribution: the Fig.-5/Table-1
+  FLC, the POTLC → FLC → PRTLC pipeline, and the non-fuzzy baselines;
+* :mod:`repro.sim` — measurement sampling, the handover simulator,
+  ping-pong metrics, serial and process-parallel sweep runners;
+* :mod:`repro.experiments` — generators for every table and figure of
+  the paper's evaluation;
+* :mod:`repro.analysis` — ASCII plotting and statistics helpers.
+
+Quick start::
+
+    from repro.core import build_handover_flc, FuzzyHandoverSystem
+    from repro.sim import SimulationParameters, run_trace
+    from repro.experiments import SCENARIO_CROSSING
+
+    flc = build_handover_flc()
+    print(flc.evaluate(CSSP=-6.0, SSN=-85.0, DMB=0.9))   # > 0.7: hand over
+
+    params = SimulationParameters()
+    trace = SCENARIO_CROSSING.generate(params)
+    result, metrics = run_trace(
+        params, FuzzyHandoverSystem(cell_radius_km=1.0), trace
+    )
+    print(metrics.n_handovers, metrics.n_ping_pongs)      # 3, 0
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, experiments, fuzzy, geometry, mobility, radio, sim
+
+__all__ = [
+    "__version__",
+    "fuzzy",
+    "geometry",
+    "radio",
+    "mobility",
+    "core",
+    "sim",
+    "experiments",
+    "analysis",
+]

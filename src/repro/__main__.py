@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Enumerate the reproducible paper artefacts.
+``show <id>``
+    Regenerate and print one artefact (``table3``, ``figure9``, …).
+``report``
+    Regenerate everything (the full reproduction report).
+``evaluate CSSP SSN DMB``
+    One controller evaluation with the rule-level explanation.
+``simulate {pingpong,crossing} [--speed V]``
+    Run the full pipeline on a frozen paper scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import FuzzyHandoverSystem, build_handover_flc
+from .experiments import (
+    EXPERIMENTS,
+    SCENARIO_CROSSING,
+    SCENARIO_PINGPONG,
+    full_report,
+    get_experiment,
+)
+from .sim import SimulationParameters, run_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Fuzzy-based handover system (Barolli et al., ICPP-W 2008) — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible paper artefacts")
+
+    p_show = sub.add_parser("show", help="regenerate one artefact")
+    p_show.add_argument("artefact", choices=sorted(EXPERIMENTS))
+
+    sub.add_parser("report", help="regenerate every artefact")
+
+    p_eval = sub.add_parser(
+        "evaluate", help="one FLC evaluation with explanation"
+    )
+    p_eval.add_argument("cssp", type=float, help="CSSP in dB")
+    p_eval.add_argument("ssn", type=float, help="SSN in dB")
+    p_eval.add_argument("dmb", type=float, help="DMB (distance / radius)")
+
+    p_sim = sub.add_parser("simulate", help="run a frozen paper scenario")
+    p_sim.add_argument("scenario", choices=["pingpong", "crossing"])
+    p_sim.add_argument("--speed", type=float, default=0.0,
+                       help="MS speed in km/h (default 0)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for exp in EXPERIMENTS.values():
+            print(f"{exp.id:<{width}}  [{exp.kind}]  {exp.description}")
+        return 0
+
+    if args.command == "show":
+        exp = get_experiment(args.artefact)
+        artefact = exp.generate()
+        print(f"== {exp.id}: {exp.description} ==\n")
+        print(artefact.render() if hasattr(artefact, "render") else artefact)
+        return 0
+
+    if args.command == "report":
+        print(full_report())
+        return 0
+
+    if args.command == "evaluate":
+        flc = build_handover_flc()
+        explanation = flc.explain(CSSP=args.cssp, SSN=args.ssn, DMB=args.dmb)
+        print(explanation.describe())
+        verdict = "HANDOVER" if explanation.output > 0.7 else "stay"
+        print(f"decision @ threshold 0.7: {verdict}")
+        return 0
+
+    if args.command == "simulate":
+        params = SimulationParameters()
+        scenario = (
+            SCENARIO_PINGPONG if args.scenario == "pingpong"
+            else SCENARIO_CROSSING
+        )
+        trace = scenario.generate(params)
+        system = FuzzyHandoverSystem(cell_radius_km=params.cell_radius_km)
+        result, metrics = run_trace(
+            params, system, trace, speed_kmh=args.speed
+        )
+        print(f"scenario : {scenario.name} (paper iseed="
+              f"{scenario.paper_iseed}, frozen seed {scenario.seed})")
+        print(f"speed    : {args.speed:g} km/h")
+        print(f"sequence : {result.serving_sequence()}")
+        print(f"handovers: {metrics.n_handovers} "
+              f"(ping-pongs: {metrics.n_ping_pongs})")
+        for e in result.events:
+            print(f"  step {e.step:3d} @ {e.distance_km:5.2f} km: "
+                  f"{e.source} -> {e.target} (output {e.output:.3f})")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

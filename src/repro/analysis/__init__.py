@@ -1,0 +1,20 @@
+"""Analysis helpers (S9): ASCII plotting and aggregate statistics."""
+
+from .asciiplot import ascii_multiplot, ascii_plot
+from .stats import (
+    MeanCI,
+    crossing_points,
+    mean_ci,
+    monotonicity_score,
+    paired_delta,
+)
+
+__all__ = [
+    "ascii_plot",
+    "ascii_multiplot",
+    "MeanCI",
+    "mean_ci",
+    "paired_delta",
+    "monotonicity_score",
+    "crossing_points",
+]

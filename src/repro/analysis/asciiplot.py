@@ -1,0 +1,129 @@
+"""Terminal line plots.
+
+The paper's figures are matplotlib-style curves; this repository runs in
+plot-less CI environments, so the figure experiments render their series
+as compact ASCII charts instead.  The renderer is deterministic (no
+randomness, stable rounding) which lets the tests snapshot chart output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_multiplot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _nice_range(lo: float, hi: float) -> tuple[float, float]:
+    """Pad a degenerate range so a flat series still renders."""
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise ValueError(f"cannot plot non-finite range ({lo}, {hi})")
+    if lo == hi:
+        pad = 1.0 if lo == 0 else abs(lo) * 0.1
+        return lo - pad, hi + pad
+    return lo, hi
+
+
+def ascii_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one series as an ASCII chart.
+
+    Parameters are clamped to sane minimums; NaN samples are skipped.
+    """
+    return ascii_multiplot(
+        x, [np.asarray(y)], labels=[""], width=width, height=height,
+        title=title, xlabel=xlabel, ylabel=ylabel,
+    )
+
+
+def ascii_multiplot(
+    x: np.ndarray,
+    series: Sequence[np.ndarray],
+    labels: Sequence[str],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render several series sharing an x-axis (paper Figs. 12/13 style).
+
+    Each series gets a marker from ``* o + x …``; a legend line maps
+    markers to labels.  Later series overwrite earlier ones where they
+    collide, which is visually acceptable at terminal resolution.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"x must be 1-D, got shape {x.shape}")
+    if len(series) == 0:
+        raise ValueError("need at least one series")
+    if len(labels) != len(series):
+        raise ValueError(f"{len(series)} series but {len(labels)} labels")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    width = max(16, int(width))
+    height = max(4, int(height))
+
+    ys = [np.asarray(s, dtype=float) for s in series]
+    for k, s in enumerate(ys):
+        if s.shape != x.shape:
+            raise ValueError(
+                f"series {k} shape {s.shape} does not match x shape {x.shape}"
+            )
+
+    finite_y = np.concatenate([s[np.isfinite(s)] for s in ys])
+    if finite_y.size == 0:
+        raise ValueError("all series are entirely non-finite")
+    ylo, yhi = _nice_range(float(finite_y.min()), float(finite_y.max()))
+    xlo, xhi = _nice_range(float(np.nanmin(x)), float(np.nanmax(x)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, s in enumerate(ys):
+        marker = _MARKERS[k]
+        for xv, yv in zip(x, s):
+            if not (math.isfinite(xv) and math.isfinite(yv)):
+                continue
+            col = int(round((xv - xlo) / (xhi - xlo) * (width - 1)))
+            row = int(round((yv - ylo) / (yhi - ylo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    ytop = f"{yhi:.4g}"
+    ybot = f"{ylo:.4g}"
+    label_w = max(len(ytop), len(ybot))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = ytop.rjust(label_w)
+        elif r == height - 1:
+            prefix = ybot.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    xleft = f"{xlo:.4g}"
+    xright = f"{xhi:.4g}"
+    gap = max(1, width - len(xleft) - len(xright))
+    lines.append(" " * (label_w + 2) + xleft + " " * gap + xright)
+    if xlabel:
+        lines.append((" " * (label_w + 2)) + xlabel.center(width))
+    if any(labels):
+        legend = "   ".join(
+            f"{_MARKERS[k]} {lab}" for k, lab in enumerate(labels) if lab
+        )
+        lines.append("legend: " + legend)
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Statistics helpers for experiment aggregation.
+
+Thin, dependency-light wrappers used by the experiment layer: mean with
+confidence interval (the paper averages 10 repetitions; we report the
+spread it omits), paired policy comparison, and a monotonicity score
+used by the trend assertions in the figure tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "paired_delta",
+    "monotonicity_score",
+    "crossing_points",
+]
+
+#: two-sided 95% normal quantile (n >= ~30) — for the small-n paper
+#: averages we fall back to a conservative t-like inflation.
+_Z95 = 1.959963984540054
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    15: 2.131, 20: 2.086, 25: 2.060, 29: 2.045,
+}
+
+
+def _t_quantile(dof: int) -> float:
+    if dof >= 30:
+        return _Z95
+    best = min((k for k in _T95 if k >= dof), default=29)
+    return _T95[best]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Sample mean with a 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def mean_ci(samples: Sequence[float]) -> MeanCI:
+    """Mean and 95% CI of a sample (t-based below n=30).
+
+    A single sample returns a zero-width interval — the caller decides
+    whether that is meaningful.
+    """
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_ci needs at least one sample")
+    if not np.isfinite(arr).all():
+        raise ValueError("samples must be finite")
+    m = float(arr.mean())
+    if arr.size == 1:
+        return MeanCI(mean=m, half_width=0.0, n=1)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return MeanCI(mean=m, half_width=_t_quantile(arr.size - 1) * sem, n=int(arr.size))
+
+
+def paired_delta(a: Sequence[float], b: Sequence[float]) -> MeanCI:
+    """CI of the per-pair difference ``a - b`` (paired comparison).
+
+    Used by the X1 bench: fuzzy-vs-baseline ping-pong counts on the same
+    walks are paired samples, so differencing removes the walk-to-walk
+    variance.
+    """
+    av = np.asarray(list(a), dtype=float)
+    bv = np.asarray(list(b), dtype=float)
+    if av.shape != bv.shape:
+        raise ValueError(f"paired samples differ in length: {av.shape} vs {bv.shape}")
+    return mean_ci(av - bv)
+
+
+def monotonicity_score(y: Sequence[float]) -> float:
+    """Fraction of consecutive steps moving in the majority direction.
+
+    1.0 for a strictly monotone series, ~0.5 for noise.  Constant
+    series score 1.0 (trivially monotone).
+    """
+    arr = np.asarray(list(y), dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples")
+    d = np.diff(arr)
+    d = d[d != 0]
+    if d.size == 0:
+        return 1.0
+    ups = int(np.count_nonzero(d > 0))
+    return max(ups, d.size - ups) / d.size
+
+
+def crossing_points(
+    x: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> list[float]:
+    """x-positions where series ``a`` and ``b`` cross (sign changes of
+    a-b, linearly interpolated).  Used to locate the cell-boundary power
+    crossovers in the figure experiments."""
+    xv = np.asarray(list(x), dtype=float)
+    av = np.asarray(list(a), dtype=float)
+    bv = np.asarray(list(b), dtype=float)
+    if not (xv.shape == av.shape == bv.shape):
+        raise ValueError("x, a, b must have identical shapes")
+    diff = av - bv
+    out: list[float] = []
+    for k in range(diff.size - 1):
+        d0, d1 = diff[k], diff[k + 1]
+        if not (math.isfinite(d0) and math.isfinite(d1)):
+            continue
+        if d0 == 0.0:
+            out.append(float(xv[k]))
+        elif d0 * d1 < 0.0:
+            t = d0 / (d0 - d1)
+            out.append(float(xv[k] + t * (xv[k + 1] - xv[k])))
+    # de-duplicate touching detections
+    dedup: list[float] = []
+    for v in out:
+        if not dedup or abs(v - dedup[-1]) > 1e-12:
+            dedup.append(v)
+    return dedup

@@ -1,0 +1,87 @@
+"""The paper's contribution (S5/S6): fuzzy handover decision system.
+
+``build_handover_flc()`` gives the Fig.-5/Table-1 controller;
+:class:`FuzzyHandoverSystem` wraps it in the POTLC/PRTLC pipeline of
+Fig. 4; the baselines implement the non-fuzzy comparators the paper
+names as future work.
+"""
+
+from .flc import (
+    CSSP_ANCHORS,
+    CSSP_TERMS,
+    DMB_ANCHORS,
+    DMB_TERMS,
+    HANDOVER_THRESHOLD,
+    HD_ANCHORS,
+    HD_TERMS,
+    SSN_ANCHORS,
+    SSN_TERMS,
+    build_cssp_variable,
+    build_dmb_variable,
+    build_handover_flc,
+    build_handover_rule_base,
+    build_hd_variable,
+    build_ssn_variable,
+)
+from .frb import PAPER_FRB, frb_as_rules, frb_lookup_table
+from .inputs import (
+    HandoverInputs,
+    compute_cssp,
+    compute_cssp_batch,
+    compute_dmb,
+    compute_ssn,
+    inputs_from_observation,
+)
+from .system import (
+    Decision,
+    FuzzyHandoverSystem,
+    HandoverPolicy,
+    Observation,
+    Stage,
+)
+from .filtering import EwmaFilter
+from .baselines import (
+    AlwaysStrongestHandover,
+    CombinedHandover,
+    DistanceHandover,
+    HysteresisHandover,
+    ThresholdHandover,
+)
+
+__all__ = [
+    "HANDOVER_THRESHOLD",
+    "CSSP_TERMS",
+    "SSN_TERMS",
+    "DMB_TERMS",
+    "HD_TERMS",
+    "CSSP_ANCHORS",
+    "SSN_ANCHORS",
+    "DMB_ANCHORS",
+    "HD_ANCHORS",
+    "build_cssp_variable",
+    "build_ssn_variable",
+    "build_dmb_variable",
+    "build_hd_variable",
+    "build_handover_rule_base",
+    "build_handover_flc",
+    "PAPER_FRB",
+    "frb_as_rules",
+    "frb_lookup_table",
+    "HandoverInputs",
+    "compute_cssp",
+    "compute_cssp_batch",
+    "compute_ssn",
+    "compute_dmb",
+    "inputs_from_observation",
+    "Observation",
+    "Decision",
+    "Stage",
+    "HandoverPolicy",
+    "FuzzyHandoverSystem",
+    "EwmaFilter",
+    "HysteresisHandover",
+    "ThresholdHandover",
+    "CombinedHandover",
+    "DistanceHandover",
+    "AlwaysStrongestHandover",
+]

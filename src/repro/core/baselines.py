@@ -1,0 +1,176 @@
+"""Non-fuzzy baseline handover algorithms.
+
+The paper's conclusion promises a comparison "with other non-fuzzy-based
+handover algorithms" as future work; these are the classical comparators
+that promise refers to, implemented against the same
+:class:`~repro.core.system.HandoverPolicy` protocol so the simulator can
+drive them interchangeably with the fuzzy system (X1 bench).
+
+* :class:`HysteresisHandover` — the conventional scheme the paper's
+  introduction describes: hand over when a neighbour exceeds the serving
+  signal by a fixed margin.  Small margins ping-pong under shadow
+  fading; large margins hand over late.
+* :class:`ThresholdHandover` — absolute-level trigger: hand over only
+  when the serving signal drops below a threshold *and* a neighbour is
+  stronger.
+* :class:`CombinedHandover` — threshold AND hysteresis (the common
+  practical compromise).
+* :class:`DistanceHandover` — geometric: hand over when another BS is
+  closer by a relative margin (needs position knowledge, like the
+  paper's DMB input).
+* :class:`AlwaysStrongestHandover` — the margin-0 extreme; maximal
+  ping-pong, useful as the worst-case anchor in the comparison plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .system import Cell, Decision, Observation
+
+__all__ = [
+    "HysteresisHandover",
+    "ThresholdHandover",
+    "CombinedHandover",
+    "DistanceHandover",
+    "AlwaysStrongestHandover",
+]
+
+
+class _StatelessPolicy:
+    """Shared no-op reset for the memoryless baselines."""
+
+    def reset(self) -> None:  # noqa: D401 - trivial
+        """Baselines keep no per-trace state."""
+
+
+@dataclass
+class HysteresisHandover(_StatelessPolicy):
+    """Hand over when ``best neighbour > serving + margin_db``.
+
+    ``margin_db = 0`` degenerates to always-strongest.  The classic
+    default in GSM-era literature is 3–6 dB.
+    """
+
+    margin_db: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.margin_db < 0 or not math.isfinite(self.margin_db):
+            raise ValueError(f"margin_db must be >= 0, got {self.margin_db}")
+
+    def decide(self, obs: Observation) -> Decision:
+        if len(obs.neighbor_cells) == 0:
+            return Decision(handover=False, stage="no-neighbor")
+        target, power = obs.best_neighbor()
+        if power > obs.serving_power_dbw + self.margin_db:
+            return Decision(handover=True, target=target, stage="hysteresis")
+        return Decision(handover=False, stage="hysteresis")
+
+
+@dataclass
+class ThresholdHandover(_StatelessPolicy):
+    """Hand over when the serving signal falls below ``threshold_dbw``
+    and some neighbour is stronger than the serving signal."""
+
+    threshold_dbw: float = -95.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.threshold_dbw):
+            raise ValueError("threshold_dbw must be finite")
+
+    def decide(self, obs: Observation) -> Decision:
+        if len(obs.neighbor_cells) == 0:
+            return Decision(handover=False, stage="no-neighbor")
+        if obs.serving_power_dbw >= self.threshold_dbw:
+            return Decision(handover=False, stage="threshold")
+        target, power = obs.best_neighbor()
+        if power > obs.serving_power_dbw:
+            return Decision(handover=True, target=target, stage="threshold")
+        return Decision(handover=False, stage="threshold")
+
+
+@dataclass
+class CombinedHandover(_StatelessPolicy):
+    """Threshold AND hysteresis: serving below ``threshold_dbw`` and the
+    best neighbour ahead by ``margin_db``."""
+
+    threshold_dbw: float = -90.0
+    margin_db: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.threshold_dbw):
+            raise ValueError("threshold_dbw must be finite")
+        if self.margin_db < 0 or not math.isfinite(self.margin_db):
+            raise ValueError(f"margin_db must be >= 0, got {self.margin_db}")
+
+    def decide(self, obs: Observation) -> Decision:
+        if len(obs.neighbor_cells) == 0:
+            return Decision(handover=False, stage="no-neighbor")
+        if obs.serving_power_dbw >= self.threshold_dbw:
+            return Decision(handover=False, stage="combined")
+        target, power = obs.best_neighbor()
+        if power > obs.serving_power_dbw + self.margin_db:
+            return Decision(handover=True, target=target, stage="combined")
+        return Decision(handover=False, stage="combined")
+
+
+@dataclass
+class DistanceHandover(_StatelessPolicy):
+    """Hand over when a neighbour BS is closer than
+    ``margin_ratio × (distance to serving BS)``.
+
+    Requires the observation's position and the BS sites, which the
+    simulator provides via ``neighbor_positions_km`` injected at
+    construction time.
+    """
+
+    neighbor_positions_km: dict[Cell, np.ndarray]
+    margin_ratio: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.margin_ratio <= 1.0):
+            raise ValueError(
+                f"margin_ratio must be in (0, 1], got {self.margin_ratio}"
+            )
+        self.neighbor_positions_km = {
+            tuple(c): np.asarray(p, dtype=float)
+            for c, p in self.neighbor_positions_km.items()
+        }
+
+    def decide(self, obs: Observation) -> Decision:
+        if len(obs.neighbor_cells) == 0:
+            return Decision(handover=False, stage="no-neighbor")
+        best_cell: Cell | None = None
+        best_dist = math.inf
+        for cell in obs.neighbor_cells:
+            pos = self.neighbor_positions_km.get(tuple(cell))
+            if pos is None:
+                continue
+            d = float(np.hypot(*(obs.position_km - pos)))
+            if d < best_dist:
+                best_dist = d
+                best_cell = tuple(cell)
+        if best_cell is None:
+            return Decision(handover=False, stage="distance")
+        if best_dist < self.margin_ratio * obs.distance_to_serving_km:
+            return Decision(handover=True, target=best_cell, stage="distance")
+        return Decision(handover=False, stage="distance")
+
+
+@dataclass
+class AlwaysStrongestHandover(_StatelessPolicy):
+    """Camp on whichever BS is instantaneously strongest (margin 0).
+
+    The maximum-ping-pong anchor of the X1 comparison.
+    """
+
+    def decide(self, obs: Observation) -> Decision:
+        if len(obs.neighbor_cells) == 0:
+            return Decision(handover=False, stage="no-neighbor")
+        target, power = obs.best_neighbor()
+        if power > obs.serving_power_dbw:
+            return Decision(handover=True, target=target, stage="strongest")
+        return Decision(handover=False, stage="strongest")

@@ -1,0 +1,163 @@
+"""The paper's Fuzzy Logic Controller (Figs. 2, 5; Table 1).
+
+Builds the four linguistic variables of Fig. 5 and assembles them with
+the 64-rule FRB into a ready-to-use
+:class:`~repro.fuzzy.controller.FuzzyController`.
+
+Membership anchors (DESIGN.md substitution #3 — Fig. 5 is a plot, not a
+table, so the exact vertices are read off the axis labels and realised
+as a Ruspini sum-to-one partition):
+
+========  =======================  ==========================
+variable  universe                 anchors (term peaks)
+========  =======================  ==========================
+CSSP      [-10, 10] dB             SM -10, LC -5, NC 0, BG 10
+SSN       [-120, -80] dB           WK -120, NSW -106.7, NO -93.3, ST -80
+DMB       [0, 1.5] (d / R)         NR 0.25, NSN 0.5, NSF 0.75, FA 1.0
+HD        [0, 1]                   VL 0.2, LO 0.4, LH 0.6, HG 0.8
+========  =======================  ==========================
+
+The SSN anchors are evenly spaced: Fig. 5 marks the axis at −120,
+−100 and −80, and the even reading places NSW/NO so that −100 is the
+*crossover* between them (the NO label is printed between the −100 and
+−80 marks).  This reading also keeps the "Normal" grade alive for
+speed-penalised neighbour measurements, which the FRB requires for the
+Table-4 handovers to fire at non-zero speeds.
+
+DMB is the MS–BS distance normalised by the cell radius, so a value of
+1.0 means "at the cell corner" regardless of whether the layout uses
+1 km or 2 km cells (with the paper's 1 km experiment radius, DMB equals
+raw km and matches the Fig. 5 "(km)" axis and the Table 3/4 distance
+rows directly).
+
+The handover fires when the defuzzified HD exceeds
+:data:`HANDOVER_THRESHOLD` = 0.7 (paper Sec. 5).
+"""
+
+from __future__ import annotations
+
+from ..fuzzy.controller import FuzzyController
+from ..fuzzy.rules import RuleBase
+from ..fuzzy.variables import LinguisticVariable, ruspini_partition
+
+__all__ = [
+    "HANDOVER_THRESHOLD",
+    "CSSP_TERMS",
+    "SSN_TERMS",
+    "DMB_TERMS",
+    "HD_TERMS",
+    "CSSP_ANCHORS",
+    "SSN_ANCHORS",
+    "DMB_ANCHORS",
+    "HD_ANCHORS",
+    "build_cssp_variable",
+    "build_ssn_variable",
+    "build_dmb_variable",
+    "build_hd_variable",
+    "build_handover_rule_base",
+    "build_handover_flc",
+]
+
+#: Defuzzified-output threshold above which the handover is carried out.
+HANDOVER_THRESHOLD = 0.7
+
+CSSP_TERMS = ("SM", "LC", "NC", "BG")
+CSSP_LABELS = ("Small", "Little Change", "No Change", "Big")
+CSSP_ANCHORS = (-10.0, -5.0, 0.0, 10.0)
+
+SSN_TERMS = ("WK", "NSW", "NO", "ST")
+SSN_LABELS = ("Weak", "Not So Weak", "Normal", "Strong")
+SSN_ANCHORS = (-120.0, -120.0 + 40.0 / 3.0, -80.0 - 40.0 / 3.0, -80.0)
+
+DMB_TERMS = ("NR", "NSN", "NSF", "FA")
+DMB_LABELS = ("Near", "Not So Near", "Not So Far", "Far")
+DMB_ANCHORS = (0.25, 0.5, 0.75, 1.0)
+DMB_UNIVERSE = (0.0, 1.5)
+
+HD_TERMS = ("VL", "LO", "LH", "HG")
+HD_LABELS = ("Very Low", "Low", "Little High", "High")
+HD_ANCHORS = (0.2, 0.4, 0.6, 0.8)
+HD_UNIVERSE = (0.0, 1.0)
+
+
+def build_cssp_variable() -> LinguisticVariable:
+    """CSSP — Change of Signal Strength of the Present BS, in dB.
+
+    Negative values mean the serving signal is *dropping* ("Small"
+    follows the paper's naming: the signal is getting smaller), positive
+    values that it is recovering ("Big").
+    """
+    return ruspini_partition(
+        "CSSP", CSSP_ANCHORS, CSSP_TERMS, labels=CSSP_LABELS, unit="dB"
+    )
+
+
+def build_ssn_variable() -> LinguisticVariable:
+    """SSN — Signal Strength from the Neighbour BS, in dB(W)."""
+    return ruspini_partition(
+        "SSN", SSN_ANCHORS, SSN_TERMS, labels=SSN_LABELS, unit="dB"
+    )
+
+
+def build_dmb_variable() -> LinguisticVariable:
+    """DMB — MS-to-serving-BS distance normalised by the cell radius."""
+    return ruspini_partition(
+        "DMB",
+        DMB_ANCHORS,
+        DMB_TERMS,
+        labels=DMB_LABELS,
+        unit="d/R",
+        universe=DMB_UNIVERSE,
+    )
+
+
+def build_hd_variable() -> LinguisticVariable:
+    """HD — Handover Decision, the controller output in [0, 1]."""
+    return ruspini_partition(
+        "HD", HD_ANCHORS, HD_TERMS, labels=HD_LABELS, universe=HD_UNIVERSE
+    )
+
+
+def build_handover_rule_base() -> RuleBase:
+    """The Table-1 FRB bound to the Fig.-5 variables."""
+    from .frb import frb_as_rules
+
+    return RuleBase(
+        input_variables=[
+            build_cssp_variable(),
+            build_ssn_variable(),
+            build_dmb_variable(),
+        ],
+        output_variable=build_hd_variable(),
+        rules=frb_as_rules(),
+    )
+
+
+def build_handover_flc(
+    and_method: str = "min",
+    agg_method: str = "max",
+    implication: str = "min",
+    defuzzifier: str = "centroid",
+    resolution: int = 201,
+) -> FuzzyController:
+    """The paper's FLC, ready to evaluate ``(CSSP, SSN, DMB) → HD``.
+
+    All operator choices default to the classic Mamdani min–max
+    configuration; the keyword overrides exist for the X2/X4 ablation
+    benchmarks.
+
+    Examples
+    --------
+    >>> flc = build_handover_flc()
+    >>> hd = flc.evaluate(CSSP=-6.0, SSN=-85.0, DMB=0.9)
+    >>> hd > 0.7   # strong neighbour, decaying serving signal, far out
+    True
+    """
+    return FuzzyController(
+        build_handover_rule_base(),
+        and_method=and_method,  # type: ignore[arg-type]
+        agg_method=agg_method,  # type: ignore[arg-type]
+        implication=implication,  # type: ignore[arg-type]
+        defuzzifier=defuzzifier,
+        resolution=resolution,
+    )

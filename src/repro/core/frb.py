@@ -1,0 +1,126 @@
+"""The paper's Fuzzy Rule Base — Table 1, transcribed verbatim.
+
+64 rules, one per combination of the 4x4x4 input terms.  Stored as a
+flat tuple of ``(CSSP, SSN, DMB, HD)`` 4-tuples *in the paper's rule
+order* (rules 1–32 in the left column of Table 1, 33–64 in the right
+column), so ``PAPER_FRB[k]`` is rule ``k+1`` of the paper.
+
+The tests audit this table three ways: completeness (all 64 antecedent
+combinations present exactly once), verbatim spot-checks against the
+printed table, and the monotonicity structure one expects of a sane
+handover policy (a strictly better neighbour never lowers the handover
+propensity, etc.).
+"""
+
+from __future__ import annotations
+
+from .flc import CSSP_TERMS, DMB_TERMS, HD_TERMS, SSN_TERMS
+
+__all__ = ["PAPER_FRB", "frb_as_rules", "frb_lookup_table"]
+
+#: (CSSP, SSN, DMB, HD) per paper rule number (1-based index = position+1).
+PAPER_FRB: tuple[tuple[str, str, str, str], ...] = (
+    # rules 1-16: CSSP = SM
+    ("SM", "WK", "NR", "LO"),    # 1
+    ("SM", "WK", "NSN", "LO"),   # 2
+    ("SM", "WK", "NSF", "LH"),   # 3
+    ("SM", "WK", "FA", "LH"),    # 4
+    ("SM", "NSW", "NR", "LO"),   # 5
+    ("SM", "NSW", "NSN", "LO"),  # 6
+    ("SM", "NSW", "NSF", "LH"),  # 7
+    ("SM", "NSW", "FA", "LH"),   # 8
+    ("SM", "NO", "NR", "LH"),    # 9
+    ("SM", "NO", "NSN", "HG"),   # 10
+    ("SM", "NO", "NSF", "HG"),   # 11
+    ("SM", "NO", "FA", "HG"),    # 12
+    ("SM", "ST", "NR", "HG"),    # 13
+    ("SM", "ST", "NSN", "HG"),   # 14
+    ("SM", "ST", "NSF", "HG"),   # 15
+    ("SM", "ST", "FA", "HG"),    # 16
+    # rules 17-32: CSSP = LC
+    ("LC", "WK", "NR", "VL"),    # 17
+    ("LC", "WK", "NSN", "VL"),   # 18
+    ("LC", "WK", "NSF", "LO"),   # 19
+    ("LC", "WK", "FA", "LO"),    # 20
+    ("LC", "NSW", "NR", "LO"),   # 21
+    ("LC", "NSW", "NSN", "LO"),  # 22
+    ("LC", "NSW", "NSF", "LO"),  # 23
+    ("LC", "NSW", "FA", "LH"),   # 24
+    ("LC", "NO", "NR", "LH"),    # 25
+    ("LC", "NO", "NSN", "LH"),   # 26
+    ("LC", "NO", "NSF", "HG"),   # 27
+    ("LC", "NO", "FA", "HG"),    # 28
+    ("LC", "ST", "NR", "LH"),    # 29
+    ("LC", "ST", "NSN", "HG"),   # 30
+    ("LC", "ST", "NSF", "HG"),   # 31
+    ("LC", "ST", "FA", "HG"),    # 32
+    # rules 33-48: CSSP = NC
+    ("NC", "WK", "NR", "VL"),    # 33
+    ("NC", "WK", "NSN", "VL"),   # 34
+    ("NC", "WK", "NSF", "VL"),   # 35
+    ("NC", "WK", "FA", "LO"),    # 36
+    ("NC", "NSW", "NR", "VL"),   # 37
+    ("NC", "NSW", "NSN", "VL"),  # 38
+    ("NC", "NSW", "NSF", "VL"),  # 39
+    ("NC", "NSW", "FA", "LO"),   # 40
+    ("NC", "NO", "NR", "VL"),    # 41
+    ("NC", "NO", "NSN", "LO"),   # 42
+    ("NC", "NO", "NSF", "LO"),   # 43
+    ("NC", "NO", "FA", "LH"),    # 44
+    ("NC", "ST", "NR", "LH"),    # 45
+    ("NC", "ST", "NSN", "LH"),   # 46
+    ("NC", "ST", "NSF", "HG"),   # 47
+    ("NC", "ST", "FA", "HG"),    # 48
+    # rules 49-64: CSSP = BG
+    ("BG", "WK", "NR", "VL"),    # 49
+    ("BG", "WK", "NSN", "VL"),   # 50
+    ("BG", "WK", "NSF", "VL"),   # 51
+    ("BG", "WK", "FA", "VL"),    # 52
+    ("BG", "NSW", "NR", "VL"),   # 53
+    ("BG", "NSW", "NSN", "VL"),  # 54
+    ("BG", "NSW", "NSF", "VL"),  # 55
+    ("BG", "NSW", "FA", "LO"),   # 56
+    ("BG", "NO", "NR", "VL"),    # 57
+    ("BG", "NO", "NSN", "VL"),   # 58
+    ("BG", "NO", "NSF", "LO"),   # 59
+    ("BG", "NO", "FA", "LO"),    # 60
+    ("BG", "ST", "NR", "VL"),    # 61
+    ("BG", "ST", "NSN", "VL"),   # 62
+    ("BG", "ST", "NSF", "LO"),   # 63
+    ("BG", "ST", "FA", "LO"),    # 64
+)
+
+
+def frb_as_rules():
+    """The FRB as :class:`repro.fuzzy.Rule` objects, in paper order."""
+    from ..fuzzy.rules import Rule
+
+    return [
+        Rule({"CSSP": c, "SSN": s, "DMB": d}, h, label=f"rule {k + 1}")
+        for k, (c, s, d, h) in enumerate(PAPER_FRB)
+    ]
+
+
+def frb_lookup_table() -> dict[tuple[str, str, str], str]:
+    """Antecedent → consequent dict (used by the audit tests)."""
+    table = {(c, s, d): h for c, s, d, h in PAPER_FRB}
+    if len(table) != len(PAPER_FRB):
+        raise AssertionError("PAPER_FRB contains duplicate antecedents")
+    return table
+
+
+def _audit_terms() -> None:
+    """Internal consistency check run at import time: the table may only
+    use term names the Fig. 5 variables define."""
+    for k, (c, s, d, h) in enumerate(PAPER_FRB):
+        if c not in CSSP_TERMS:
+            raise AssertionError(f"rule {k + 1}: bad CSSP term {c!r}")
+        if s not in SSN_TERMS:
+            raise AssertionError(f"rule {k + 1}: bad SSN term {s!r}")
+        if d not in DMB_TERMS:
+            raise AssertionError(f"rule {k + 1}: bad DMB term {d!r}")
+        if h not in HD_TERMS:
+            raise AssertionError(f"rule {k + 1}: bad HD term {h!r}")
+
+
+_audit_terms()

@@ -1,0 +1,132 @@
+"""Extraction of the FLC's crisp inputs from raw measurements.
+
+The controller consumes three numbers per decision epoch (paper Sec. 4):
+
+* **CSSP** — the dB *change* of the serving-BS signal between the
+  previous and the current measurement;
+* **SSN** — the strongest neighbour's measured signal, after the
+  paper's speed penalty (2 dB per 10 km/h);
+* **DMB** — the MS-to-serving-BS distance normalised by the cell
+  radius.
+
+:class:`HandoverInputs` carries one epoch's triple;
+:func:`inputs_from_observation` builds it from a simulator
+:class:`~repro.core.system.Observation`, and the ``*_batch`` helpers
+vectorise the same extraction over whole traces for the table
+generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..radio.fading import speed_penalty_db
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import Observation
+
+__all__ = [
+    "HandoverInputs",
+    "compute_cssp",
+    "compute_cssp_batch",
+    "compute_ssn",
+    "compute_dmb",
+    "inputs_from_observation",
+]
+
+
+@dataclass(frozen=True)
+class HandoverInputs:
+    """One decision epoch's crisp FLC inputs."""
+
+    cssp_db: float
+    ssn_db: float
+    dmb: float
+
+    def __post_init__(self) -> None:
+        for name in ("cssp_db", "ssn_db", "dmb"):
+            v = getattr(self, name)
+            if not math.isfinite(v):
+                raise ValueError(f"HandoverInputs.{name} must be finite, got {v}")
+        if self.dmb < 0:
+            raise ValueError(f"HandoverInputs.dmb must be >= 0, got {self.dmb}")
+
+    def as_dict(self) -> dict[str, float]:
+        """Mapping keyed by the FLC variable names."""
+        return {"CSSP": self.cssp_db, "SSN": self.ssn_db, "DMB": self.dmb}
+
+
+def compute_cssp(previous_dbw: float, current_dbw: float) -> float:
+    """CSSP for one epoch: current minus previous serving power (dB).
+
+    A *negative* CSSP means the serving signal weakened — the paper's
+    "Small" direction.
+    """
+    if not (math.isfinite(previous_dbw) and math.isfinite(current_dbw)):
+        raise ValueError(
+            f"serving powers must be finite, got {previous_dbw}, {current_dbw}"
+        )
+    return float(current_dbw - previous_dbw)
+
+
+def compute_cssp_batch(serving_dbw: np.ndarray) -> np.ndarray:
+    """CSSP along a measurement series.
+
+    ``serving_dbw`` is the ``(n,)`` serving-BS power per epoch; the
+    result is ``(n,)`` with the first epoch's change defined as 0 (there
+    is no earlier sample to difference against).
+    """
+    p = np.asarray(serving_dbw, dtype=float)
+    if p.ndim != 1:
+        raise ValueError(f"serving_dbw must be 1-D, got shape {p.shape}")
+    if p.shape[0] == 0:
+        return np.zeros(0)
+    if not np.isfinite(p).all():
+        raise ValueError("serving powers must be finite")
+    out = np.empty_like(p)
+    out[0] = 0.0
+    np.subtract(p[1:], p[:-1], out=out[1:])
+    return out
+
+
+def compute_ssn(neighbor_dbw: float, speed_kmh: float = 0.0) -> float:
+    """SSN: the neighbour measurement degraded by the speed penalty."""
+    if not math.isfinite(neighbor_dbw):
+        raise ValueError(f"neighbor power must be finite, got {neighbor_dbw}")
+    return float(neighbor_dbw - speed_penalty_db(speed_kmh))
+
+
+def compute_dmb(distance_km: float, cell_radius_km: float) -> float:
+    """DMB: distance to the serving BS normalised by the cell radius."""
+    if distance_km < 0 or not math.isfinite(distance_km):
+        raise ValueError(f"distance must be >= 0 and finite, got {distance_km}")
+    if cell_radius_km <= 0 or not math.isfinite(cell_radius_km):
+        raise ValueError(
+            f"cell_radius_km must be positive, got {cell_radius_km}"
+        )
+    return float(distance_km / cell_radius_km)
+
+
+def inputs_from_observation(
+    obs: "Observation",
+    previous_serving_dbw: float,
+    cell_radius_km: float,
+) -> HandoverInputs:
+    """Assemble the FLC inputs for one simulator observation.
+
+    The strongest neighbour is used for SSN, matching the paper's
+    two-party decision (serving vs. best candidate).  The speed penalty
+    is applied here — the raw observation carries unpenalised powers.
+    """
+    if len(obs.neighbor_powers_dbw) == 0:
+        raise ValueError("observation has no neighbour measurements")
+    best = float(np.max(obs.neighbor_powers_dbw))
+    return HandoverInputs(
+        cssp_db=compute_cssp(previous_serving_dbw, obs.serving_power_dbw),
+        ssn_db=compute_ssn(best, obs.speed_kmh),
+        dmb=compute_dmb(obs.distance_to_serving_km, cell_radius_km),
+    )

@@ -1,0 +1,269 @@
+"""Generators for the paper's figures.
+
+Each ``figure_N`` function returns a :class:`FigureData` holding the
+exact numeric series the corresponding paper figure plots, plus an
+ASCII rendering for terminal inspection.  Numeric access is what the
+tests and EXPERIMENTS.md assertions use; the rendering is for humans.
+
+=========  ===========================================================
+figure     content
+=========  ===========================================================
+figure_6   hexagonal cell layout with paper (i, j) labels
+figure_7   random-walk pattern, ping-pong scenario (iseed=100 role)
+figure_8   random-walk pattern, crossing scenario (iseed=200 role)
+figure_9   received power from BS(0,0) along the crossing walk
+figure_10  received power from BS(-1,2) along the crossing walk
+figure_11  received power from BS(-2,1) along the crossing walk
+figure_12  3-BS powers + measurement points, ping-pong walk
+figure_13  3-BS powers + measurement points, crossing walk
+=========  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.asciiplot import ascii_multiplot
+from ..analysis.stats import crossing_points
+from ..sim.config import SimulationParameters
+from ..sim.measurement import MeasurementSampler, MeasurementSeries
+from .scenarios import (
+    SCENARIO_CROSSING,
+    SCENARIO_PINGPONG,
+    WalkScenario,
+    crossing_epochs,
+)
+
+__all__ = [
+    "FigureData",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_9",
+    "figure_10",
+    "figure_11",
+    "figure_12",
+    "figure_13",
+    "walk_figure",
+    "power_figure",
+    "measurement_points_figure",
+]
+
+Cell = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """Numeric content of one reproduced figure."""
+
+    name: str
+    title: str
+    x: np.ndarray
+    series: dict[str, np.ndarray]
+    xlabel: str = ""
+    ylabel: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def render(self, width: int = 72, height: int = 18) -> str:
+        labels = list(self.series)
+        return ascii_multiplot(
+            self.x,
+            [self.series[k] for k in labels],
+            labels=labels,
+            width=width,
+            height=height,
+            title=self.title,
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+        )
+
+
+def _measure(
+    scenario: WalkScenario, params: Optional[SimulationParameters]
+) -> tuple[SimulationParameters, MeasurementSeries]:
+    if params is None:
+        params = SimulationParameters()
+    layout = params.make_layout()
+    sampler = MeasurementSampler(
+        layout,
+        params.make_propagation(),
+        spacing_km=params.measurement_spacing_km,
+    )
+    return params, sampler.measure(scenario.generate(params))
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — cell layout
+# ----------------------------------------------------------------------
+def figure_6(params: Optional[SimulationParameters] = None) -> FigureData:
+    """The hexagonal layout: BS coordinates in the paper's (i, j) scheme."""
+    if params is None:
+        params = SimulationParameters()
+    layout = params.make_layout()
+    xs = layout.bs_positions[:, 0]
+    ys = layout.bs_positions[:, 1]
+    return FigureData(
+        name="figure_6",
+        title="Cell layout (BS sites, paper (i,j) scheme)",
+        x=xs,
+        series={"BS sites": ys},
+        xlabel="Distance [km]",
+        ylabel="Distance [km]",
+        meta={
+            "cells": list(layout.cells),
+            "cell_radius_km": layout.cell_radius_km,
+            "spacing_km": layout.grid.spacing_km,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 7/8 — walk patterns
+# ----------------------------------------------------------------------
+def walk_figure(
+    scenario: WalkScenario,
+    name: str,
+    params: Optional[SimulationParameters] = None,
+) -> FigureData:
+    """A walk pattern over the cell layout (paper Figs. 7/8)."""
+    if params is None:
+        params = SimulationParameters()
+    layout = params.make_layout()
+    trace = scenario.generate(params)
+    dense = trace.densify(params.measurement_spacing_km)
+    seq = layout.cell_sequence(dense.positions)
+    return FigureData(
+        name=name,
+        title=(
+            f"Cell layout and random walk — {scenario.name} "
+            f"(nwalk={scenario.n_walks})"
+        ),
+        x=dense.positions[:, 0],
+        series={"Random Walk": dense.positions[:, 1]},
+        xlabel="Distance [km]",
+        ylabel="Distance [km]",
+        meta={
+            "cell_sequence": seq,
+            "expected_sequence": list(scenario.expected_sequence),
+            "waypoints": trace.positions.tolist(),
+            "total_length_km": trace.total_length,
+        },
+    )
+
+
+def figure_7(params: Optional[SimulationParameters] = None) -> FigureData:
+    """RW pattern for the ping-pong scenario (paper iseed=100, nwalk=5)."""
+    return walk_figure(SCENARIO_PINGPONG, "figure_7", params)
+
+
+def figure_8(params: Optional[SimulationParameters] = None) -> FigureData:
+    """RW pattern for the crossing scenario (paper iseed=200, nwalk=10)."""
+    return walk_figure(SCENARIO_CROSSING, "figure_8", params)
+
+
+# ----------------------------------------------------------------------
+# Figs. 9-11 — received power along the crossing walk
+# ----------------------------------------------------------------------
+def power_figure(
+    scenario: WalkScenario,
+    cell: Cell,
+    name: str,
+    params: Optional[SimulationParameters] = None,
+) -> FigureData:
+    """Received power from one BS along a walk (paper Figs. 9–11)."""
+    params, series = _measure(scenario, params)
+    power = series.power_of(cell)
+    return FigureData(
+        name=name,
+        title=f"Received power along random walk — BS{cell}",
+        x=series.distance_km,
+        series={f"Electric Field Intensity BS{cell}": power},
+        xlabel="Distance [km]",
+        ylabel="Received Power [dB]",
+        meta={
+            "cell": cell,
+            "min_dbw": float(power.min()),
+            "max_dbw": float(power.max()),
+            "distance_to_bs_km": series.distances_to_bs(cell).tolist(),
+        },
+    )
+
+
+def figure_9(params: Optional[SimulationParameters] = None) -> FigureData:
+    """Received power from the serving BS(0,0) (paper Fig. 9)."""
+    return power_figure(SCENARIO_CROSSING, (0, 0), "figure_9", params)
+
+
+def figure_10(params: Optional[SimulationParameters] = None) -> FigureData:
+    """Received power from neighbour BS(-1,2) (paper Fig. 10)."""
+    return power_figure(SCENARIO_CROSSING, (-1, 2), "figure_10", params)
+
+
+def figure_11(params: Optional[SimulationParameters] = None) -> FigureData:
+    """Received power from neighbour BS(-2,1) (paper Fig. 11)."""
+    return power_figure(SCENARIO_CROSSING, (-2, 1), "figure_11", params)
+
+
+# ----------------------------------------------------------------------
+# Figs. 12/13 — 3-BS powers and measurement points
+# ----------------------------------------------------------------------
+def measurement_points_figure(
+    scenario: WalkScenario,
+    cells: tuple[Cell, Cell, Cell],
+    name: str,
+    params: Optional[SimulationParameters] = None,
+) -> FigureData:
+    """Three BS power curves with the boundary measurement points
+    (paper Figs. 12/13)."""
+    params, series = _measure(scenario, params)
+    series_map = {
+        f"Electric Field Intensity BS{c}": series.power_of(c) for c in cells
+    }
+    points = crossing_epochs(series)
+    crossings: dict[str, list[float]] = {}
+    base = series.power_of(cells[0])
+    for c in cells[1:]:
+        crossings[str(c)] = crossing_points(
+            series.distance_km, base, series.power_of(c)
+        )
+    return FigureData(
+        name=name,
+        title=f"Received power along random walk — {scenario.name}",
+        x=series.distance_km,
+        series=series_map,
+        xlabel="Distance [km]",
+        ylabel="Received Power [dB]",
+        meta={
+            "cells": list(cells),
+            "measurement_epochs": points,
+            "measurement_distances_km": [
+                float(series.distance_km[k]) for k in points
+            ],
+            "power_crossovers_km": crossings,
+        },
+    )
+
+
+def figure_12(params: Optional[SimulationParameters] = None) -> FigureData:
+    """3 measurement points for the ping-pong walk (paper Fig. 12).
+
+    The three BSs are the cells of the Fig.-7 sequence:
+    (0,0), (2,-1), (1,-2).
+    """
+    return measurement_points_figure(
+        SCENARIO_PINGPONG, ((0, 0), (2, -1), (1, -2)), "figure_12", params
+    )
+
+
+def figure_13(params: Optional[SimulationParameters] = None) -> FigureData:
+    """3 measurement points for the crossing walk (paper Fig. 13).
+
+    The three BSs are the cells of the Fig.-8 sequence:
+    (0,0), (-1,2), (-2,1).
+    """
+    return measurement_points_figure(
+        SCENARIO_CROSSING, ((0, 0), (-1, 2), (-2, 1)), "figure_13", params
+    )

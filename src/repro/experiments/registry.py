@@ -1,0 +1,117 @@
+"""Experiment registry: paper artefact id → generator.
+
+A single lookup point used by the benchmark harness and the
+``reproduce_paper`` example, so "every table and figure" is an
+enumerable, testable claim rather than a convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import figures as F
+from . import tables as T
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artefact."""
+
+    id: str
+    kind: str  # "table" | "figure"
+    description: str
+    generate: Callable[..., object]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e
+    for e in [
+        Experiment(
+            "table1",
+            "table",
+            "The 64-rule fuzzy rule base (paper Table 1)",
+            T.table_1,
+        ),
+        Experiment(
+            "table2",
+            "table",
+            "Simulation parameter sheet (paper Table 2)",
+            T.table_2,
+        ),
+        Experiment(
+            "table3",
+            "table",
+            "Measurement-point outputs, ping-pong walk (paper Table 3)",
+            T.table_3,
+        ),
+        Experiment(
+            "table4",
+            "table",
+            "Measurement-point outputs, crossing walk (paper Table 4)",
+            T.table_4,
+        ),
+        Experiment(
+            "figure6", "figure", "Hexagonal cell layout (paper Fig. 6)", F.figure_6
+        ),
+        Experiment(
+            "figure7",
+            "figure",
+            "Random-walk pattern, ping-pong scenario (paper Fig. 7)",
+            F.figure_7,
+        ),
+        Experiment(
+            "figure8",
+            "figure",
+            "Random-walk pattern, crossing scenario (paper Fig. 8)",
+            F.figure_8,
+        ),
+        Experiment(
+            "figure9",
+            "figure",
+            "Received power from BS(0,0) along the crossing walk (Fig. 9)",
+            F.figure_9,
+        ),
+        Experiment(
+            "figure10",
+            "figure",
+            "Received power from BS(-1,2) along the crossing walk (Fig. 10)",
+            F.figure_10,
+        ),
+        Experiment(
+            "figure11",
+            "figure",
+            "Received power from BS(-2,1) along the crossing walk (Fig. 11)",
+            F.figure_11,
+        ),
+        Experiment(
+            "figure12",
+            "figure",
+            "3-BS powers at measurement points, ping-pong walk (Fig. 12)",
+            F.figure_12,
+        ),
+        Experiment(
+            "figure13",
+            "figure",
+            "3-BS powers at measurement points, crossing walk (Fig. 13)",
+            F.figure_13,
+        ),
+    ]
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered paper artefacts, stable order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up one registered paper artefact by id (e.g. ``"table3"``)."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,60 @@
+"""Rendering helpers and the all-experiments report.
+
+:func:`full_report` regenerates every table and figure and concatenates
+their renderings — this is what ``examples/reproduce_paper.py`` prints
+and what EXPERIMENTS.md quotes from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.config import SimulationParameters
+from . import figures as F
+from . import tables as T
+
+__all__ = ["section", "full_report"]
+
+
+def section(title: str, body: str, rule: str = "=") -> str:
+    """A titled report section with an underline rule."""
+    bar = rule * max(len(title), 8)
+    return f"{title}\n{bar}\n{body}\n"
+
+
+def full_report(params: Optional[SimulationParameters] = None) -> str:
+    """Regenerate every paper artefact and render one long report."""
+    if params is None:
+        params = SimulationParameters()
+    parts: list[str] = []
+
+    parts.append(section("Table 1 — Fuzzy Rule Base", T.table_1()))
+    parts.append(section("Table 2 — Simulation parameters", T.table_2(params)))
+
+    t3 = T.table_3(params)
+    parts.append(section("Table 3 — ping-pong walk outputs", t3.render()))
+    t4 = T.table_4(params)
+    parts.append(section("Table 4 — crossing walk outputs", t4.render()))
+
+    fig_fns: list[Callable[..., F.FigureData]] = [
+        F.figure_6,
+        F.figure_7,
+        F.figure_8,
+        F.figure_9,
+        F.figure_10,
+        F.figure_11,
+        F.figure_12,
+        F.figure_13,
+    ]
+    for fn in fig_fns:
+        fig = fn(params)
+        parts.append(section(f"{fig.name} — {fig.title}", fig.render()))
+
+    verdicts = [
+        f"Table 3 shape (no handover at any speed): "
+        f"{'PASS' if t3.handovers_by_speed() == {s: 0 for s in t3.handovers_by_speed()} else 'CHECK'}",
+        f"Table 4 shape (3 handovers at 0 km/h): "
+        f"{'PASS' if t4.handovers_by_speed().get(0.0) == 3 else 'CHECK'}",
+    ]
+    parts.append(section("Shape verdicts", "\n".join(verdicts)))
+    return "\n".join(parts)

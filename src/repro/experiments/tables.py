@@ -1,0 +1,364 @@
+"""Generators for the paper's tables.
+
+* :func:`table_1` — the FRB (static, audited);
+* :func:`table_2` — the simulation parameter sheet;
+* :func:`table_3` — measurement-point outputs for the ping-pong walk
+  (``iseed = 100`` analogue) over the 0–50 km/h speed sweep;
+* :func:`table_4` — the same for the crossing walk (``iseed = 200``).
+
+Tables 3/4 follow the paper's protocol: at each of the three boundary
+measurement points, two samples (one epoch each side of the crossing)
+of the FLC inputs — serving-signal change (CSSP), speed-penalised
+neighbour strength, distance to the serving BS — and the defuzzified
+system output.  With shadow fading enabled the table averages
+``n_repetitions`` runs (the paper's "10 times simulations"); with the
+deterministic default the single run *is* the average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.flc import HANDOVER_THRESHOLD
+from ..core.frb import PAPER_FRB
+from ..core.system import FuzzyHandoverSystem
+from ..radio.fading import speed_penalty_db
+from ..sim.config import PAPER_SPEEDS_KMH, SimulationParameters
+from ..sim.engine import Simulator
+from ..sim.measurement import MeasurementSampler, MeasurementSeries
+from .scenarios import (
+    SCENARIO_CROSSING,
+    SCENARIO_PINGPONG,
+    WalkScenario,
+    measurement_point_epochs,
+)
+
+__all__ = [
+    "table_1",
+    "table_2",
+    "MeasurementPointSample",
+    "SpeedRow",
+    "PointTable",
+    "table_3",
+    "table_4",
+    "scenario_table",
+]
+
+Cell = tuple[int, int]
+
+
+def table_1() -> str:
+    """Render the 64-rule FRB in the paper's two-column layout."""
+    header = f"{'Rule':>4}  {'CSSP':<4} {'SSN':<4} {'DMB':<4} {'HD':<3}"
+    lines = [header + "    " + header]
+    for k in range(32):
+        left = PAPER_FRB[k]
+        right = PAPER_FRB[k + 32]
+        lines.append(
+            f"{k + 1:>4}  {left[0]:<4} {left[1]:<4} {left[2]:<4} {left[3]:<3}"
+            "    "
+            f"{k + 33:>4}  {right[0]:<4} {right[1]:<4} {right[2]:<4} {right[3]:<3}"
+        )
+    return "\n".join(lines)
+
+
+def table_2(params: Optional[SimulationParameters] = None) -> str:
+    """Render the Table-2 parameter sheet."""
+    if params is None:
+        params = SimulationParameters()
+    return params.describe()
+
+
+@dataclass(frozen=True)
+class MeasurementPointSample:
+    """One sample (one epoch) at one measurement point."""
+
+    epoch: int
+    cssp_db: float
+    neighbor_dbw: float
+    distance_km: float
+    output: float
+
+
+@dataclass(frozen=True)
+class SpeedRow:
+    """Table 3/4 block for one MS speed: 3 points × 2 samples."""
+
+    speed_kmh: float
+    points: tuple[tuple[MeasurementPointSample, ...], ...]
+    n_handovers: int
+    n_ping_pongs: int
+
+    def outputs(self) -> np.ndarray:
+        """All system-output values of this speed block, flattened."""
+        return np.array(
+            [s.output for pt in self.points for s in pt], dtype=float
+        )
+
+
+@dataclass(frozen=True)
+class PointTable:
+    """A full Table-3/4 analogue."""
+
+    scenario: WalkScenario
+    rows: tuple[SpeedRow, ...]
+    threshold: float
+    expected_handovers: int
+
+    def max_output(self) -> float:
+        return float(max(r.outputs().max() for r in self.rows))
+
+    def all_below_threshold(self) -> bool:
+        """Table-3 success criterion: no measurement ever warrants a
+        handover."""
+        return bool(all((r.outputs() <= self.threshold).all() for r in self.rows))
+
+    def handovers_by_speed(self) -> dict[float, int]:
+        return {r.speed_kmh: r.n_handovers for r in self.rows}
+
+    def render(self) -> str:
+        n_points = len(self.rows[0].points) if self.rows else 0
+        header_cells = "".join(
+            f"{'Point ' + str(i + 1):^18}" for i in range(n_points)
+        )
+        lines = [
+            f"Scenario: {self.scenario.name} "
+            f"(paper iseed={self.scenario.paper_iseed}, frozen seed="
+            f"{self.scenario.seed})",
+            f"{'Measurement Points':<22}{header_cells}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"Speed {row.speed_kmh:g} km/h"
+                f"    [handovers: {row.n_handovers}, "
+                f"ping-pongs: {row.n_ping_pongs}]"
+            )
+            for label, attr, fmt in (
+                ("CSSP BS", "cssp_db", "{:8.3f}"),
+                ("Neighbor BS", "neighbor_dbw", "{:8.2f}"),
+                ("Distance", "distance_km", "{:8.4f}"),
+                ("System Output Value", "output", "{:8.3f}"),
+            ):
+                cells = "".join(
+                    " ".join(
+                        fmt.format(getattr(s, attr)) for s in pt
+                    ).center(18)
+                    for pt in row.points
+                )
+                lines.append(f"  {label:<20}{cells}")
+        return "\n".join(lines)
+
+
+def _resolve_point_epochs(
+    point_epochs: list[list[int]],
+    handover_steps: list[int],
+    n_epochs: int,
+) -> list[list[int]]:
+    """Snap each point's last sample to the handover decision epoch.
+
+    The paper's Table 4 prints the *decision* measurements — the second
+    sub-column of each point is the sample whose output exceeded 0.7.
+    When the simulated pipeline executed a handover near a crossing, the
+    point's "after" sample is therefore taken at that decision epoch;
+    otherwise the geometric ``crossing + offset`` epoch stands.
+    """
+    out: list[list[int]] = []
+    for i, epochs in enumerate(point_epochs):
+        lo = epochs[0]
+        hi = point_epochs[i + 1][0] if i + 1 < len(point_epochs) else n_epochs
+        matching = [s for s in handover_steps if lo <= s < hi]
+        if matching:
+            epochs = list(epochs[:-1]) + [min(matching[0], n_epochs - 1)]
+        out.append(list(epochs))
+    return out
+
+
+def _point_samples(
+    series: MeasurementSeries,
+    serving_history: tuple[Cell, ...],
+    speed_kmh: float,
+    flc,
+    cell_radius_km: float,
+    point_epochs: list[list[int]],
+) -> tuple[tuple[MeasurementPointSample, ...], ...]:
+    """FLC inputs and outputs at the measurement-point epochs.
+
+    The serving cell at each epoch is taken from the simulated pipeline
+    (so Table 4's later points are evaluated from the already-handed-
+    over cell, as in the paper), and CSSP is the change of that cell's
+    signal since the previous epoch.
+    """
+    layout = series.layout
+    out: list[tuple[MeasurementPointSample, ...]] = []
+    penalty = float(speed_penalty_db(speed_kmh))
+    for epochs in point_epochs:
+        samples: list[MeasurementPointSample] = []
+        for e in epochs:
+            serving = serving_history[e - 1]
+            s_idx = layout.index_of(serving)
+            cssp = float(
+                series.power_dbw[e, s_idx] - series.power_dbw[e - 1, s_idx]
+            )
+            neigh = layout.neighbors_of(serving)
+            n_idx = [layout.index_of(c) for c in neigh]
+            best_raw = float(series.power_dbw[e, n_idx].max())
+            ssn = best_raw - penalty
+            pos = series.positions_km[e]
+            dist = float(np.hypot(*(pos - layout.bs_positions[s_idx])))
+            output = float(
+                flc.evaluate(
+                    CSSP=cssp, SSN=ssn, DMB=dist / cell_radius_km
+                )
+            )
+            samples.append(
+                MeasurementPointSample(
+                    epoch=e,
+                    cssp_db=cssp,
+                    neighbor_dbw=ssn,
+                    distance_km=dist,
+                    output=output,
+                )
+            )
+        out.append(tuple(samples))
+    return tuple(out)
+
+
+def scenario_table(
+    scenario: WalkScenario,
+    params: Optional[SimulationParameters] = None,
+    speeds_kmh: tuple[float, ...] = PAPER_SPEEDS_KMH,
+    expected_handovers: int = 0,
+) -> PointTable:
+    """Build a Table-3/4 analogue for a scenario.
+
+    With ``params.shadow_sigma_db > 0`` the per-sample quantities are
+    averaged over ``params.n_repetitions`` fading draws; the handover
+    counts are taken from the *first* repetition (the paper reports a
+    single integer per speed).
+    """
+    if params is None:
+        params = SimulationParameters()
+    layout = params.make_layout()
+    propagation = params.make_propagation()
+    trace = scenario.generate(params)
+    reps = params.n_repetitions if params.shadow_sigma_db > 0.0 else 1
+
+    # the measurement-point geometry is defined on the noise-free series
+    # so every fading repetition samples the same epochs
+    clean_sampler = MeasurementSampler(
+        layout, propagation, spacing_km=params.measurement_spacing_km
+    )
+    clean_series = clean_sampler.measure(trace)
+    base_epochs = measurement_point_epochs(clean_series)
+
+    rows: list[SpeedRow] = []
+    for speed in speeds_kmh:
+        acc: Optional[list[list[dict[str, float]]]] = None
+        n_handovers = 0
+        n_ping_pongs = 0
+        point_epochs = base_epochs
+        for rep in range(reps):
+            fading = None
+            if params.shadow_sigma_db > 0.0:
+                fading = params.make_fading(rng=scenario.seed * 1000 + rep)
+            sampler = MeasurementSampler(
+                layout,
+                propagation,
+                spacing_km=params.measurement_spacing_km,
+                fading=fading,
+            )
+            series = sampler.measure(trace)
+            policy = FuzzyHandoverSystem(cell_radius_km=params.cell_radius_km)
+            result = Simulator(policy, speed_kmh=speed).run(series)
+            if rep == 0:
+                from ..sim.metrics import count_ping_pongs
+
+                n_handovers = result.n_handovers
+                n_ping_pongs = count_ping_pongs(result.events)
+                point_epochs = _resolve_point_epochs(
+                    base_epochs,
+                    [e.step for e in result.events],
+                    series.n_epochs,
+                )
+            pts = _point_samples(
+                series,
+                result.serving_history,
+                speed,
+                policy.flc,
+                params.cell_radius_km,
+                point_epochs,
+            )
+            if acc is None:
+                acc = [
+                    [
+                        {
+                            "epoch": s.epoch,
+                            "cssp_db": s.cssp_db,
+                            "neighbor_dbw": s.neighbor_dbw,
+                            "distance_km": s.distance_km,
+                            "output": s.output,
+                        }
+                        for s in pt
+                    ]
+                    for pt in pts
+                ]
+            else:
+                for pi, pt in enumerate(pts):
+                    for si, s in enumerate(pt):
+                        a = acc[pi][si]
+                        a["cssp_db"] += s.cssp_db
+                        a["neighbor_dbw"] += s.neighbor_dbw
+                        a["distance_km"] += s.distance_km
+                        a["output"] += s.output
+        assert acc is not None
+        averaged = tuple(
+            tuple(
+                MeasurementPointSample(
+                    epoch=int(a["epoch"]),
+                    cssp_db=a["cssp_db"] / reps,
+                    neighbor_dbw=a["neighbor_dbw"] / reps,
+                    distance_km=a["distance_km"] / reps,
+                    output=a["output"] / reps,
+                )
+                for a in pt
+            )
+            for pt in acc
+        )
+        rows.append(
+            SpeedRow(
+                speed_kmh=speed,
+                points=averaged,
+                n_handovers=n_handovers,
+                n_ping_pongs=n_ping_pongs,
+            )
+        )
+    return PointTable(
+        scenario=scenario,
+        rows=tuple(rows),
+        threshold=HANDOVER_THRESHOLD,
+        expected_handovers=expected_handovers,
+    )
+
+
+def table_3(params: Optional[SimulationParameters] = None) -> PointTable:
+    """Table-3 analogue: the ping-pong walk.
+
+    Success shape: zero handovers at every speed (all measurement-point
+    outputs at or below the 0.7 threshold, or cancelled by the PRTLC).
+    """
+    return scenario_table(SCENARIO_PINGPONG, params, expected_handovers=0)
+
+
+def table_4(params: Optional[SimulationParameters] = None) -> PointTable:
+    """Table-4 analogue: the crossing walk.
+
+    Success shape: three handovers (one per boundary crossing) with no
+    ping-pong.  See EXPERIMENTS.md for the speed-sweep discussion — the
+    paper's printed FRB suppresses the 2nd/3rd handover at high speeds
+    once the 2 dB / 10 km/h penalty pushes the neighbour out of the
+    "Normal" band.
+    """
+    return scenario_table(SCENARIO_CROSSING, params, expected_handovers=3)

@@ -1,0 +1,79 @@
+"""Generic Mamdani fuzzy-logic engine (substrate S1).
+
+Built from scratch on NumPy: membership functions, linguistic variables,
+rule bases, min–max inference and a family of defuzzifiers, with a fully
+vectorised batch evaluation path.  The paper's handover controller
+(:mod:`repro.core.flc`) is assembled from these parts.
+"""
+
+from .membership import (
+    Gaussian,
+    LeftShoulder,
+    MembershipFunction,
+    RightShoulder,
+    Singleton,
+    Trapezoidal,
+    Triangular,
+    paper_trapezoid,
+    paper_triangle,
+)
+from .variables import LinguisticVariable, Term, ruspini_partition
+from .rules import Rule, RuleBase, RuleConflictError, parse_rule, parse_rules
+from .inference import InferenceResult, MamdaniInference
+from .defuzzify import (
+    DEFUZZIFIERS,
+    bisector,
+    centroid,
+    get_defuzzifier,
+    largest_of_maximum,
+    mean_of_maximum,
+    smallest_of_maximum,
+    weighted_average,
+)
+from .controller import Explanation, FuzzyController, RuleFiring
+from .sugeno import SugenoController, sugeno_from_mamdani
+from .serialization import (
+    rules_from_text,
+    rules_to_text,
+    variable_from_dict,
+    variable_to_dict,
+)
+
+__all__ = [
+    "MembershipFunction",
+    "Triangular",
+    "Trapezoidal",
+    "LeftShoulder",
+    "RightShoulder",
+    "Gaussian",
+    "Singleton",
+    "paper_triangle",
+    "paper_trapezoid",
+    "Term",
+    "LinguisticVariable",
+    "ruspini_partition",
+    "Rule",
+    "RuleBase",
+    "RuleConflictError",
+    "parse_rule",
+    "parse_rules",
+    "MamdaniInference",
+    "InferenceResult",
+    "centroid",
+    "bisector",
+    "mean_of_maximum",
+    "smallest_of_maximum",
+    "largest_of_maximum",
+    "weighted_average",
+    "get_defuzzifier",
+    "DEFUZZIFIERS",
+    "FuzzyController",
+    "RuleFiring",
+    "Explanation",
+    "SugenoController",
+    "sugeno_from_mamdani",
+    "rules_to_text",
+    "rules_from_text",
+    "variable_to_dict",
+    "variable_from_dict",
+]

@@ -1,0 +1,304 @@
+"""The fuzzy controller: fuzzifier → inference engine → defuzzifier.
+
+:class:`FuzzyController` is the user-facing object of the generic fuzzy
+substrate (paper Fig. 2).  It binds input/output
+:class:`~repro.fuzzy.variables.LinguisticVariable` objects to a
+:class:`~repro.fuzzy.rules.RuleBase` and exposes:
+
+* :meth:`evaluate` — one crisp output for one set of crisp inputs;
+* :meth:`evaluate_batch` — vectorised evaluation over ``(N,)`` input
+  arrays, the hot path used by the simulator and the benchmarks;
+* :meth:`explain` — a structured trace (grades, rule firings, output
+  surface) for one sample, used by the examples and for debugging rule
+  bases;
+* :meth:`decision_surface` — dense grid evaluation for plotting /
+  regression-testing the control surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+import numpy as np
+
+from .defuzzify import get_defuzzifier, weighted_average
+from .inference import AggMethod, AndMethod, ImplicationMethod, MamdaniInference
+from .rules import Rule, RuleBase
+from .variables import LinguisticVariable
+
+__all__ = ["FuzzyController", "RuleFiring", "Explanation"]
+
+
+@dataclass(frozen=True)
+class RuleFiring:
+    """One rule's contribution in an :class:`Explanation`."""
+
+    rule: Rule
+    activation: float
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Structured trace of a single controller evaluation."""
+
+    inputs: dict[str, float]
+    memberships: dict[str, dict[str, float]]
+    firings: tuple[RuleFiring, ...]
+    term_activation: dict[str, float]
+    output: float
+
+    def top_rules(self, k: int = 5) -> list[RuleFiring]:
+        """The ``k`` most strongly firing rules."""
+        return sorted(self.firings, key=lambda f: -f.activation)[:k]
+
+    def describe(self, max_rules: int = 5) -> str:
+        """Human-readable multi-line trace."""
+        lines = [
+            "inputs: "
+            + ", ".join(f"{k}={v:.4g}" for k, v in self.inputs.items()),
+            "term activations: "
+            + ", ".join(f"{k}={v:.3f}" for k, v in self.term_activation.items()),
+        ]
+        for f in self.top_rules(max_rules):
+            if f.activation > 0:
+                lines.append(f"  [{f.activation:.3f}] {f.rule.describe()}")
+        lines.append(f"output: {self.output:.4f}")
+        return "\n".join(lines)
+
+
+class FuzzyController:
+    """A complete Mamdani fuzzy controller.
+
+    Parameters
+    ----------
+    rule_base:
+        Bound rule base (carries the input/output variables).
+    and_method, agg_method, implication:
+        Inference operators; see :class:`MamdaniInference`.
+    defuzzifier:
+        ``"centroid"`` (default), ``"bisector"``, ``"mom"``, ``"som"``,
+        ``"lom"`` — area-based on a sampled output universe — or
+        ``"wavg"`` for the sampling-free weighted average of term
+        centroids.
+    resolution:
+        Output-universe sample count for the area-based defuzzifiers.
+    """
+
+    def __init__(
+        self,
+        rule_base: RuleBase,
+        and_method: AndMethod = "min",
+        agg_method: AggMethod = "max",
+        implication: ImplicationMethod = "min",
+        defuzzifier: str = "centroid",
+        resolution: int = 201,
+    ) -> None:
+        self.rule_base = rule_base
+        self.engine = MamdaniInference(
+            rule_base,
+            and_method=and_method,
+            agg_method=agg_method,
+            implication=implication,
+            resolution=resolution,
+        )
+        self.defuzzifier_name = defuzzifier
+        if defuzzifier == "wavg":
+            self._area_defuzz = None
+        else:
+            self._area_defuzz = get_defuzzifier(defuzzifier)
+        out = rule_base.output_variable
+        self._term_centroids = np.array([t.mf.centroid for t in out.terms])
+        self._output_fallback = 0.5 * (out.universe[0] + out.universe[1])
+
+    # ------------------------------------------------------------------
+    @property
+    def input_variables(self) -> tuple[LinguisticVariable, ...]:
+        return self.rule_base.input_variables
+
+    @property
+    def output_variable(self) -> LinguisticVariable:
+        return self.rule_base.output_variable
+
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        return self.rule_base.variable_names
+
+    # ------------------------------------------------------------------
+    def _coerce_batch(
+        self, inputs: Union[Mapping[str, np.ndarray], Sequence[np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Normalise inputs (mapping or positional sequence) to arrays in
+        variable order, broadcast to a common length."""
+        if isinstance(inputs, Mapping):
+            missing = set(self.input_names) - set(inputs)
+            if missing:
+                raise ValueError(f"missing input(s): {sorted(missing)}")
+            extra = set(inputs) - set(self.input_names)
+            if extra:
+                raise ValueError(f"unknown input(s): {sorted(extra)}")
+            cols = [np.atleast_1d(np.asarray(inputs[n], dtype=float))
+                    for n in self.input_names]
+        else:
+            seq = list(inputs)
+            if len(seq) != len(self.input_names):
+                raise ValueError(
+                    f"expected {len(self.input_names)} input arrays "
+                    f"({', '.join(self.input_names)}), got {len(seq)}"
+                )
+            cols = [np.atleast_1d(np.asarray(c, dtype=float)) for c in seq]
+        n = max(c.shape[0] for c in cols)
+        out = []
+        for name, c in zip(self.input_names, cols):
+            if c.ndim != 1:
+                raise ValueError(f"input {name!r} must be scalar or 1-D")
+            if c.shape[0] == n:
+                out.append(c)
+            elif c.shape[0] == 1:
+                out.append(np.full(n, c[0]))
+            else:
+                raise ValueError(
+                    f"input {name!r} has length {c.shape[0]}, expected {n} or 1"
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self, inputs: Union[Mapping[str, np.ndarray], Sequence[np.ndarray]]
+    ) -> np.ndarray:
+        """Crisp outputs for a batch of crisp inputs.
+
+        ``inputs`` is either a mapping ``{variable name: (N,) array}`` or
+        a positional sequence in rule-base variable order.  Scalars and
+        length-1 arrays broadcast.  Returns an ``(N,)`` array.
+        """
+        cols = self._coerce_batch(inputs)
+        memberships = [
+            var.membership_matrix(col)
+            for var, col in zip(self.input_variables, cols)
+        ]
+        result = self.engine.infer(memberships)
+        if self._area_defuzz is None:
+            return weighted_average(
+                self._term_centroids,
+                result.term_activation,
+                self._output_fallback,
+            )
+        surface = self.engine.aggregate_output(result.term_activation)
+        return self._area_defuzz(self.engine.output_grid, surface)
+
+    def evaluate(self, *args: float, **kwargs: float) -> float:
+        """Scalar evaluation.
+
+        Accepts positional crisp inputs in variable order or keyword
+        inputs by variable name (not both).
+        """
+        if args and kwargs:
+            raise TypeError("pass inputs either positionally or by name, not both")
+        if kwargs:
+            out = self.evaluate_batch({k: np.array([v]) for k, v in kwargs.items()})
+        else:
+            if len(args) != len(self.input_names):
+                raise TypeError(
+                    f"expected {len(self.input_names)} inputs "
+                    f"({', '.join(self.input_names)}), got {len(args)}"
+                )
+            out = self.evaluate_batch([np.array([a]) for a in args])
+        return float(out[0])
+
+    __call__ = evaluate
+
+    # ------------------------------------------------------------------
+    def explain(self, **inputs: float) -> Explanation:
+        """Full trace of a single evaluation (for humans)."""
+        missing = set(self.input_names) - set(inputs)
+        if missing:
+            raise ValueError(f"missing input(s): {sorted(missing)}")
+        cols = [np.array([float(inputs[n])]) for n in self.input_names]
+        memberships = [
+            var.membership_matrix(col)
+            for var, col in zip(self.input_variables, cols)
+        ]
+        result = self.engine.infer(memberships)
+        if self._area_defuzz is None:
+            crisp = float(
+                weighted_average(
+                    self._term_centroids,
+                    result.term_activation,
+                    self._output_fallback,
+                )[0]
+            )
+        else:
+            surface = self.engine.aggregate_output(result.term_activation)
+            crisp = float(self._area_defuzz(self.engine.output_grid, surface)[0])
+        firings = tuple(
+            RuleFiring(rule, float(result.rule_activation[i, 0]))
+            for i, rule in enumerate(self.rule_base.rules)
+        )
+        grades = {
+            var.name: {
+                t.name: float(m[j, 0]) for j, t in enumerate(var.terms)
+            }
+            for var, m in zip(self.input_variables, memberships)
+        }
+        term_act = {
+            t.name: float(result.term_activation[j, 0])
+            for j, t in enumerate(self.output_variable.terms)
+        }
+        return Explanation(
+            inputs={n: float(inputs[n]) for n in self.input_names},
+            memberships=grades,
+            firings=firings,
+            term_activation=term_act,
+            output=crisp,
+        )
+
+    # ------------------------------------------------------------------
+    def decision_surface(
+        self,
+        sweep: Mapping[str, np.ndarray],
+        fixed: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        """Evaluate the controller on a dense grid.
+
+        Parameters
+        ----------
+        sweep:
+            Mapping of one or two variable names to 1-D sample arrays.
+        fixed:
+            Crisp values for the remaining variables.
+
+        Returns
+        -------
+        1-D array (one sweep variable) or 2-D array with shape
+        ``(len(first), len(second))`` (two sweep variables, first varies
+        along rows).
+        """
+        fixed = dict(fixed or {})
+        sweep_names = list(sweep)
+        if len(sweep_names) not in (1, 2):
+            raise ValueError("decision_surface sweeps one or two variables")
+        needed = set(self.input_names) - set(sweep_names) - set(fixed)
+        if needed:
+            raise ValueError(f"missing fixed value(s) for: {sorted(needed)}")
+        if len(sweep_names) == 1:
+            xs = np.asarray(sweep[sweep_names[0]], dtype=float)
+            batch = {sweep_names[0]: xs}
+            for k, v in fixed.items():
+                batch[k] = np.full(xs.shape[0], v)
+            return self.evaluate_batch(batch)
+        xs = np.asarray(sweep[sweep_names[0]], dtype=float)
+        ys = np.asarray(sweep[sweep_names[1]], dtype=float)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        batch = {sweep_names[0]: gx.ravel(), sweep_names[1]: gy.ravel()}
+        for k, v in fixed.items():
+            batch[k] = np.full(gx.size, v)
+        return self.evaluate_batch(batch).reshape(gx.shape)
+
+    def __repr__(self) -> str:
+        return (
+            f"FuzzyController(inputs=[{', '.join(self.input_names)}], "
+            f"output={self.output_variable.name!r}, "
+            f"rules={len(self.rule_base)}, "
+            f"defuzzifier={self.defuzzifier_name!r})"
+        )

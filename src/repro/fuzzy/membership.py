@@ -1,0 +1,408 @@
+"""Membership functions for the fuzzy-logic engine.
+
+The paper (Fig. 3) restricts itself to *triangular* and *trapezoidal*
+membership functions because "they are suitable for real-time operation".
+This module implements those two shapes — including the paper's own
+``f(x; x0, a0, a1)`` / ``g(x; x0, x1, a0, a1)`` centre-and-width
+parametrisation — plus the shoulder variants needed at the edges of a
+universe of discourse, and a few extras (Gaussian, singleton) used by the
+ablation benchmarks.
+
+All membership functions are callable on scalars **and** on NumPy arrays;
+array evaluation is fully vectorised (no Python-level loop per sample),
+which is what makes the batch inference path in
+:mod:`repro.fuzzy.controller` fast.
+
+Design invariants (enforced by the constructors and covered by the
+property-based tests):
+
+* membership grades always lie in ``[0, 1]``;
+* the *core* (grade == 1 region) is non-empty for every shape;
+* the *support* is a bounded interval except for shoulder functions,
+  which are intentionally unbounded on one side so that inputs beyond the
+  universe edge saturate instead of falling to zero membership.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "MembershipFunction",
+    "Triangular",
+    "Trapezoidal",
+    "LeftShoulder",
+    "RightShoulder",
+    "Gaussian",
+    "Singleton",
+    "paper_triangle",
+    "paper_trapezoid",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+class MembershipFunction(ABC):
+    """Abstract base class for a fuzzy membership function.
+
+    Subclasses implement :meth:`evaluate` on NumPy arrays; ``__call__``
+    accepts scalars or arrays and preserves the input kind (a Python float
+    in → a Python float out, an array in → an array out).
+    """
+
+    @abstractmethod
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised membership grade for an array of crisp inputs."""
+
+    @property
+    @abstractmethod
+    def core(self) -> tuple[float, float]:
+        """Closed interval on which the grade equals 1."""
+
+    @property
+    @abstractmethod
+    def support(self) -> tuple[float, float]:
+        """Interval outside of which the grade is 0.
+
+        Shoulder functions return ``-inf`` / ``+inf`` on their saturated
+        side.
+        """
+
+    @property
+    def centroid(self) -> float:
+        """Centroid (centre of gravity) of the membership function.
+
+        Used by the weighted-average defuzzifier.  The default
+        implementation integrates numerically over the support (clipped to
+        a finite window for shoulders); analytic subclasses override it.
+        """
+        lo, hi = self.support
+        if not math.isfinite(lo):
+            lo = self.core[0] - 1.0
+        if not math.isfinite(hi):
+            hi = self.core[1] + 1.0
+        xs = np.linspace(lo, hi, 1001)
+        mu = self.evaluate(xs)
+        total = float(np.trapezoid(mu, xs))
+        if total <= 0.0:
+            return 0.5 * (lo + hi)
+        return float(np.trapezoid(mu * xs, xs) / total)
+
+    def __call__(self, x: ArrayLike) -> ArrayLike:
+        arr = np.asarray(x, dtype=float)
+        out = self.evaluate(arr)
+        if np.isscalar(x) or (isinstance(x, np.ndarray) and x.ndim == 0):
+            return float(out)
+        return out
+
+    def grade(self, x: ArrayLike) -> ArrayLike:
+        """Alias of :meth:`__call__` for readability at call sites."""
+        return self(x)
+
+
+def _validate_ordered(name: str, *points: float) -> None:
+    for p in points:
+        if not math.isfinite(p):
+            raise ValueError(f"{name}: break points must be finite, got {points}")
+    for lo, hi in zip(points, points[1:]):
+        if lo > hi:
+            raise ValueError(
+                f"{name}: break points must be non-decreasing, got {points}"
+            )
+
+
+class Triangular(MembershipFunction):
+    """Triangular membership function with feet ``a``/``c`` and peak ``b``.
+
+    Degenerate feet (``a == b`` or ``b == c``) are allowed and produce a
+    one-sided ramp; ``a == b == c`` is rejected (use :class:`Singleton`).
+    """
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a: float, b: float, c: float) -> None:
+        _validate_ordered("Triangular", a, b, c)
+        if a == c:
+            raise ValueError(
+                "Triangular: zero-width triangle (a == b == c); use Singleton"
+            )
+        self.a = float(a)
+        self.b = float(b)
+        self.c = float(c)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        # np.where evaluates the ramp expression on masked-out samples
+        # too; suppress the harmless overflow for extreme |x|
+        with np.errstate(over="ignore", invalid="ignore"):
+            if self.b > self.a:
+                rising = (x > self.a) & (x < self.b)
+                out = np.where(rising, (x - self.a) / (self.b - self.a), out)
+            if self.c > self.b:
+                falling = (x >= self.b) & (x < self.c)
+                out = np.where(falling, (self.c - x) / (self.c - self.b), out)
+        out = np.where(x == self.b, 1.0, out)
+        return out
+
+    @property
+    def core(self) -> tuple[float, float]:
+        return (self.b, self.b)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.a, self.c)
+
+    @property
+    def centroid(self) -> float:
+        return (self.a + self.b + self.c) / 3.0
+
+    def __repr__(self) -> str:
+        return f"Triangular(a={self.a:g}, b={self.b:g}, c={self.c:g})"
+
+
+class Trapezoidal(MembershipFunction):
+    """Trapezoidal membership function with shoulder plateau ``[b, c]``."""
+
+    __slots__ = ("a", "b", "c", "d")
+
+    def __init__(self, a: float, b: float, c: float, d: float) -> None:
+        _validate_ordered("Trapezoidal", a, b, c, d)
+        if a == d:
+            raise ValueError("Trapezoidal: zero-width trapezoid; use Singleton")
+        self.a = float(a)
+        self.b = float(b)
+        self.c = float(c)
+        self.d = float(d)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        with np.errstate(over="ignore", invalid="ignore"):
+            if self.b > self.a:
+                rising = (x > self.a) & (x < self.b)
+                out = np.where(rising, (x - self.a) / (self.b - self.a), out)
+            if self.d > self.c:
+                falling = (x > self.c) & (x < self.d)
+                out = np.where(falling, (self.d - x) / (self.d - self.c), out)
+        plateau = (x >= self.b) & (x <= self.c)
+        out = np.where(plateau, 1.0, out)
+        return out
+
+    @property
+    def core(self) -> tuple[float, float]:
+        return (self.b, self.c)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.a, self.d)
+
+    @property
+    def centroid(self) -> float:
+        # Analytic centroid of a trapezoid via decomposition into the two
+        # ramp triangles and the central rectangle.
+        a, b, c, d = self.a, self.b, self.c, self.d
+        pieces: list[tuple[float, float]] = []  # (area, centroid)
+        if b > a:
+            pieces.append((0.5 * (b - a), a + 2.0 * (b - a) / 3.0))
+        if c > b:
+            pieces.append((c - b, 0.5 * (b + c)))
+        if d > c:
+            pieces.append((0.5 * (d - c), c + (d - c) / 3.0))
+        area = sum(p[0] for p in pieces)
+        if area <= 0.0:
+            return 0.5 * (a + d)
+        return sum(p[0] * p[1] for p in pieces) / area
+
+    def __repr__(self) -> str:
+        return (
+            f"Trapezoidal(a={self.a:g}, b={self.b:g}, c={self.c:g}, d={self.d:g})"
+        )
+
+
+class LeftShoulder(MembershipFunction):
+    """Saturated-left membership: grade 1 for ``x <= shoulder``, ramping
+    to 0 at ``foot``.
+
+    Used for the leftmost term of a linguistic variable so that inputs
+    below the universe edge keep full membership instead of dropping out
+    of every fuzzy set.
+    """
+
+    __slots__ = ("shoulder", "foot")
+
+    def __init__(self, shoulder: float, foot: float) -> None:
+        _validate_ordered("LeftShoulder", shoulder, foot)
+        if shoulder == foot:
+            raise ValueError("LeftShoulder: shoulder and foot must differ")
+        self.shoulder = float(shoulder)
+        self.foot = float(foot)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.clip((self.foot - x) / (self.foot - self.shoulder), 0.0, 1.0)
+        return out
+
+    @property
+    def core(self) -> tuple[float, float]:
+        return (-math.inf, self.shoulder)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (-math.inf, self.foot)
+
+    @property
+    def centroid(self) -> float:
+        # Integrated over the *finite* sloped part plus one ramp-width of
+        # plateau, which is the convention used for defuzzifying edge terms
+        # on a clipped universe.
+        width = self.foot - self.shoulder
+        lo = self.shoulder - width
+        xs = np.linspace(lo, self.foot, 513)
+        mu = self.evaluate(xs)
+        total = float(np.trapezoid(mu, xs))
+        return float(np.trapezoid(mu * xs, xs) / total)
+
+    def __repr__(self) -> str:
+        return f"LeftShoulder(shoulder={self.shoulder:g}, foot={self.foot:g})"
+
+
+class RightShoulder(MembershipFunction):
+    """Saturated-right membership: grade 0 up to ``foot``, 1 from
+    ``shoulder`` onwards."""
+
+    __slots__ = ("foot", "shoulder")
+
+    def __init__(self, foot: float, shoulder: float) -> None:
+        _validate_ordered("RightShoulder", foot, shoulder)
+        if foot == shoulder:
+            raise ValueError("RightShoulder: foot and shoulder must differ")
+        self.foot = float(foot)
+        self.shoulder = float(shoulder)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        out = np.clip((x - self.foot) / (self.shoulder - self.foot), 0.0, 1.0)
+        return out
+
+    @property
+    def core(self) -> tuple[float, float]:
+        return (self.shoulder, math.inf)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.foot, math.inf)
+
+    @property
+    def centroid(self) -> float:
+        width = self.shoulder - self.foot
+        hi = self.shoulder + width
+        xs = np.linspace(self.foot, hi, 513)
+        mu = self.evaluate(xs)
+        total = float(np.trapezoid(mu, xs))
+        return float(np.trapezoid(mu * xs, xs) / total)
+
+    def __repr__(self) -> str:
+        return f"RightShoulder(foot={self.foot:g}, shoulder={self.shoulder:g})"
+
+
+class Gaussian(MembershipFunction):
+    """Gaussian membership ``exp(-(x - mean)^2 / (2 sigma^2))``.
+
+    Not used by the paper's controller; provided for the membership-shape
+    ablation benchmark (X-series) and as a general-purpose building block.
+    """
+
+    __slots__ = ("mean", "sigma")
+
+    #: Grade below which the Gaussian is treated as zero when reporting a
+    #: (mathematically unbounded) support interval.
+    SUPPORT_EPS = 1e-6
+
+    def __init__(self, mean: float, sigma: float) -> None:
+        if not math.isfinite(mean) or not math.isfinite(sigma):
+            raise ValueError("Gaussian: parameters must be finite")
+        if sigma <= 0:
+            raise ValueError(f"Gaussian: sigma must be positive, got {sigma}")
+        self.mean = float(mean)
+        self.sigma = float(sigma)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mean) / self.sigma
+        return np.exp(-0.5 * z * z)
+
+    @property
+    def core(self) -> tuple[float, float]:
+        return (self.mean, self.mean)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        half = self.sigma * math.sqrt(-2.0 * math.log(self.SUPPORT_EPS))
+        return (self.mean - half, self.mean + half)
+
+    @property
+    def centroid(self) -> float:
+        return self.mean
+
+    def __repr__(self) -> str:
+        return f"Gaussian(mean={self.mean:g}, sigma={self.sigma:g})"
+
+
+class Singleton(MembershipFunction):
+    """Crisp singleton: grade 1 exactly at ``value`` and 0 elsewhere."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError("Singleton: value must be finite")
+        self.value = float(value)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.where(x == self.value, 1.0, 0.0)
+
+    @property
+    def core(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.value, self.value)
+
+    @property
+    def centroid(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Singleton(value={self.value:g})"
+
+
+def paper_triangle(x0: float, a0: float, a1: float) -> Triangular:
+    """Build a triangle in the paper's Fig. 3 parametrisation.
+
+    ``x0`` is the centre, ``a0`` the left width and ``a1`` the right
+    width, i.e. the function rises from ``x0 - a0`` to 1 at ``x0`` and
+    falls back to 0 at ``x0 + a1``.
+    """
+    if a0 < 0 or a1 < 0:
+        raise ValueError(f"paper_triangle: widths must be >= 0, got {a0}, {a1}")
+    return Triangular(x0 - a0, x0, x0 + a1)
+
+
+def paper_trapezoid(x0: float, x1: float, a0: float, a1: float) -> Trapezoidal:
+    """Build a trapezoid in the paper's Fig. 3 parametrisation.
+
+    ``x0``/``x1`` are the left/right edges of the plateau; ``a0``/``a1``
+    the left/right ramp widths.
+    """
+    if a0 < 0 or a1 < 0:
+        raise ValueError(f"paper_trapezoid: widths must be >= 0, got {a0}, {a1}")
+    if x1 < x0:
+        raise ValueError(f"paper_trapezoid: x1 must be >= x0, got {x0}, {x1}")
+    return Trapezoidal(x0 - a0, x0, x1, x1 + a1)

@@ -1,0 +1,270 @@
+"""Fuzzy rules and rule bases.
+
+The paper's controller uses a complete conjunctive rule base: every
+combination of input terms maps to exactly one output term (Table 1,
+64 rules of the form ``IF CSSP is SM AND SSN is WK AND DMB is NR THEN HD
+is LO``).  This module provides:
+
+* :class:`Rule` — one conjunctive IF/THEN rule with an optional weight;
+* :class:`RuleBase` — an ordered rule collection bound to concrete input
+  and output variables, with completeness / conflict auditing and the
+  integer index tables the vectorised inference engine consumes;
+* :func:`parse_rule` / :func:`parse_rules` — a small parser for the
+  textual ``IF .. AND .. THEN ..`` syntax, so rule bases can live in
+  plain-text fixtures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .variables import LinguisticVariable
+
+__all__ = ["Rule", "RuleBase", "parse_rule", "parse_rules", "RuleConflictError"]
+
+
+class RuleConflictError(ValueError):
+    """Raised when two rules share an antecedent but disagree on the
+    consequent (and conflict checking is enabled)."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A conjunctive fuzzy rule.
+
+    ``antecedent`` maps input-variable names to term names; ``consequent``
+    is the output term name.  ``weight`` scales the rule's firing strength
+    (1.0 for every paper rule; exposed for the ablation benches).
+    """
+
+    antecedent: Mapping[str, str]
+    consequent: str
+    weight: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.antecedent:
+            raise ValueError("Rule: antecedent must name at least one variable")
+        if not self.consequent:
+            raise ValueError("Rule: consequent term must be non-empty")
+        if not (0.0 < self.weight <= 1.0):
+            raise ValueError(
+                f"Rule: weight must be in (0, 1], got {self.weight}"
+            )
+        # freeze the mapping so Rule stays hashable/immutable
+        object.__setattr__(self, "antecedent", dict(self.antecedent))
+
+    def key(self, variable_order: Sequence[str]) -> tuple[str, ...]:
+        """Antecedent term names in a fixed variable order."""
+        return tuple(self.antecedent[v] for v in variable_order)
+
+    def describe(self, output_name: str = "output") -> str:
+        conds = " AND ".join(f"{v} is {t}" for v, t in self.antecedent.items())
+        return f"IF {conds} THEN {output_name} is {self.consequent}"
+
+    def __repr__(self) -> str:
+        return f"Rule({self.describe()}, weight={self.weight:g})"
+
+
+class RuleBase:
+    """An ordered collection of rules bound to concrete variables.
+
+    Parameters
+    ----------
+    input_variables:
+        The controller's inputs, in evaluation order.
+    output_variable:
+        The controller's single output variable.
+    rules:
+        The rules.  Every rule must reference every input variable (the
+        paper's rules are full conjunctions) and use only known term
+        names.
+    check_conflicts:
+        If True (default), reject rule bases where two rules share an
+        antecedent but map to different consequents.
+    """
+
+    def __init__(
+        self,
+        input_variables: Sequence[LinguisticVariable],
+        output_variable: LinguisticVariable,
+        rules: Iterable[Rule],
+        check_conflicts: bool = True,
+    ) -> None:
+        self.input_variables = tuple(input_variables)
+        if not self.input_variables:
+            raise ValueError("RuleBase: at least one input variable required")
+        names = [v.name for v in self.input_variables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"RuleBase: duplicate input variable names {names}")
+        self.output_variable = output_variable
+        self.rules = tuple(rules)
+        if not self.rules:
+            raise ValueError("RuleBase: at least one rule required")
+        self._validate(check_conflicts)
+
+    # ------------------------------------------------------------------
+    def _validate(self, check_conflicts: bool) -> None:
+        var_names = [v.name for v in self.input_variables]
+        seen: dict[tuple[str, ...], str] = {}
+        for i, rule in enumerate(self.rules):
+            missing = set(var_names) - set(rule.antecedent)
+            if missing:
+                raise ValueError(
+                    f"rule #{i + 1} missing condition(s) for: {sorted(missing)}"
+                )
+            extra = set(rule.antecedent) - set(var_names)
+            if extra:
+                raise ValueError(
+                    f"rule #{i + 1} references unknown variable(s): {sorted(extra)}"
+                )
+            for var in self.input_variables:
+                t = rule.antecedent[var.name]
+                if t not in var:
+                    raise ValueError(
+                        f"rule #{i + 1}: variable {var.name!r} has no term {t!r}"
+                    )
+            if rule.consequent not in self.output_variable:
+                raise ValueError(
+                    f"rule #{i + 1}: output variable "
+                    f"{self.output_variable.name!r} has no term "
+                    f"{rule.consequent!r}"
+                )
+            key = rule.key(var_names)
+            if check_conflicts and key in seen and seen[key] != rule.consequent:
+                raise RuleConflictError(
+                    f"rule #{i + 1} conflicts with an earlier rule: antecedent "
+                    f"{dict(zip(var_names, key))} maps to both "
+                    f"{seen[key]!r} and {rule.consequent!r}"
+                )
+            seen.setdefault(key, rule.consequent)
+
+    # ------------------------------------------------------------------
+    # auditing
+    # ------------------------------------------------------------------
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.input_variables)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def missing_combinations(self) -> list[tuple[str, ...]]:
+        """Antecedent combinations with no rule.
+
+        A *complete* rule base (like the paper's Table 1) returns ``[]``.
+        """
+        covered = {r.key(self.variable_names) for r in self.rules}
+        all_combos = itertools.product(
+            *(v.term_names for v in self.input_variables)
+        )
+        return [c for c in all_combos if c not in covered]
+
+    def is_complete(self) -> bool:
+        return not self.missing_combinations()
+
+    def consequent_histogram(self) -> dict[str, int]:
+        """Count of rules per output term (diagnostic)."""
+        hist = {t: 0 for t in self.output_variable.term_names}
+        for r in self.rules:
+            hist[r.consequent] += 1
+        return hist
+
+    def lookup(self, **terms: str) -> Rule:
+        """Find the rule with the given antecedent terms.
+
+        Example: ``frb.lookup(CSSP="SM", SSN="WK", DMB="NR")``.
+        """
+        key = tuple(terms[v] for v in self.variable_names)
+        for r in self.rules:
+            if r.key(self.variable_names) == key:
+                return r
+        raise KeyError(f"no rule for antecedent {terms}")
+
+    # ------------------------------------------------------------------
+    # compiled form for the vectorised inference engine
+    # ------------------------------------------------------------------
+    def compile_indices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Integer index tables for vectorised activation.
+
+        Returns
+        -------
+        antecedent_idx:
+            ``(n_rules, n_inputs)`` int array; entry ``[r, v]`` is the
+            term index of rule ``r`` for input variable ``v``.
+        consequent_idx:
+            ``(n_rules,)`` int array of output-term indices.
+        weights:
+            ``(n_rules,)`` float array of rule weights.
+        """
+        n_rules = len(self.rules)
+        n_inputs = len(self.input_variables)
+        ant = np.empty((n_rules, n_inputs), dtype=np.intp)
+        con = np.empty(n_rules, dtype=np.intp)
+        w = np.empty(n_rules, dtype=float)
+        for r, rule in enumerate(self.rules):
+            for v, var in enumerate(self.input_variables):
+                ant[r, v] = var.term_index(rule.antecedent[var.name])
+            con[r] = self.output_variable.term_index(rule.consequent)
+            w[r] = rule.weight
+        return ant, con, w
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleBase(inputs=[{', '.join(self.variable_names)}], "
+            f"output={self.output_variable.name!r}, n_rules={len(self.rules)})"
+        )
+
+
+_RULE_RE = re.compile(
+    r"^\s*IF\s+(?P<conds>.+?)\s+THEN\s+(?P<out>\w+)\s+is\s+(?P<cons>\w+)\s*"
+    r"(?:\[\s*weight\s*=\s*(?P<weight>[0-9.]+)\s*\])?\s*$",
+    re.IGNORECASE,
+)
+_COND_RE = re.compile(r"^\s*(?P<var>\w+)\s+is\s+(?P<term>\w+)\s*$", re.IGNORECASE)
+
+
+def parse_rule(text: str, output_name: str | None = None) -> Rule:
+    """Parse one ``IF a is X AND b is Y THEN out is Z [weight=w]`` rule.
+
+    ``output_name``, when given, is checked against the THEN clause so a
+    typo in a fixture file fails loudly.
+    """
+    m = _RULE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable rule: {text!r}")
+    conds: dict[str, str] = {}
+    for chunk in re.split(r"\s+AND\s+", m.group("conds"), flags=re.IGNORECASE):
+        cm = _COND_RE.match(chunk)
+        if not cm:
+            raise ValueError(f"unparseable condition {chunk!r} in rule {text!r}")
+        var = cm.group("var")
+        if var in conds:
+            raise ValueError(f"duplicate condition for {var!r} in rule {text!r}")
+        conds[var] = cm.group("term")
+    if output_name is not None and m.group("out") != output_name:
+        raise ValueError(
+            f"rule output {m.group('out')!r} does not match expected "
+            f"{output_name!r}: {text!r}"
+        )
+    weight = float(m.group("weight")) if m.group("weight") else 1.0
+    return Rule(conds, m.group("cons"), weight=weight)
+
+
+def parse_rules(lines: Iterable[str], output_name: str | None = None) -> list[Rule]:
+    """Parse many rules; blank lines and ``#`` comments are skipped."""
+    rules: list[Rule] = []
+    for ln in lines:
+        stripped = ln.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped, output_name=output_name))
+    return rules

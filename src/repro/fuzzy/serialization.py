@@ -1,0 +1,127 @@
+"""Rule-base serialization.
+
+Round-trips a :class:`RuleBase` through the plain-text ``IF … THEN …``
+syntax of :mod:`repro.fuzzy.rules`, so rule bases can be stored in
+version-controlled fixtures, diffed in reviews, and edited without
+touching Python.  The paper's 64-rule FRB ships as code
+(:mod:`repro.core.frb`) but exports losslessly through this module —
+the round-trip test locks that in.
+
+Only the rules are serialised; variables (universes + membership
+functions) travel separately via :func:`variable_to_dict` /
+:func:`variable_from_dict`, a minimal JSON-friendly schema covering the
+membership shapes this library defines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .membership import (
+    Gaussian,
+    LeftShoulder,
+    MembershipFunction,
+    RightShoulder,
+    Singleton,
+    Trapezoidal,
+    Triangular,
+)
+from .rules import RuleBase, parse_rules
+from .variables import LinguisticVariable, Term
+
+__all__ = [
+    "rules_to_text",
+    "rules_from_text",
+    "variable_to_dict",
+    "variable_from_dict",
+]
+
+_MF_CODECS: dict[str, tuple[type, tuple[str, ...]]] = {
+    "triangular": (Triangular, ("a", "b", "c")),
+    "trapezoidal": (Trapezoidal, ("a", "b", "c", "d")),
+    "left_shoulder": (LeftShoulder, ("shoulder", "foot")),
+    "right_shoulder": (RightShoulder, ("foot", "shoulder")),
+    "gaussian": (Gaussian, ("mean", "sigma")),
+    "singleton": (Singleton, ("value",)),
+}
+_TYPE_NAMES = {cls: name for name, (cls, _) in _MF_CODECS.items()}
+
+
+def rules_to_text(rule_base: RuleBase, header: str = "") -> str:
+    """Serialise all rules as one ``IF … THEN …`` line each."""
+    out_name = rule_base.output_variable.name
+    lines: list[str] = []
+    if header:
+        lines.extend(f"# {ln}" for ln in header.splitlines())
+    for rule in rule_base.rules:
+        line = rule.describe(out_name)
+        if rule.weight != 1.0:
+            line += f" [weight={rule.weight:g}]"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def rules_from_text(
+    text: str | Iterable[str],
+    input_variables,
+    output_variable,
+    check_conflicts: bool = True,
+) -> RuleBase:
+    """Parse serialized rules back into a bound :class:`RuleBase`."""
+    lines = text.splitlines() if isinstance(text, str) else list(text)
+    rules = parse_rules(lines, output_name=output_variable.name)
+    return RuleBase(
+        input_variables, output_variable, rules, check_conflicts=check_conflicts
+    )
+
+
+def _mf_to_dict(mf: MembershipFunction) -> dict[str, Any]:
+    try:
+        name = _TYPE_NAMES[type(mf)]
+    except KeyError:
+        raise TypeError(
+            f"cannot serialise membership function of type {type(mf).__name__}"
+        ) from None
+    _, fields = _MF_CODECS[name]
+    return {"type": name, **{f: getattr(mf, f) for f in fields}}
+
+
+def _mf_from_dict(data: dict[str, Any]) -> MembershipFunction:
+    kind = data.get("type")
+    if kind not in _MF_CODECS:
+        raise ValueError(
+            f"unknown membership type {kind!r}; known: {sorted(_MF_CODECS)}"
+        )
+    cls, fields = _MF_CODECS[kind]
+    missing = [f for f in fields if f not in data]
+    if missing:
+        raise ValueError(f"membership {kind!r} missing field(s) {missing}")
+    return cls(*(float(data[f]) for f in fields))
+
+
+def variable_to_dict(var: LinguisticVariable) -> dict[str, Any]:
+    """JSON-friendly description of a linguistic variable."""
+    return {
+        "name": var.name,
+        "universe": list(var.universe),
+        "unit": var.unit,
+        "terms": [
+            {"name": t.name, "label": t.label, "mf": _mf_to_dict(t.mf)}
+            for t in var.terms
+        ],
+    }
+
+
+def variable_from_dict(data: dict[str, Any]) -> LinguisticVariable:
+    """Inverse of :func:`variable_to_dict`."""
+    for key in ("name", "universe", "terms"):
+        if key not in data:
+            raise ValueError(f"variable dict missing {key!r}")
+    terms = [
+        Term(t["name"], _mf_from_dict(t["mf"]), t.get("label", ""))
+        for t in data["terms"]
+    ]
+    lo, hi = data["universe"]
+    return LinguisticVariable(
+        data["name"], (float(lo), float(hi)), terms, unit=data.get("unit", "")
+    )

@@ -1,0 +1,278 @@
+"""Linguistic variables and term sets.
+
+A :class:`LinguisticVariable` bundles a name, a universe of discourse and
+an ordered collection of named :class:`Term` objects (each wrapping one
+membership function).  It provides both scalar fuzzification (a dict of
+grades, convenient for inspection) and batch fuzzification (a dense
+``(n_terms, n_samples)`` matrix, consumed by the vectorised inference
+path).
+
+The module also ships :func:`ruspini_partition`, the helper used to build
+the paper's Fig. 5 variables: a *Ruspini* (sum-to-one) partition over a
+list of anchor points, with shoulder functions at the edges so the
+variable saturates gracefully outside its universe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from .membership import (
+    LeftShoulder,
+    MembershipFunction,
+    RightShoulder,
+    Triangular,
+)
+
+__all__ = ["Term", "LinguisticVariable", "ruspini_partition"]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class Term:
+    """A named fuzzy set: one linguistic value of a variable.
+
+    ``name`` is the short code used by the rule base (e.g. ``"SM"``),
+    ``label`` an optional human-readable expansion (``"Small"``).
+    """
+
+    name: str
+    mf: MembershipFunction
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("Term: name must be a non-empty string")
+
+    def grade(self, x: ArrayLike) -> ArrayLike:
+        return self.mf(x)
+
+    def __repr__(self) -> str:
+        lbl = f", label={self.label!r}" if self.label else ""
+        return f"Term({self.name!r}, {self.mf!r}{lbl})"
+
+
+class LinguisticVariable:
+    """A fuzzy linguistic variable over a bounded universe of discourse.
+
+    Parameters
+    ----------
+    name:
+        Variable identifier used in rules (e.g. ``"CSSP"``).
+    universe:
+        ``(low, high)`` bounds of the universe of discourse.  Inputs are
+        clipped to this interval before fuzzification, mirroring how the
+        paper's FLC saturates out-of-range measurements (a signal below
+        -120 dB is simply "Weak").
+    terms:
+        The linguistic values, in the order they should appear in
+        membership matrices.
+    unit:
+        Optional physical unit, for reporting (``"dB"``, ``"km"``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        universe: tuple[float, float],
+        terms: Sequence[Term],
+        unit: str = "",
+    ) -> None:
+        if not name or not name.strip():
+            raise ValueError("LinguisticVariable: name must be non-empty")
+        lo, hi = float(universe[0]), float(universe[1])
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise ValueError(f"{name}: universe bounds must be finite")
+        if lo >= hi:
+            raise ValueError(
+                f"{name}: universe low must be < high, got ({lo}, {hi})"
+            )
+        terms = list(terms)
+        if not terms:
+            raise ValueError(f"{name}: at least one term is required")
+        seen: set[str] = set()
+        for t in terms:
+            if t.name in seen:
+                raise ValueError(f"{name}: duplicate term name {t.name!r}")
+            seen.add(t.name)
+        self.name = name
+        self.universe = (lo, hi)
+        self.terms = tuple(terms)
+        self.unit = unit
+        self._index: dict[str, int] = {t.name: i for i, t in enumerate(terms)}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def term_names(self) -> tuple[str, ...]:
+        return tuple(t.name for t in self.terms)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, term_name: str) -> bool:
+        return term_name in self._index
+
+    def __getitem__(self, term_name: str) -> Term:
+        try:
+            return self.terms[self._index[term_name]]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: unknown term {term_name!r}; "
+                f"known terms: {', '.join(self.term_names)}"
+            ) from None
+
+    def term_index(self, term_name: str) -> int:
+        if term_name not in self._index:
+            raise KeyError(
+                f"{self.name}: unknown term {term_name!r}; "
+                f"known terms: {', '.join(self.term_names)}"
+            )
+        return self._index[term_name]
+
+    # ------------------------------------------------------------------
+    # fuzzification
+    # ------------------------------------------------------------------
+    def clip(self, x: ArrayLike) -> ArrayLike:
+        """Clip crisp input(s) to the universe of discourse."""
+        lo, hi = self.universe
+        arr = np.clip(np.asarray(x, dtype=float), lo, hi)
+        if np.isscalar(x) or (isinstance(x, np.ndarray) and x.ndim == 0):
+            return float(arr)
+        return arr
+
+    def fuzzify(self, x: float) -> dict[str, float]:
+        """Scalar fuzzification: grade of every term at ``x``.
+
+        ``x`` is clipped to the universe first.  NaN input is rejected —
+        a measurement pipeline must decide what a missing sample means
+        *before* it reaches the controller.
+        """
+        if isinstance(x, (float, int)) and math.isnan(float(x)):
+            raise ValueError(f"{self.name}: cannot fuzzify NaN")
+        xv = self.clip(float(x))
+        return {t.name: float(t.mf(xv)) for t in self.terms}
+
+    def membership_matrix(self, xs: np.ndarray) -> np.ndarray:
+        """Batch fuzzification.
+
+        Parameters
+        ----------
+        xs:
+            ``(n_samples,)`` array of crisp inputs.
+
+        Returns
+        -------
+        ``(n_terms, n_samples)`` array of grades, rows in term order.
+        """
+        xs = np.asarray(xs, dtype=float)
+        if xs.ndim != 1:
+            raise ValueError(
+                f"{self.name}: membership_matrix expects 1-D input, "
+                f"got shape {xs.shape}"
+            )
+        if np.isnan(xs).any():
+            raise ValueError(f"{self.name}: cannot fuzzify NaN samples")
+        clipped = np.clip(xs, *self.universe)
+        out = np.empty((len(self.terms), xs.shape[0]), dtype=float)
+        for i, t in enumerate(self.terms):
+            out[i] = t.mf.evaluate(clipped)
+        return out
+
+    def sample(self, resolution: int = 201) -> np.ndarray:
+        """Evenly spaced sample grid over the universe."""
+        if resolution < 2:
+            raise ValueError(f"{self.name}: resolution must be >= 2")
+        return np.linspace(self.universe[0], self.universe[1], resolution)
+
+    def coverage_gaps(self, resolution: int = 1001, eps: float = 1e-9) -> list[float]:
+        """Points of the universe where *no* term has positive grade.
+
+        A well-formed variable has no gaps; the validation tests assert
+        this for every variable of the paper's controller.
+        """
+        xs = self.sample(resolution)
+        mat = self.membership_matrix(xs)
+        uncovered = mat.max(axis=0) <= eps
+        return [float(x) for x in xs[uncovered]]
+
+    def is_ruspini(self, resolution: int = 1001, tol: float = 1e-6) -> bool:
+        """True if term grades sum to 1 everywhere on the universe."""
+        xs = self.sample(resolution)
+        sums = self.membership_matrix(xs).sum(axis=0)
+        return bool(np.all(np.abs(sums - 1.0) <= tol))
+
+    def __repr__(self) -> str:
+        lo, hi = self.universe
+        return (
+            f"LinguisticVariable({self.name!r}, universe=({lo:g}, {hi:g}), "
+            f"terms=[{', '.join(self.term_names)}])"
+        )
+
+
+def ruspini_partition(
+    name: str,
+    anchors: Sequence[float],
+    term_names: Sequence[str],
+    labels: Sequence[str] | None = None,
+    unit: str = "",
+    universe: tuple[float, float] | None = None,
+) -> LinguisticVariable:
+    """Build a sum-to-one fuzzy partition anchored at ``anchors``.
+
+    The first term is a :class:`LeftShoulder` saturating below
+    ``anchors[0]``, the last a :class:`RightShoulder` saturating above
+    ``anchors[-1]``, and every interior anchor gets a triangle whose feet
+    are the neighbouring anchors.  Adjacent grades therefore always sum to
+    exactly 1 — the partition style implied by the paper's Fig. 5.
+
+    Parameters
+    ----------
+    anchors:
+        Strictly increasing peak positions, one per term.
+    term_names:
+        Term codes, same length as ``anchors``.
+    labels:
+        Optional human-readable labels.
+    universe:
+        Universe bounds; defaults to ``(anchors[0], anchors[-1])``.
+    """
+    anchors = [float(a) for a in anchors]
+    if len(anchors) != len(term_names):
+        raise ValueError(
+            f"{name}: {len(anchors)} anchors but {len(term_names)} term names"
+        )
+    if len(anchors) < 2:
+        raise ValueError(f"{name}: a partition needs at least two anchors")
+    for lo, hi in zip(anchors, anchors[1:]):
+        if lo >= hi:
+            raise ValueError(f"{name}: anchors must be strictly increasing")
+    if labels is None:
+        labels = ["" for _ in term_names]
+    if len(labels) != len(term_names):
+        raise ValueError(f"{name}: labels length mismatch")
+
+    terms: list[Term] = []
+    n = len(anchors)
+    for i, (tname, label) in enumerate(zip(term_names, labels)):
+        if i == 0:
+            mf: MembershipFunction = LeftShoulder(anchors[0], anchors[1])
+        elif i == n - 1:
+            mf = RightShoulder(anchors[n - 2], anchors[n - 1])
+        else:
+            mf = Triangular(anchors[i - 1], anchors[i], anchors[i + 1])
+        terms.append(Term(tname, mf, label))
+
+    if universe is None:
+        universe = (anchors[0], anchors[-1])
+    return LinguisticVariable(name, universe, terms, unit=unit)

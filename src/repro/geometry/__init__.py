@@ -1,0 +1,12 @@
+"""Hexagonal cellular geometry (substrate S2).
+
+Implements the paper's Fig. 6 ``(i, j)`` lattice scheme — neighbour
+offsets ``±(1,1)``, ``±(2,-1)``, ``±(1,-2)`` — with Cartesian embedding,
+point→cell assignment, ring enumeration and boundary geometry, plus the
+finite :class:`CellLayout` used by the simulator.
+"""
+
+from .hexgrid import NEIGHBOR_OFFSETS, SQRT3, HexGrid, hex_distance
+from .layout import CellLayout
+
+__all__ = ["HexGrid", "CellLayout", "hex_distance", "NEIGHBOR_OFFSETS", "SQRT3"]

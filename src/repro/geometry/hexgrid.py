@@ -1,0 +1,297 @@
+"""The paper's hexagonal-lattice coordinate scheme (Fig. 6).
+
+Cells are addressed by integer pairs ``(i, j)``.  Figure 6 of the paper
+lists the six neighbours of cell ``(i, j)`` as::
+
+    (i+1, j+1)  (i+2, j-1)  (i+1, j-2)
+    (i-1, j-1)  (i-2, j+1)  (i-1, j+2)
+
+i.e. the neighbour offsets are ``±(1, 1)``, ``±(2, -1)`` and
+``±(1, -2)``.  Solving for a planar embedding in which all six
+neighbours sit at the same centre-to-centre spacing ``d`` and 60° apart
+gives the basis used throughout this module::
+
+    centre(i, j) = ( d·i/2 ,  d·√3·(i + 2j)/6 )
+
+so that ``(2, -1)`` lies due east, ``(1, 1)`` at 60° and ``(1, -2)`` at
+-60°.  Cells are *pointy-top* hexagons with circumradius
+``R = d/√3`` (the paper's "cell radius") and apothem ``d/2``.
+
+Everything here is pure lattice geometry; base stations and radio live
+one layer up (:mod:`repro.geometry.layout`, :mod:`repro.radio`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "NEIGHBOR_OFFSETS",
+    "SQRT3",
+    "HexGrid",
+    "hex_distance",
+]
+
+SQRT3 = math.sqrt(3.0)
+
+#: The six neighbour offsets of Fig. 6, counter-clockwise from east.
+NEIGHBOR_OFFSETS: tuple[tuple[int, int], ...] = (
+    (2, -1),   # east
+    (1, 1),    # north-east
+    (-1, 2),   # north-west
+    (-2, 1),   # west
+    (-1, -1),  # south-west
+    (1, -2),   # south-east
+)
+
+#: Unit normals of the six hexagon edges (pointy-top), matching the
+#: neighbour directions above.
+_EDGE_NORMALS = np.array(
+    [
+        [math.cos(k * math.pi / 3.0), math.sin(k * math.pi / 3.0)]
+        for k in range(6)
+    ]
+)
+
+
+def _paper_to_axial(i: int, j: int) -> tuple[int, int]:
+    """Map paper coordinates to standard axial hex coordinates.
+
+    In the paper scheme the neighbour offsets are ±(1,1), ±(2,-1),
+    ±(1,-2); dividing the lattice map by the sub-lattice basis
+    ``e_q = (2,-1)``, ``e_r = (1,1)`` yields axial coordinates with unit
+    neighbour steps.  Solving ``(i, j) = q·(2,-1) + r·(1,1)`` gives
+    ``q = (i - j)/3`` and ``r = (i + 2j)/3`` — always integral for valid
+    lattice points.
+    """
+    q3 = i - j
+    r3 = i + 2 * j
+    if q3 % 3 or r3 % 3:
+        raise ValueError(
+            f"({i}, {j}) is not a valid paper lattice coordinate "
+            "(i - j and i + 2j must both be divisible by 3)"
+        )
+    return q3 // 3, r3 // 3
+
+
+def _axial_to_paper(q: int, r: int) -> tuple[int, int]:
+    """Inverse of :func:`_paper_to_axial`."""
+    return 2 * q + r, r - q
+
+
+def hex_distance(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Hex (grid-walk) distance between two paper-coordinate cells."""
+    qa, ra = _paper_to_axial(*a)
+    qb, rb = _paper_to_axial(*b)
+    dq, dr = qa - qb, ra - rb
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+class HexGrid:
+    """Geometry of a hexagonal cell lattice in the paper's coordinates.
+
+    Parameters
+    ----------
+    cell_radius_km:
+        The hexagon circumradius ``R`` in km (paper Table 2: 1 or 2 km).
+    """
+
+    def __init__(self, cell_radius_km: float = 2.0) -> None:
+        if not (cell_radius_km > 0 and math.isfinite(cell_radius_km)):
+            raise ValueError(
+                f"cell_radius_km must be positive and finite, got {cell_radius_km}"
+            )
+        self.cell_radius_km = float(cell_radius_km)
+        #: centre-to-centre spacing of adjacent cells
+        self.spacing_km = SQRT3 * self.cell_radius_km
+        #: apothem (centre-to-edge distance)
+        self.apothem_km = 0.5 * self.spacing_km
+
+    # ------------------------------------------------------------------
+    # coordinate transforms
+    # ------------------------------------------------------------------
+    def center(self, cell: tuple[int, int]) -> np.ndarray:
+        """Cartesian centre (km) of a cell (= its base-station site)."""
+        i, j = cell
+        _paper_to_axial(i, j)  # validates the coordinate
+        d = self.spacing_km
+        return np.array([d * i / 2.0, d * SQRT3 * (i + 2.0 * j) / 6.0])
+
+    def centers(self, cells: Sequence[tuple[int, int]]) -> np.ndarray:
+        """``(n, 2)`` array of centres for many cells."""
+        if len(cells) == 0:
+            return np.zeros((0, 2))
+        arr = np.asarray([self.center(c) for c in cells])
+        return arr
+
+    def fractional_coords(self, points: np.ndarray) -> np.ndarray:
+        """Invert the centre map: Cartesian points → fractional (i, j).
+
+        Parameters
+        ----------
+        points:
+            ``(n, 2)`` or ``(2,)`` array in km.
+
+        Returns
+        -------
+        ``(n, 2)`` float array of fractional paper coordinates.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        d = self.spacing_km
+        i_f = 2.0 * pts[:, 0] / d
+        j_f = 3.0 * pts[:, 1] / (d * SQRT3) - pts[:, 0] / d
+        return np.column_stack([i_f, j_f])
+
+    # ------------------------------------------------------------------
+    # point -> cell
+    # ------------------------------------------------------------------
+    def cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Map Cartesian point(s) to containing cell(s).
+
+        Uses nearest-centre assignment, which is exact for a hexagonal
+        Voronoi lattice.  Candidate lattice points around the fractional
+        coordinate are enumerated and the closest centre wins; boundary
+        points resolve deterministically to the lowest-(i, j) candidate
+        among equals (NumPy argmin tie-breaking on the ordered candidate
+        list).
+
+        Parameters
+        ----------
+        points:
+            ``(n, 2)`` or ``(2,)`` array in km.
+
+        Returns
+        -------
+        ``(n, 2)`` int array of paper cell coordinates (or ``(2,)`` for a
+        single point).
+        """
+        single = np.asarray(points).ndim == 1
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        frac = self.fractional_coords(pts)
+        base_i = np.floor(frac[:, 0]).astype(np.intp)
+        base_j = np.floor(frac[:, 1]).astype(np.intp)
+
+        d = self.spacing_km
+        best_d2 = np.full(pts.shape[0], np.inf)
+        best_ij = np.zeros((pts.shape[0], 2), dtype=np.intp)
+        # 4x4 candidate window around the floor guarantees coverage of the
+        # Voronoi cell regardless of the basis skew.
+        for di in range(-1, 3):
+            for dj in range(-1, 3):
+                ci = base_i + di
+                cj = base_j + dj
+                # only true lattice points qualify
+                valid = ((ci - cj) % 3 == 0) & ((ci + 2 * cj) % 3 == 0)
+                if not valid.any():
+                    continue
+                cx = d * ci / 2.0
+                cy = d * SQRT3 * (ci + 2.0 * cj) / 6.0
+                d2 = (pts[:, 0] - cx) ** 2 + (pts[:, 1] - cy) ** 2
+                better = valid & (d2 < best_d2 - 1e-12)
+                best_d2 = np.where(better, d2, best_d2)
+                best_ij[better, 0] = ci[better]
+                best_ij[better, 1] = cj[better]
+        if single:
+            return best_ij[0]
+        return best_ij
+
+    def contains(self, cell: tuple[int, int], point: np.ndarray) -> bool:
+        """True if ``point`` lies in ``cell`` (boundary counts as inside)."""
+        rel = np.asarray(point, dtype=float) - self.center(cell)
+        proj = _EDGE_NORMALS @ rel
+        return bool(np.max(proj) <= self.apothem_km + 1e-9)
+
+    def boundary_distance(self, cell: tuple[int, int], points: np.ndarray) -> np.ndarray:
+        """Signed distance (km) from point(s) to the cell boundary.
+
+        Positive inside the hexagon, negative outside; zero on an edge.
+        """
+        single = np.asarray(points).ndim == 1
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        rel = pts - self.center(cell)[None, :]
+        proj = rel @ _EDGE_NORMALS.T  # (n, 6)
+        dist = self.apothem_km - proj.max(axis=1)
+        if single:
+            return dist[0]
+        return dist
+
+    # ------------------------------------------------------------------
+    # neighbourhood / enumeration
+    # ------------------------------------------------------------------
+    def neighbors(self, cell: tuple[int, int]) -> list[tuple[int, int]]:
+        """The six adjacent cells, counter-clockwise from east (Fig. 6)."""
+        i, j = cell
+        _paper_to_axial(i, j)
+        return [(i + di, j + dj) for di, dj in NEIGHBOR_OFFSETS]
+
+    def ring(self, center: tuple[int, int], k: int) -> list[tuple[int, int]]:
+        """All cells at hex distance exactly ``k`` from ``center``."""
+        if k < 0:
+            raise ValueError(f"ring index must be >= 0, got {k}")
+        if k == 0:
+            return [tuple(center)]
+        out: list[tuple[int, int]] = []
+        # walk the ring: start k steps east, then turn through the other
+        # five directions, k steps each
+        ci, cj = center
+        i = ci + k * NEIGHBOR_OFFSETS[0][0]
+        j = cj + k * NEIGHBOR_OFFSETS[0][1]
+        for leg in (2, 3, 4, 5, 0, 1):
+            di, dj = NEIGHBOR_OFFSETS[leg]
+            for _ in range(k):
+                out.append((i, j))
+                i += di
+                j += dj
+        return out
+
+    def disk(self, center: tuple[int, int], k: int) -> list[tuple[int, int]]:
+        """All cells at hex distance <= ``k``, ring by ring."""
+        out: list[tuple[int, int]] = []
+        for r in range(k + 1):
+            out.extend(self.ring(center, r))
+        return out
+
+    def vertices(self, cell: tuple[int, int]) -> np.ndarray:
+        """``(6, 2)`` hexagon corner coordinates (km), CCW from 30°."""
+        c = self.center(cell)
+        angles = np.deg2rad(30.0 + 60.0 * np.arange(6))
+        return c[None, :] + self.cell_radius_km * np.column_stack(
+            [np.cos(angles), np.sin(angles)]
+        )
+
+    def shared_edge_midpoint(
+        self, cell_a: tuple[int, int], cell_b: tuple[int, int]
+    ) -> np.ndarray:
+        """Midpoint of the edge shared by two adjacent cells (km)."""
+        if hex_distance(cell_a, cell_b) != 1:
+            raise ValueError(f"cells {cell_a} and {cell_b} are not adjacent")
+        return 0.5 * (self.center(cell_a) + self.center(cell_b))
+
+    def corner_point(
+        self,
+        cell_a: tuple[int, int],
+        cell_b: tuple[int, int],
+        cell_c: tuple[int, int],
+    ) -> np.ndarray:
+        """The vertex shared by three mutually adjacent cells (km).
+
+        This is the paper's "boundary of the 3 cells" measurement-point
+        construction (Figs. 12/13).
+        """
+        pairs = [(cell_a, cell_b), (cell_b, cell_c), (cell_a, cell_c)]
+        for p, q in pairs:
+            if hex_distance(p, q) != 1:
+                raise ValueError(
+                    f"cells {cell_a}, {cell_b}, {cell_c} are not mutually adjacent"
+                )
+        # the common vertex is the circumcentre of the three cell centres
+        centers = self.centers([cell_a, cell_b, cell_c])
+        return centers.mean(axis=0)
+
+    def __repr__(self) -> str:
+        return f"HexGrid(cell_radius_km={self.cell_radius_km:g})"

@@ -1,0 +1,153 @@
+"""Cell layout: base-station sites on a hex grid.
+
+:class:`CellLayout` instantiates a finite patch of the infinite lattice
+(a centre cell plus ``rings`` rings of neighbours — the paper's Fig. 6
+draws the centre plus one ring) and provides the site/assignment queries
+the simulator needs: nearest BS, per-BS distance matrices, neighbour
+lists, and extent for plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hexgrid import HexGrid
+
+__all__ = ["CellLayout"]
+
+
+class CellLayout:
+    """A finite hexagonal cellular layout with one BS per cell centre.
+
+    Parameters
+    ----------
+    cell_radius_km:
+        Hexagon circumradius (paper Table 2: 1 or 2 km).
+    rings:
+        Number of neighbour rings around the centre cell ``(0, 0)``.
+        ``rings=2`` (19 cells) comfortably contains both paper walks.
+    """
+
+    def __init__(self, cell_radius_km: float = 2.0, rings: int = 2) -> None:
+        if rings < 0:
+            raise ValueError(f"rings must be >= 0, got {rings}")
+        self.grid = HexGrid(cell_radius_km)
+        self.rings = int(rings)
+        self.cells: tuple[tuple[int, int], ...] = tuple(
+            self.grid.disk((0, 0), rings)
+        )
+        self._index: dict[tuple[int, int], int] = {
+            c: k for k, c in enumerate(self.cells)
+        }
+        #: ``(n_cells, 2)`` BS positions in km
+        self.bs_positions: np.ndarray = self.grid.centers(self.cells)
+
+    # ------------------------------------------------------------------
+    @property
+    def cell_radius_km(self) -> float:
+        return self.grid.cell_radius_km
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, cell: tuple[int, int]) -> bool:
+        return tuple(cell) in self._index
+
+    def index_of(self, cell: tuple[int, int]) -> int:
+        """Row index of a cell in :attr:`bs_positions`."""
+        try:
+            return self._index[tuple(cell)]
+        except KeyError:
+            raise KeyError(
+                f"cell {tuple(cell)} is outside this {self.rings}-ring layout"
+            ) from None
+
+    def cell_at(self, index: int) -> tuple[int, int]:
+        return self.cells[index]
+
+    def bs_position(self, cell: tuple[int, int]) -> np.ndarray:
+        """BS site of a cell (km)."""
+        return self.bs_positions[self.index_of(cell)]
+
+    # ------------------------------------------------------------------
+    # spatial queries
+    # ------------------------------------------------------------------
+    def distances_to(self, points: np.ndarray) -> np.ndarray:
+        """Distance from every point to every BS.
+
+        Parameters
+        ----------
+        points:
+            ``(n, 2)`` or ``(2,)`` array in km.
+
+        Returns
+        -------
+        ``(n, n_cells)`` distances in km (``(n_cells,)`` for one point).
+        """
+        single = np.asarray(points).ndim == 1
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+        diff = pts[:, None, :] - self.bs_positions[None, :, :]
+        d = np.sqrt((diff**2).sum(axis=2))
+        if single:
+            return d[0]
+        return d
+
+    def nearest_cell(self, points: np.ndarray) -> np.ndarray:
+        """Index of the geometrically nearest BS for each point."""
+        d = np.atleast_2d(self.distances_to(points))
+        idx = d.argmin(axis=1)
+        if np.asarray(points).ndim == 1:
+            return idx[0]
+        return idx
+
+    def serving_cell(self, point: np.ndarray) -> tuple[int, int]:
+        """The cell containing ``point`` (nearest-centre rule)."""
+        return self.cells[int(self.nearest_cell(point))]
+
+    def neighbors_of(self, cell: tuple[int, int]) -> list[tuple[int, int]]:
+        """Adjacent cells that exist in this finite layout."""
+        return [c for c in self.grid.neighbors(cell) if c in self]
+
+    def adjacency(self) -> dict[tuple[int, int], list[tuple[int, int]]]:
+        """Full adjacency map of the layout."""
+        return {c: self.neighbors_of(c) for c in self.cells}
+
+    def extent_km(self, margin: float = 0.0) -> tuple[float, float, float, float]:
+        """``(xmin, xmax, ymin, ymax)`` bounding box incl. cell area."""
+        r = self.grid.cell_radius_km + margin
+        xs = self.bs_positions[:, 0]
+        ys = self.bs_positions[:, 1]
+        return (
+            float(xs.min() - r),
+            float(xs.max() + r),
+            float(ys.min() - r),
+            float(ys.max() + r),
+        )
+
+    def cell_sequence(self, points: np.ndarray) -> list[tuple[int, int]]:
+        """Deduplicated sequence of cells visited by a point sequence.
+
+        Consecutive samples in the same cell collapse to one entry — this
+        is the representation the paper uses to describe the walks
+        ("the MS moves in the cells (0,0)→(2,-1)→(0,0)→(1,-2)").
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        idx = np.atleast_1d(self.nearest_cell(pts))
+        seq: list[tuple[int, int]] = []
+        for k in idx:
+            c = self.cells[int(k)]
+            if not seq or seq[-1] != c:
+                seq.append(c)
+        return seq
+
+    def __repr__(self) -> str:
+        return (
+            f"CellLayout(cell_radius_km={self.cell_radius_km:g}, "
+            f"rings={self.rings}, n_cells={self.n_cells})"
+        )

@@ -1,0 +1,33 @@
+"""Mobility substrate (S4).
+
+The paper's Monte-Carlo random walk (Sec. 3) plus extension models
+(random waypoint, Gauss–Markov, Manhattan grid) and the seed-search
+utility that reproduces the paper's walk shapes with NumPy's RNG.
+"""
+
+from .base import MobilityModel, Trace
+from .random_walk import RandomWalk
+from .waypoint import RandomWaypoint
+from .gauss_markov import GaussMarkov
+from .manhattan import ManhattanGrid
+from .seedsearch import (
+    SeedSearchError,
+    cell_sequence_of,
+    find_seed,
+    is_crossing_sequence,
+    is_pingpong_sequence,
+)
+
+__all__ = [
+    "Trace",
+    "MobilityModel",
+    "RandomWalk",
+    "RandomWaypoint",
+    "GaussMarkov",
+    "ManhattanGrid",
+    "cell_sequence_of",
+    "find_seed",
+    "is_pingpong_sequence",
+    "is_crossing_sequence",
+    "SeedSearchError",
+]

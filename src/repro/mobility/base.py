@@ -1,0 +1,156 @@
+"""Trace representation and the mobility-model protocol.
+
+A :class:`Trace` is the common currency between the mobility models and
+the simulator: an ordered sequence of 2-D positions (km) with helpers
+for path length, densification (interpolated sub-sampling, which is how
+the "received power along random walk" figures get their x-axis) and
+geometric queries.
+
+Mobility models implement :class:`MobilityModel`: ``generate(rng) ->
+Trace``.  All randomness flows through an injected
+``numpy.random.Generator`` so every experiment is reproducible from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Trace", "MobilityModel"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered 2-D path in km.
+
+    ``positions`` has shape ``(n, 2)`` with ``n >= 1``.  The first row
+    is the start position (the paper's walks start at the origin).
+    """
+
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError(
+                f"positions must have shape (n, 2), got {pos.shape}"
+            )
+        if pos.shape[0] < 1:
+            raise ValueError("a trace needs at least one position")
+        if not np.isfinite(pos).all():
+            raise ValueError("trace positions must be finite")
+        object.__setattr__(self, "positions", pos)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_steps(
+        cls, start: Iterable[float], deltas: np.ndarray
+    ) -> "Trace":
+        """Build a trace from a start point and ``(n, 2)`` displacement
+        steps (the paper's Eq. 2 accumulation)."""
+        start = np.asarray(list(start), dtype=float)
+        deltas = np.atleast_2d(np.asarray(deltas, dtype=float))
+        if deltas.size == 0:
+            return cls(start[None, :])
+        if deltas.shape[1] != 2:
+            raise ValueError(f"deltas must have shape (n, 2), got {deltas.shape}")
+        pos = np.vstack([start[None, :], start[None, :] + np.cumsum(deltas, axis=0)])
+        return cls(pos)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return self.positions.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    @property
+    def start(self) -> np.ndarray:
+        return self.positions[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.positions[-1]
+
+    def step_lengths(self) -> np.ndarray:
+        """``(n-1,)`` segment lengths in km."""
+        d = np.diff(self.positions, axis=0)
+        return np.sqrt((d * d).sum(axis=1))
+
+    def headings(self) -> np.ndarray:
+        """``(n-1,)`` segment headings in radians."""
+        d = np.diff(self.positions, axis=0)
+        return np.arctan2(d[:, 1], d[:, 0])
+
+    def cumulative_distance(self) -> np.ndarray:
+        """``(n,)`` distance walked up to each sample (starts at 0)."""
+        return np.concatenate([[0.0], np.cumsum(self.step_lengths())])
+
+    @property
+    def total_length(self) -> float:
+        return float(self.step_lengths().sum())
+
+    def distance_to(self, point: Iterable[float]) -> np.ndarray:
+        """``(n,)`` distance of each sample to a fixed point."""
+        p = np.asarray(list(point), dtype=float)
+        d = self.positions - p[None, :]
+        return np.sqrt((d * d).sum(axis=1))
+
+    # ------------------------------------------------------------------
+    def densify(self, max_spacing_km: float) -> "Trace":
+        """Insert interpolated samples so that no segment exceeds
+        ``max_spacing_km``.
+
+        The endpoints of every original segment are preserved, so the
+        densified trace visits exactly the same way-points; this is the
+        sampling used for the "received power along random walk" figures
+        and for the FLC's periodic measurements.
+        """
+        if max_spacing_km <= 0 or not math.isfinite(max_spacing_km):
+            raise ValueError(
+                f"max_spacing_km must be positive, got {max_spacing_km}"
+            )
+        if self.n_points == 1:
+            return Trace(self.positions.copy())
+        pieces: list[np.ndarray] = []
+        for k in range(self.n_points - 1):
+            a = self.positions[k]
+            b = self.positions[k + 1]
+            seg = float(np.hypot(*(b - a)))
+            n_sub = max(1, int(math.ceil(seg / max_spacing_km)))
+            ts = np.linspace(0.0, 1.0, n_sub + 1)[:-1]  # drop b; added next
+            pieces.append(a[None, :] + ts[:, None] * (b - a)[None, :])
+        pieces.append(self.positions[-1][None, :])
+        return Trace(np.vstack(pieces))
+
+    def subsample(self, every: int) -> "Trace":
+        """Keep every ``every``-th sample (always keeping the last)."""
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        idx = list(range(0, self.n_points, every))
+        if idx[-1] != self.n_points - 1:
+            idx.append(self.n_points - 1)
+        return Trace(self.positions[idx])
+
+    def reversed(self) -> "Trace":
+        return Trace(self.positions[::-1].copy())
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(n_points={self.n_points}, "
+            f"length_km={self.total_length:.3f})"
+        )
+
+
+@runtime_checkable
+class MobilityModel(Protocol):
+    """Anything that can generate a reproducible movement trace."""
+
+    def generate(self, rng: np.random.Generator) -> Trace:
+        """Produce one trace using the supplied generator."""
+        ...

@@ -1,0 +1,75 @@
+"""Manhattan-grid mobility (extension model).
+
+The MS moves along an axis-aligned street grid: each leg runs along one
+axis for a multiple of the block size, then turns (or continues) with
+configurable probabilities.  Street-constrained motion crosses hexagonal
+cell boundaries obliquely, which is a classically hard case for
+hysteresis handover — included for the X1 comparison workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Trace
+
+__all__ = ["ManhattanGrid"]
+
+# unit direction per heading index: 0=E, 1=N, 2=W, 3=S
+_DIRS = np.array([[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]])
+
+
+@dataclass(frozen=True)
+class ManhattanGrid:
+    """Street-grid walk.
+
+    Parameters
+    ----------
+    n_legs:
+        Number of street segments walked.
+    block_km:
+        Block edge length; each leg covers 1..``max_blocks`` blocks.
+    max_blocks:
+        Maximum blocks per leg.
+    p_turn:
+        Probability of turning left/right at an intersection (split
+        evenly); otherwise the MS continues straight.  U-turns never
+        happen, as in the standard Manhattan model.
+    start:
+        Start position (snapped conceptually to an intersection).
+    """
+
+    n_legs: int = 20
+    block_km: float = 0.25
+    max_blocks: int = 4
+    p_turn: float = 0.5
+    start: tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.n_legs < 1:
+            raise ValueError(f"n_legs must be >= 1, got {self.n_legs}")
+        if self.block_km <= 0 or not math.isfinite(self.block_km):
+            raise ValueError(f"block_km must be positive, got {self.block_km}")
+        if self.max_blocks < 1:
+            raise ValueError(f"max_blocks must be >= 1, got {self.max_blocks}")
+        if not (0.0 <= self.p_turn <= 1.0):
+            raise ValueError(f"p_turn must be in [0, 1], got {self.p_turn}")
+
+    def generate(self, rng: np.random.Generator) -> Trace:
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError("generate() expects a numpy Generator")
+        heading = int(rng.integers(0, 4))
+        deltas = np.empty((self.n_legs, 2))
+        for k in range(self.n_legs):
+            if k > 0 and rng.random() < self.p_turn:
+                # left or right, never a U-turn
+                heading = (heading + (1 if rng.random() < 0.5 else 3)) % 4
+            blocks = int(rng.integers(1, self.max_blocks + 1))
+            deltas[k] = _DIRS[heading] * (blocks * self.block_km)
+        return Trace.from_steps(self.start, deltas)
+
+    def generate_seeded(self, seed: int) -> Trace:
+        return self.generate(np.random.default_rng(seed))

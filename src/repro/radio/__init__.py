@@ -1,0 +1,62 @@
+"""Radio propagation substrate (S3).
+
+Dipole-antenna field model (paper Eqs. 3–4), received power through the
+MS effective aperture, log-normal shadow fading and the paper's
+2 dB / 10 km/h speed penalty, plus dB unit helpers.
+"""
+
+from .units import (
+    FREE_SPACE_IMPEDANCE,
+    SPEED_OF_LIGHT,
+    db_from_field_ratio,
+    db_from_power_ratio,
+    dbm_from_dbw,
+    dbm_from_watts,
+    dbw_from_dbm,
+    dbw_from_watts,
+    field_ratio_from_db,
+    power_ratio_from_db,
+    watts_from_dbm,
+    watts_from_dbw,
+    wavelength_m,
+)
+from .antenna import DipoleAntenna
+from .propagation import PropagationModel
+from .pathloss import (
+    Cost231HataModel,
+    FreeSpaceModel,
+    LogDistanceModel,
+    PathLossModel,
+)
+from .fading import (
+    SPEED_PENALTY_DB_PER_KMH,
+    ShadowFading,
+    apply_speed_penalty,
+    speed_penalty_db,
+)
+
+__all__ = [
+    "DipoleAntenna",
+    "PropagationModel",
+    "PathLossModel",
+    "FreeSpaceModel",
+    "LogDistanceModel",
+    "Cost231HataModel",
+    "ShadowFading",
+    "speed_penalty_db",
+    "apply_speed_penalty",
+    "SPEED_PENALTY_DB_PER_KMH",
+    "SPEED_OF_LIGHT",
+    "FREE_SPACE_IMPEDANCE",
+    "db_from_power_ratio",
+    "power_ratio_from_db",
+    "db_from_field_ratio",
+    "field_ratio_from_db",
+    "dbw_from_watts",
+    "watts_from_dbw",
+    "dbm_from_watts",
+    "watts_from_dbm",
+    "dbm_from_dbw",
+    "dbw_from_dbm",
+    "wavelength_m",
+]

@@ -1,0 +1,141 @@
+"""Shadow fading and the paper's speed penalty.
+
+Two stochastic impairments sit between the deterministic propagation
+model and the measurements the handover controller sees:
+
+* **log-normal shadow fading** — Gaussian noise in the dB domain.  The
+  paper cites shadow fading as the *cause* of the ping-pong effect; we
+  provide both i.i.d. fading and the spatially correlated Gudmundson
+  model (exponential autocorrelation with a decorrelation distance),
+  which is what makes consecutive samples realistically sticky.
+* **speed penalty** — the paper's simple velocity model: "for each
+  10 km/h the signal strength is decreased 2 db" (Sec. 5), applied to
+  the neighbour-BS measurement (that is the row that moves with speed in
+  Tables 3/4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = ["ShadowFading", "speed_penalty_db", "apply_speed_penalty"]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: dB of loss per km/h of MS speed (2 dB per 10 km/h).
+SPEED_PENALTY_DB_PER_KMH = 0.2
+
+
+def speed_penalty_db(speed_kmh: ArrayLike) -> ArrayLike:
+    """Signal-strength penalty in dB for an MS speed in km/h.
+
+    Negative speeds are rejected; the penalty is returned as a positive
+    number of dB to *subtract* from a measurement.
+    """
+    s = np.asarray(speed_kmh, dtype=float)
+    if np.any(s < 0):
+        raise ValueError("speed must be >= 0 km/h")
+    out = SPEED_PENALTY_DB_PER_KMH * s
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+def apply_speed_penalty(power_dbw: ArrayLike, speed_kmh: float) -> ArrayLike:
+    """Measurement after the paper's speed degradation."""
+    out = np.asarray(power_dbw, dtype=float) - speed_penalty_db(speed_kmh)
+    if out.ndim == 0:
+        return float(out)
+    return out
+
+
+@dataclass
+class ShadowFading:
+    """Log-normal shadowing generator.
+
+    Parameters
+    ----------
+    sigma_db:
+        Standard deviation of the Gaussian dB noise.  ``0`` disables
+        fading (the generator then returns zeros, handy for the
+        deterministic experiment paths).
+    decorrelation_km:
+        If positive, samples along a trace are correlated with the
+        Gudmundson exponential model
+        ``ρ(Δd) = exp(-Δd / decorrelation_km)``; if 0, samples are
+        i.i.d.
+    rng:
+        NumPy generator (or seed) for reproducibility.
+    """
+
+    sigma_db: float = 4.0
+    decorrelation_km: float = 0.0
+    rng: Union[np.random.Generator, int, None] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0 or not math.isfinite(self.sigma_db):
+            raise ValueError(f"sigma_db must be >= 0, got {self.sigma_db}")
+        if self.decorrelation_km < 0:
+            raise ValueError(
+                f"decorrelation_km must be >= 0, got {self.decorrelation_km}"
+            )
+        if not isinstance(self.rng, np.random.Generator):
+            self.rng = np.random.default_rng(self.rng)
+
+    # ------------------------------------------------------------------
+    def sample_iid(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Independent Gaussian dB samples of the given shape."""
+        if self.sigma_db == 0.0:
+            return np.zeros(shape)
+        return self.rng.normal(0.0, self.sigma_db, size=shape)
+
+    def sample_along(
+        self, distances_km: np.ndarray, n_sources: int = 1
+    ) -> np.ndarray:
+        """Correlated shadowing along a trace.
+
+        Parameters
+        ----------
+        distances_km:
+            ``(n_steps,)`` cumulative distance of each trace sample; only
+            consecutive differences matter.
+        n_sources:
+            Number of independent fading processes (one per BS).
+
+        Returns
+        -------
+        ``(n_steps, n_sources)`` dB offsets.  With
+        ``decorrelation_km == 0`` this degrades to i.i.d. samples.
+        """
+        d = np.asarray(distances_km, dtype=float)
+        if d.ndim != 1:
+            raise ValueError(f"distances must be 1-D, got shape {d.shape}")
+        if n_sources < 1:
+            raise ValueError(f"n_sources must be >= 1, got {n_sources}")
+        n = d.shape[0]
+        if n == 0:
+            return np.zeros((0, n_sources))
+        if self.sigma_db == 0.0:
+            return np.zeros((n, n_sources))
+        if self.decorrelation_km == 0.0:
+            return self.sample_iid((n, n_sources))
+        steps = np.abs(np.diff(d))
+        rho = np.exp(-steps / self.decorrelation_km)  # (n-1,)
+        out = np.empty((n, n_sources))
+        out[0] = self.rng.normal(0.0, self.sigma_db, size=n_sources)
+        innovations = self.rng.normal(0.0, 1.0, size=(n - 1, n_sources))
+        # AR(1) recursion: x_k = rho*x_{k-1} + sigma*sqrt(1-rho^2)*eps
+        scale = self.sigma_db * np.sqrt(1.0 - rho * rho)
+        for k in range(1, n):
+            out[k] = rho[k - 1] * out[k - 1] + scale[k - 1] * innovations[k - 1]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowFading(sigma_db={self.sigma_db:g}, "
+            f"decorrelation_km={self.decorrelation_km:g})"
+        )

@@ -1,0 +1,205 @@
+"""Alternative path-loss models (extension, X9 ablation).
+
+The paper's propagation is the tilted-dipole field of Eqs. 3–4.  To
+show the handover conclusions are not an artefact of that specific
+model, this module provides the standard empirical alternatives behind
+a common protocol — anything with ``received_power_dbw(distance_km)``
+and ``power_from_sites(bs, points)`` plugs into
+:class:`~repro.sim.measurement.MeasurementSampler`:
+
+* :class:`FreeSpaceModel` — Friis transmission, exponent 2;
+* :class:`LogDistanceModel` — reference-distance log-distance law with
+  a configurable exponent (the textbook urban macro range is 2.7–4);
+* :class:`Cost231HataModel` — COST-231/Hata urban model, valid for
+  1.5–2 GHz carriers, 30–200 m BS heights, 1–10 m MS heights — i.e.
+  exactly the paper's 2000 MHz / 40 m / 1.5 m configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from .units import dbw_from_watts, wavelength_m
+
+__all__ = [
+    "PathLossModel",
+    "FreeSpaceModel",
+    "LogDistanceModel",
+    "Cost231HataModel",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@runtime_checkable
+class PathLossModel(Protocol):
+    """The interface :class:`MeasurementSampler` consumes."""
+
+    def received_power_dbw(self, horizontal_km: ArrayLike) -> ArrayLike:
+        ...
+
+    def power_from_sites(
+        self, bs_positions_km: np.ndarray, points_km: np.ndarray
+    ) -> np.ndarray:
+        ...
+
+
+class _SiteMatrixMixin:
+    """Shared vectorised site-matrix implementation."""
+
+    def power_from_sites(
+        self, bs_positions_km: np.ndarray, points_km: np.ndarray
+    ) -> np.ndarray:
+        bs = np.atleast_2d(np.asarray(bs_positions_km, dtype=float))
+        pts = np.atleast_2d(np.asarray(points_km, dtype=float))
+        if bs.shape[1] != 2 or pts.shape[1] != 2:
+            raise ValueError(
+                f"positions must be (n, 2); got {bs.shape} and {pts.shape}"
+            )
+        diff = pts[:, None, :] - bs[None, :, :]
+        dist = np.sqrt((diff * diff).sum(axis=2))
+        return np.asarray(self.received_power_dbw(dist))
+
+
+@dataclass(frozen=True)
+class FreeSpaceModel(_SiteMatrixMixin):
+    """Friis free-space model: ``P_rx = P_tx G_t G_r (λ/4πd)²``."""
+
+    tx_power_w: float = 10.0
+    frequency_hz: float = 2.0e9
+    tx_gain: float = 1.5
+    rx_gain: float = 1.5
+    min_distance_km: float = 0.001
+
+    def __post_init__(self) -> None:
+        for name in ("tx_power_w", "frequency_hz", "tx_gain", "rx_gain",
+                     "min_distance_km"):
+            v = getattr(self, name)
+            if v <= 0 or not math.isfinite(v):
+                raise ValueError(f"{name} must be positive, got {v}")
+
+    def received_power_dbw(self, horizontal_km: ArrayLike) -> ArrayLike:
+        d_m = np.maximum(
+            np.asarray(horizontal_km, dtype=float), self.min_distance_km
+        ) * 1000.0
+        lam = wavelength_m(self.frequency_hz)
+        p = (
+            self.tx_power_w
+            * self.tx_gain
+            * self.rx_gain
+            * (lam / (4.0 * math.pi * d_m)) ** 2
+        )
+        out = dbw_from_watts(p)
+        if np.asarray(horizontal_km).ndim == 0:
+            return float(np.asarray(out))
+        return out
+
+
+@dataclass(frozen=True)
+class LogDistanceModel(_SiteMatrixMixin):
+    """Log-distance law anchored at a free-space reference distance.
+
+    ``PL(d) = PL(d0) + 10·n·log10(d/d0)`` with ``PL(d0)`` from Friis.
+    """
+
+    tx_power_w: float = 10.0
+    frequency_hz: float = 2.0e9
+    exponent: float = 3.2
+    reference_km: float = 0.1
+    min_distance_km: float = 0.001
+
+    def __post_init__(self) -> None:
+        if not (1.5 <= self.exponent <= 6.0):
+            raise ValueError(
+                f"exponent outside the plausible [1.5, 6] range: {self.exponent}"
+            )
+        for name in ("tx_power_w", "frequency_hz", "reference_km",
+                     "min_distance_km"):
+            v = getattr(self, name)
+            if v <= 0 or not math.isfinite(v):
+                raise ValueError(f"{name} must be positive, got {v}")
+
+    def received_power_dbw(self, horizontal_km: ArrayLike) -> ArrayLike:
+        d = np.maximum(
+            np.asarray(horizontal_km, dtype=float), self.min_distance_km
+        )
+        ref = FreeSpaceModel(
+            tx_power_w=self.tx_power_w, frequency_hz=self.frequency_hz
+        )
+        p_ref = np.asarray(ref.received_power_dbw(self.reference_km))
+        out = p_ref - 10.0 * self.exponent * np.log10(d / self.reference_km)
+        if np.asarray(horizontal_km).ndim == 0:
+            return float(np.asarray(out))
+        return out
+
+
+@dataclass(frozen=True)
+class Cost231HataModel(_SiteMatrixMixin):
+    """COST-231/Hata urban macro-cell model (1500–2000 MHz).
+
+    ``PL = 46.3 + 33.9 log f − 13.82 log h_b − a(h_m)
+    + (44.9 − 6.55 log h_b) log d + C``
+
+    with ``f`` in MHz, ``h_b``/``h_m`` the BS/MS heights in metres,
+    ``d`` in km, ``a(h_m)`` the small-city mobile-antenna correction and
+    ``C`` 0 dB (medium city) or 3 dB (metropolitan).
+    """
+
+    tx_power_w: float = 10.0
+    frequency_mhz: float = 2000.0
+    bs_height_m: float = 40.0
+    ms_height_m: float = 1.5
+    metropolitan: bool = False
+    min_distance_km: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not (1500.0 <= self.frequency_mhz <= 2000.0):
+            raise ValueError(
+                "COST-231/Hata is specified for 1500-2000 MHz, got "
+                f"{self.frequency_mhz}"
+            )
+        if not (30.0 <= self.bs_height_m <= 200.0):
+            raise ValueError(
+                f"BS height must be in [30, 200] m, got {self.bs_height_m}"
+            )
+        if not (1.0 <= self.ms_height_m <= 10.0):
+            raise ValueError(
+                f"MS height must be in [1, 10] m, got {self.ms_height_m}"
+            )
+        if self.tx_power_w <= 0:
+            raise ValueError(f"tx_power_w must be positive, got {self.tx_power_w}")
+
+    def _mobile_correction_db(self) -> float:
+        f = self.frequency_mhz
+        hm = self.ms_height_m
+        return (1.1 * math.log10(f) - 0.7) * hm - (1.56 * math.log10(f) - 0.8)
+
+    def path_loss_db(self, horizontal_km: ArrayLike) -> ArrayLike:
+        d = np.maximum(
+            np.asarray(horizontal_km, dtype=float), self.min_distance_km
+        )
+        f = self.frequency_mhz
+        hb = self.bs_height_m
+        c = 3.0 if self.metropolitan else 0.0
+        pl = (
+            46.3
+            + 33.9 * math.log10(f)
+            - 13.82 * math.log10(hb)
+            - self._mobile_correction_db()
+            + (44.9 - 6.55 * math.log10(hb)) * np.log10(d)
+            + c
+        )
+        if np.asarray(horizontal_km).ndim == 0:
+            return float(np.asarray(pl))
+        return pl
+
+    def received_power_dbw(self, horizontal_km: ArrayLike) -> ArrayLike:
+        p_tx_dbw = float(np.asarray(dbw_from_watts(self.tx_power_w)))
+        out = p_tx_dbw - np.asarray(self.path_loss_db(horizontal_km))
+        if np.asarray(horizontal_km).ndim == 0:
+            return float(np.asarray(out))
+        return out

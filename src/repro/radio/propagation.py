@@ -1,0 +1,161 @@
+"""Received-power model tying the dipole field to receiver power.
+
+The paper plots "received power [dB]" without stating the reference; we
+use the physically standard chain and document it (DESIGN.md
+substitution #2):
+
+1. RMS field at the receiver from the tilted dipole,
+   ``|E| = sqrt(45 W)·sin(θ−φ)/r^n`` (:mod:`repro.radio.antenna`);
+2. power density ``S = |E|² / η`` (RMS field → no factor 2);
+3. received power through the MS antenna's effective aperture,
+   ``P = S · A_e`` with ``A_e = G_r·λ²/(4π)`` and ``G_r = 1.5``
+   (a dipole at the handset too).
+
+With the paper's parameters (10 W, 2000 MHz, n = 1.1, heights 40 m /
+1.5 m) this lands in the −60…−140 dBW band over 0.1–7 km — the same
+band as the paper's Figs. 9–13 and the FLC's SSN universe
+(−120…−80 dB).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from .antenna import DipoleAntenna
+from .units import FREE_SPACE_IMPEDANCE, dbw_from_watts, wavelength_m
+
+__all__ = ["PropagationModel"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """Downlink received-power model for one class of base stations.
+
+    Parameters
+    ----------
+    antenna:
+        The BS transmitter (power, height, tilt, exponent).
+    frequency_hz:
+        Carrier frequency (paper: 2000 MHz).
+    rx_height_m:
+        MS antenna height (paper: 1.5 m).
+    rx_gain:
+        MS antenna directivity used in the effective aperture.
+    """
+
+    antenna: DipoleAntenna = field(default_factory=DipoleAntenna)
+    frequency_hz: float = 2.0e9
+    rx_height_m: float = 1.5
+    rx_gain: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0 or not math.isfinite(self.frequency_hz):
+            raise ValueError(
+                f"frequency_hz must be positive, got {self.frequency_hz}"
+            )
+        if self.rx_height_m <= 0:
+            raise ValueError(
+                f"rx_height_m must be positive, got {self.rx_height_m}"
+            )
+        if self.rx_gain <= 0:
+            raise ValueError(f"rx_gain must be positive, got {self.rx_gain}")
+
+    # ------------------------------------------------------------------
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength in metres."""
+        return wavelength_m(self.frequency_hz)
+
+    @property
+    def effective_aperture_m2(self) -> float:
+        """MS effective aperture ``A_e = G_r λ² / 4π``."""
+        lam = self.wavelength
+        return self.rx_gain * lam * lam / (4.0 * math.pi)
+
+    # ------------------------------------------------------------------
+    def received_power_w(self, horizontal_km: ArrayLike) -> np.ndarray:
+        """Received power in watts at ground distance(s) in km."""
+        rho_km = np.asarray(horizontal_km, dtype=float)
+        if np.any(rho_km < 0):
+            raise ValueError("distances must be >= 0")
+        e_rms = self.antenna.field_rms(rho_km * 1000.0, self.rx_height_m)
+        density = e_rms * e_rms / FREE_SPACE_IMPEDANCE
+        return density * self.effective_aperture_m2
+
+    def received_power_dbw(self, horizontal_km: ArrayLike) -> ArrayLike:
+        """Received power in dBW at ground distance(s) in km."""
+        p = self.received_power_w(horizontal_km)
+        out = dbw_from_watts(p)
+        if np.asarray(horizontal_km).ndim == 0:
+            return float(np.asarray(out))
+        return out
+
+    # ------------------------------------------------------------------
+    def power_from_sites(
+        self, bs_positions_km: np.ndarray, points_km: np.ndarray
+    ) -> np.ndarray:
+        """Received power (dBW) from many BS sites at many MS positions.
+
+        Parameters
+        ----------
+        bs_positions_km:
+            ``(n_bs, 2)`` BS coordinates.
+        points_km:
+            ``(n_pts, 2)`` MS coordinates.
+
+        Returns
+        -------
+        ``(n_pts, n_bs)`` matrix of received powers in dBW; entry
+        ``[p, b]`` is the power the MS at point ``p`` receives from BS
+        ``b``.
+        """
+        bs = np.atleast_2d(np.asarray(bs_positions_km, dtype=float))
+        pts = np.atleast_2d(np.asarray(points_km, dtype=float))
+        if bs.shape[1] != 2 or pts.shape[1] != 2:
+            raise ValueError(
+                f"positions must be (n, 2); got {bs.shape} and {pts.shape}"
+            )
+        diff = pts[:, None, :] - bs[None, :, :]
+        dist_km = np.sqrt((diff * diff).sum(axis=2))
+        return np.asarray(self.received_power_dbw(dist_km))
+
+    def crossover_distance_km(
+        self, other: "PropagationModel", spacing_km: float, resolution: int = 4097
+    ) -> float:
+        """Ground distance from this BS at which the signal of an
+        ``other``-class BS placed ``spacing_km`` away becomes stronger.
+
+        Solved numerically along the straight line between the two sites;
+        returns the first crossing (NaN if none exists on the segment).
+        Useful for sanity-checking layouts: for identical antennas the
+        crossover sits at the midpoint.
+        """
+        if spacing_km <= 0:
+            raise ValueError(f"spacing_km must be positive, got {spacing_km}")
+        xs = np.linspace(1e-3, spacing_km - 1e-3, resolution)
+        mine = np.asarray(self.received_power_dbw(xs))
+        theirs = np.asarray(other.received_power_dbw(spacing_km - xs))
+        sign = mine - theirs
+        crossing = np.nonzero(np.diff(np.sign(sign)) != 0)[0]
+        if crossing.size == 0:
+            return float("nan")
+        k = int(crossing[0])
+        # linear interpolation of the zero crossing
+        x0, x1 = xs[k], xs[k + 1]
+        y0, y1 = sign[k], sign[k + 1]
+        if y1 == y0:
+            return float(x0)
+        return float(x0 - y0 * (x1 - x0) / (y1 - y0))
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationModel({self.antenna!r}, "
+            f"frequency_hz={self.frequency_hz:g}, "
+            f"rx_height_m={self.rx_height_m:g})"
+        )

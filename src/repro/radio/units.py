@@ -1,0 +1,113 @@
+"""Unit conversions for the radio substrate.
+
+Small, pure helpers — decibel/linear power, dBW/dBm, wavelength — used
+throughout the propagation model and the experiments.  Keeping them in
+one place avoids the classic factor-of-10-vs-20 bugs between field and
+power quantities: *power* ratios use ``10·log10``, *field* (amplitude)
+ratios use ``20·log10``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "FREE_SPACE_IMPEDANCE",
+    "db_from_power_ratio",
+    "power_ratio_from_db",
+    "db_from_field_ratio",
+    "field_ratio_from_db",
+    "dbw_from_watts",
+    "watts_from_dbw",
+    "dbm_from_watts",
+    "watts_from_dbm",
+    "dbm_from_dbw",
+    "dbw_from_dbm",
+    "wavelength_m",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Impedance of free space [ohm].
+FREE_SPACE_IMPEDANCE = 376.730313668
+
+
+def _as_float_or_array(x: ArrayLike) -> ArrayLike:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 0:
+        return float(arr)
+    return arr
+
+
+def db_from_power_ratio(ratio: ArrayLike) -> ArrayLike:
+    """``10·log10(ratio)`` for power-like quantities.
+
+    Zero or negative ratios map to ``-inf`` (a silent link), mirroring
+    the physical meaning rather than raising.
+    """
+    arr = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(arr > 0.0, 10.0 * np.log10(np.where(arr > 0, arr, 1.0)), -np.inf)
+    return _as_float_or_array(out)
+
+
+def power_ratio_from_db(db: ArrayLike) -> ArrayLike:
+    """Inverse of :func:`db_from_power_ratio`."""
+    return _as_float_or_array(10.0 ** (np.asarray(db, dtype=float) / 10.0))
+
+
+def db_from_field_ratio(ratio: ArrayLike) -> ArrayLike:
+    """``20·log10(ratio)`` for field/amplitude quantities."""
+    arr = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(arr > 0.0, 20.0 * np.log10(np.where(arr > 0, arr, 1.0)), -np.inf)
+    return _as_float_or_array(out)
+
+
+def field_ratio_from_db(db: ArrayLike) -> ArrayLike:
+    """Inverse of :func:`db_from_field_ratio`."""
+    return _as_float_or_array(10.0 ** (np.asarray(db, dtype=float) / 20.0))
+
+
+def dbw_from_watts(p_watts: ArrayLike) -> ArrayLike:
+    """Power in dB re 1 W."""
+    return db_from_power_ratio(p_watts)
+
+
+def watts_from_dbw(p_dbw: ArrayLike) -> ArrayLike:
+    """Inverse of :func:`dbw_from_watts`."""
+    return power_ratio_from_db(p_dbw)
+
+
+def dbm_from_watts(p_watts: ArrayLike) -> ArrayLike:
+    """Power in dB re 1 mW."""
+    return _as_float_or_array(np.asarray(dbw_from_watts(p_watts)) + 30.0)
+
+
+def watts_from_dbm(p_dbm: ArrayLike) -> ArrayLike:
+    """Inverse of :func:`dbm_from_watts`."""
+    return power_ratio_from_db(np.asarray(p_dbm, dtype=float) - 30.0)
+
+
+def dbm_from_dbw(p_dbw: ArrayLike) -> ArrayLike:
+    """dBW → dBm (a +30 dB shift)."""
+    return _as_float_or_array(np.asarray(p_dbw, dtype=float) + 30.0)
+
+
+def dbw_from_dbm(p_dbm: ArrayLike) -> ArrayLike:
+    """dBm → dBW (a −30 dB shift)."""
+    return _as_float_or_array(np.asarray(p_dbm, dtype=float) - 30.0)
+
+
+def wavelength_m(frequency_hz: float) -> float:
+    """Free-space wavelength for a carrier frequency."""
+    if frequency_hz <= 0 or not math.isfinite(frequency_hz):
+        raise ValueError(f"frequency must be positive and finite, got {frequency_hz}")
+    return SPEED_OF_LIGHT / float(frequency_hz)

@@ -1,0 +1,70 @@
+"""Simulation engine (S7).
+
+Table-2 configuration, measurement sampling, the step-driven handover
+simulator, quality metrics (ping-pong detection) and serial/parallel
+sweep runners.
+"""
+
+from .config import PAPER_SPEEDS_KMH, SimulationParameters
+from .measurement import MeasurementSampler, MeasurementSeries
+from .engine import HandoverEvent, SimulationResult, Simulator
+from .metrics import (
+    DEFAULT_WINDOW_KM,
+    HandoverMetrics,
+    compute_metrics,
+    count_ping_pongs,
+    mean_dwell_epochs,
+    necessary_handovers,
+    ping_pong_events,
+    wrong_cell_fraction,
+)
+from .runner import (
+    PolicySpec,
+    RunOutcome,
+    make_policy,
+    run_grid,
+    run_repetitions,
+    run_single,
+    run_trace,
+    summarize_outcomes,
+)
+from .parallel import default_workers, expand_grid, run_grid_parallel
+from .session import (
+    DEFAULT_HANDOVER_COST,
+    DEFAULT_SENSITIVITY_DBW,
+    SessionMetrics,
+    evaluate_session,
+)
+
+__all__ = [
+    "SimulationParameters",
+    "PAPER_SPEEDS_KMH",
+    "MeasurementSampler",
+    "MeasurementSeries",
+    "Simulator",
+    "SimulationResult",
+    "HandoverEvent",
+    "HandoverMetrics",
+    "compute_metrics",
+    "count_ping_pongs",
+    "ping_pong_events",
+    "necessary_handovers",
+    "wrong_cell_fraction",
+    "mean_dwell_epochs",
+    "DEFAULT_WINDOW_KM",
+    "PolicySpec",
+    "RunOutcome",
+    "make_policy",
+    "run_trace",
+    "run_single",
+    "run_repetitions",
+    "run_grid",
+    "summarize_outcomes",
+    "run_grid_parallel",
+    "expand_grid",
+    "default_workers",
+    "SessionMetrics",
+    "evaluate_session",
+    "DEFAULT_SENSITIVITY_DBW",
+    "DEFAULT_HANDOVER_COST",
+]

@@ -1,0 +1,203 @@
+"""The step-driven handover simulator.
+
+:class:`Simulator` walks a :class:`~repro.sim.measurement.MeasurementSeries`
+epoch by epoch, maintains the serving cell, builds an
+:class:`~repro.core.system.Observation` per epoch (serving power,
+neighbour powers, distance, speed) and lets a
+:class:`~repro.core.system.HandoverPolicy` decide.  The output is a
+:class:`SimulationResult` with the full decision log, the serving-cell
+history and every executed :class:`HandoverEvent` — the raw material for
+the metrics layer and the paper tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.system import Decision, HandoverPolicy, Observation
+from .measurement import MeasurementSeries
+
+__all__ = ["HandoverEvent", "SimulationResult", "Simulator"]
+
+Cell = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One executed handover."""
+
+    step: int
+    source: Cell
+    target: Cell
+    position_km: np.ndarray
+    distance_km: float
+    output: Optional[float] = None
+    stage: str = ""
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.position_km, dtype=float)
+        if pos.shape != (2,):
+            raise ValueError(f"position_km must be (2,), got {pos.shape}")
+        object.__setattr__(self, "position_km", pos)
+        if self.source == self.target:
+            raise ValueError(f"handover to the serving cell {self.source}")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Full log of one simulated trace.
+
+    Attributes
+    ----------
+    serving_history:
+        ``(n_epochs,)`` list of the serving cell per epoch (after that
+        epoch's decision took effect).
+    decisions:
+        One :class:`Decision` per epoch.
+    events:
+        Executed handovers, in order.
+    outputs:
+        ``(n_epochs,)`` FLC output per epoch (NaN where the policy did
+        not produce one — baselines, or POTLC-gated epochs).
+    series:
+        The measurement series that was simulated.
+    speed_kmh:
+        MS speed used for this run.
+    """
+
+    serving_history: tuple[Cell, ...]
+    decisions: tuple[Decision, ...]
+    events: tuple[HandoverEvent, ...]
+    outputs: np.ndarray
+    series: MeasurementSeries
+    speed_kmh: float
+
+    @property
+    def n_handovers(self) -> int:
+        return len(self.events)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.serving_history)
+
+    def handover_cells(self) -> list[Cell]:
+        """Target sequence of the executed handovers."""
+        return [e.target for e in self.events]
+
+    def serving_sequence(self) -> list[Cell]:
+        """Deduplicated serving-cell sequence (matches the paper's
+        walk-description notation)."""
+        seq: list[Cell] = []
+        for c in self.serving_history:
+            if not seq or seq[-1] != c:
+                seq.append(c)
+        return seq
+
+    def stage_histogram(self) -> dict[str, int]:
+        """Decision count per pipeline stage (diagnostics)."""
+        hist: dict[str, int] = {}
+        for d in self.decisions:
+            hist[d.stage] = hist.get(d.stage, 0) + 1
+        return hist
+
+
+class Simulator:
+    """Drives a handover policy along measurement series.
+
+    Parameters
+    ----------
+    policy:
+        The decision maker (fuzzy system or a baseline).
+    speed_kmh:
+        MS speed forwarded into every observation (the paper's speed
+        sweep re-runs the same walk at different speeds).
+    initial_cell:
+        Serving cell at the first epoch; defaults to the strongest BS
+        at the starting position (which for the paper's origin start is
+        ``(0, 0)``).
+    """
+
+    def __init__(
+        self,
+        policy: HandoverPolicy,
+        speed_kmh: float = 0.0,
+        initial_cell: Optional[Cell] = None,
+    ) -> None:
+        if speed_kmh < 0:
+            raise ValueError(f"speed_kmh must be >= 0, got {speed_kmh}")
+        self.policy = policy
+        self.speed_kmh = float(speed_kmh)
+        self.initial_cell = tuple(initial_cell) if initial_cell else None
+
+    # ------------------------------------------------------------------
+    def run(self, series: MeasurementSeries) -> SimulationResult:
+        """Simulate one measurement series from a fresh policy state."""
+        if series.n_epochs == 0:
+            raise ValueError("cannot simulate an empty measurement series")
+        layout = series.layout
+        self.policy.reset()
+
+        if self.initial_cell is not None:
+            serving: Cell = tuple(self.initial_cell)
+            layout.index_of(serving)  # validate
+        else:
+            serving = layout.cells[int(series.power_dbw[0].argmax())]
+
+        serving_history: list[Cell] = []
+        decisions: list[Decision] = []
+        events: list[HandoverEvent] = []
+        outputs = np.full(series.n_epochs, np.nan)
+
+        for k in range(series.n_epochs):
+            pos = series.positions_km[k]
+            neighbors = layout.neighbors_of(serving)
+            neighbor_idx = [layout.index_of(c) for c in neighbors]
+            serving_idx = layout.index_of(serving)
+            d_serving = float(
+                np.hypot(*(pos - layout.bs_positions[serving_idx]))
+            )
+            obs = Observation(
+                position_km=pos,
+                serving_cell=serving,
+                serving_power_dbw=float(series.power_dbw[k, serving_idx]),
+                neighbor_cells=tuple(neighbors),
+                neighbor_powers_dbw=series.power_dbw[k, neighbor_idx],
+                distance_to_serving_km=d_serving,
+                speed_kmh=self.speed_kmh,
+                step_index=k,
+            )
+            decision = self.policy.decide(obs)
+            decisions.append(decision)
+            if decision.output is not None:
+                outputs[k] = decision.output
+            if decision.handover:
+                target = tuple(decision.target)  # type: ignore[arg-type]
+                if target not in layout:
+                    raise ValueError(
+                        f"policy handed over to unknown cell {target}"
+                    )
+                events.append(
+                    HandoverEvent(
+                        step=k,
+                        source=serving,
+                        target=target,
+                        position_km=pos,
+                        distance_km=float(series.distance_km[k]),
+                        output=decision.output,
+                        stage=decision.stage,
+                    )
+                )
+                serving = target
+            serving_history.append(serving)
+
+        return SimulationResult(
+            serving_history=tuple(serving_history),
+            decisions=tuple(decisions),
+            events=tuple(events),
+            outputs=outputs,
+            series=series,
+            speed_kmh=self.speed_kmh,
+        )

@@ -1,0 +1,162 @@
+"""Measurement sampling along a trace.
+
+:class:`MeasurementSampler` turns a mobility :class:`Trace` into the
+time series the handover policies consume: for every measurement epoch
+(trace samples spaced ``measurement_spacing_km`` apart) the received
+power from *every* BS of the layout, optionally impaired by shadow
+fading.  The whole power matrix is computed in one vectorised
+propagation call — no per-epoch Python work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.layout import CellLayout
+from ..mobility.base import Trace
+from ..radio.fading import ShadowFading
+from ..radio.propagation import PropagationModel
+
+__all__ = ["MeasurementSeries", "MeasurementSampler"]
+
+Cell = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeasurementSeries:
+    """Per-epoch measurements along one trace.
+
+    Attributes
+    ----------
+    positions_km:
+        ``(n, 2)`` MS position per epoch.
+    distance_km:
+        ``(n,)`` cumulative walked distance (the x-axis of the paper's
+        "received power along random walk" figures).
+    power_dbw:
+        ``(n, n_cells)`` received power from every BS, fading included.
+    layout:
+        The layout the columns refer to (column k ↔ ``layout.cells[k]``).
+    """
+
+    positions_km: np.ndarray
+    distance_km: np.ndarray
+    power_dbw: np.ndarray
+    layout: CellLayout
+
+    def __post_init__(self) -> None:
+        n = self.positions_km.shape[0]
+        if self.positions_km.shape != (n, 2):
+            raise ValueError(
+                f"positions_km must be (n, 2), got {self.positions_km.shape}"
+            )
+        if self.distance_km.shape != (n,):
+            raise ValueError(
+                f"distance_km must be (n,), got {self.distance_km.shape}"
+            )
+        if self.power_dbw.shape != (n, self.layout.n_cells):
+            raise ValueError(
+                f"power_dbw must be (n, {self.layout.n_cells}), "
+                f"got {self.power_dbw.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_epochs(self) -> int:
+        return self.positions_km.shape[0]
+
+    def __len__(self) -> int:
+        return self.n_epochs
+
+    def power_of(self, cell: Cell) -> np.ndarray:
+        """``(n,)`` power series of one BS (paper Figs. 9–11)."""
+        return self.power_dbw[:, self.layout.index_of(cell)]
+
+    def strongest_cell_indices(self) -> np.ndarray:
+        """``(n,)`` index of the instantaneously strongest BS."""
+        return self.power_dbw.argmax(axis=1)
+
+    def distances_to_bs(self, cell: Cell) -> np.ndarray:
+        """``(n,)`` geometric distance to one BS."""
+        pos = self.layout.bs_position(cell)
+        d = self.positions_km - pos[None, :]
+        return np.sqrt((d * d).sum(axis=1))
+
+    def epoch_slice(self, start: int, stop: int) -> "MeasurementSeries":
+        """Sub-series of epochs ``[start, stop)``."""
+        return MeasurementSeries(
+            positions_km=self.positions_km[start:stop],
+            distance_km=self.distance_km[start:stop],
+            power_dbw=self.power_dbw[start:stop],
+            layout=self.layout,
+        )
+
+
+class MeasurementSampler:
+    """Builds :class:`MeasurementSeries` from traces.
+
+    Parameters
+    ----------
+    layout:
+        BS layout.
+    propagation:
+        Downlink propagation model (shared by all BSs — the paper's
+        homogeneous deployment).
+    spacing_km:
+        Measurement-epoch spacing along the walk.
+    fading:
+        Optional shadowing process; one independent correlated process
+        per BS.  ``None`` gives noise-free measurements.
+    """
+
+    def __init__(
+        self,
+        layout: CellLayout,
+        propagation: PropagationModel,
+        spacing_km: float = 0.05,
+        fading: Optional[ShadowFading] = None,
+    ) -> None:
+        if spacing_km <= 0:
+            raise ValueError(f"spacing_km must be positive, got {spacing_km}")
+        self.layout = layout
+        self.propagation = propagation
+        self.spacing_km = float(spacing_km)
+        self.fading = fading
+
+    def measure(self, trace: Trace) -> MeasurementSeries:
+        """Sample one trace into a measurement series."""
+        dense = trace.densify(self.spacing_km)
+        positions = dense.positions
+        power = self.propagation.power_from_sites(
+            self.layout.bs_positions, positions
+        )
+        distance = dense.cumulative_distance()
+        if self.fading is not None and self.fading.sigma_db > 0.0:
+            power = power + self.fading.sample_along(
+                distance, n_sources=self.layout.n_cells
+            )
+        return MeasurementSeries(
+            positions_km=positions,
+            distance_km=distance,
+            power_dbw=power,
+            layout=self.layout,
+        )
+
+    def measure_points(self, points_km: np.ndarray) -> np.ndarray:
+        """Power matrix for isolated points (no fading, no path order).
+
+        Used by the measurement-point experiments (Figs. 12/13) where
+        the paper evaluates specific boundary locations.
+        """
+        pts = np.atleast_2d(np.asarray(points_km, dtype=float))
+        return self.propagation.power_from_sites(self.layout.bs_positions, pts)
+
+    def __repr__(self) -> str:
+        return (
+            f"MeasurementSampler(layout={self.layout!r}, "
+            f"spacing_km={self.spacing_km:g}, "
+            f"fading={self.fading!r})"
+        )

@@ -1,0 +1,227 @@
+"""High-level experiment orchestration.
+
+Builds the full stack (layout → propagation → sampler → simulator) from
+a :class:`~repro.sim.config.SimulationParameters`, runs policies over
+walks, and aggregates repeated runs — the paper's "we carry out 10 times
+simulations and calculate the average values".
+
+Policies are described by picklable *specs* — ``("fuzzy", {...})``,
+``("hysteresis", {"margin_db": 4.0})`` — so the same entry points serve
+the serial path here and the process-parallel path in
+:mod:`repro.sim.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..core.baselines import (
+    AlwaysStrongestHandover,
+    CombinedHandover,
+    DistanceHandover,
+    HysteresisHandover,
+    ThresholdHandover,
+)
+from ..core.filtering import EwmaFilter
+from ..core.system import FuzzyHandoverSystem, HandoverPolicy
+from ..mobility.base import Trace
+from .config import SimulationParameters
+from .engine import SimulationResult, Simulator
+from .measurement import MeasurementSampler
+from .metrics import DEFAULT_WINDOW_KM, HandoverMetrics, compute_metrics
+
+__all__ = [
+    "PolicySpec",
+    "make_policy",
+    "RunOutcome",
+    "run_trace",
+    "run_single",
+    "run_repetitions",
+    "run_grid",
+    "summarize_outcomes",
+]
+
+Cell = tuple[int, int]
+PolicySpec = tuple[str, dict]
+
+_POLICY_KINDS = ("fuzzy", "hysteresis", "threshold", "combined", "distance", "strongest")
+
+
+def make_policy(
+    spec: PolicySpec, params: SimulationParameters
+) -> HandoverPolicy:
+    """Instantiate a policy from a picklable spec.
+
+    Known kinds: ``fuzzy``, ``hysteresis``, ``threshold``, ``combined``,
+    ``distance``, ``strongest``.  Any spec may carry a
+    ``smoothing_alpha`` kwarg, which wraps the policy in an
+    :class:`~repro.core.filtering.EwmaFilter` (3GPP-style L3
+    measurement smoothing).
+    """
+    kind, kwargs = spec
+    kwargs = dict(kwargs)
+    smoothing = kwargs.pop("smoothing_alpha", None)
+    if smoothing is not None:
+        inner = make_policy((kind, kwargs), params)
+        return EwmaFilter(inner, alpha=smoothing)
+    if kind == "fuzzy":
+        kwargs.setdefault("cell_radius_km", params.cell_radius_km)
+        return FuzzyHandoverSystem(**kwargs)
+    if kind == "hysteresis":
+        return HysteresisHandover(**kwargs)
+    if kind == "threshold":
+        return ThresholdHandover(**kwargs)
+    if kind == "combined":
+        return CombinedHandover(**kwargs)
+    if kind == "distance":
+        layout = params.make_layout()
+        positions = {c: layout.bs_position(c) for c in layout.cells}
+        return DistanceHandover(neighbor_positions_km=positions, **kwargs)
+    if kind == "strongest":
+        return AlwaysStrongestHandover(**kwargs)
+    raise ValueError(
+        f"unknown policy kind {kind!r}; known: {', '.join(_POLICY_KINDS)}"
+    )
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Light-weight, picklable summary of one simulated run."""
+
+    policy_kind: str
+    walk_seed: int
+    speed_kmh: float
+    fading_seed: Optional[int]
+    metrics: HandoverMetrics
+    serving_sequence: tuple[Cell, ...]
+    handover_targets: tuple[Cell, ...]
+
+
+def run_trace(
+    params: SimulationParameters,
+    policy: HandoverPolicy,
+    trace: Trace,
+    speed_kmh: float = 0.0,
+    fading_seed: Optional[int] = None,
+    window_km: float = DEFAULT_WINDOW_KM,
+) -> tuple[SimulationResult, HandoverMetrics]:
+    """Measure a trace and simulate one policy over it."""
+    layout = params.make_layout()
+    fading = None
+    if params.shadow_sigma_db > 0.0:
+        fading = params.make_fading(rng=fading_seed)
+    sampler = MeasurementSampler(
+        layout,
+        params.make_propagation(),
+        spacing_km=params.measurement_spacing_km,
+        fading=fading,
+    )
+    series = sampler.measure(trace)
+    result = Simulator(policy, speed_kmh=speed_kmh).run(series)
+    return result, compute_metrics(result, window_km)
+
+
+def run_single(
+    params: SimulationParameters,
+    policy_spec: PolicySpec,
+    walk_seed: int,
+    speed_kmh: float = 0.0,
+    fading_seed: Optional[int] = None,
+    n_walks: Optional[int] = None,
+    window_km: float = DEFAULT_WINDOW_KM,
+) -> RunOutcome:
+    """One (walk seed, speed, fading seed) cell of a sweep."""
+    trace = params.make_walk(n_walks).generate_seeded(walk_seed)
+    policy = make_policy(policy_spec, params)
+    result, metrics = run_trace(
+        params, policy, trace, speed_kmh, fading_seed, window_km
+    )
+    return RunOutcome(
+        policy_kind=policy_spec[0],
+        walk_seed=walk_seed,
+        speed_kmh=speed_kmh,
+        fading_seed=fading_seed,
+        metrics=metrics,
+        serving_sequence=tuple(result.serving_sequence()),
+        handover_targets=tuple(result.handover_cells()),
+    )
+
+
+def run_repetitions(
+    params: SimulationParameters,
+    policy_spec: PolicySpec,
+    walk_seed: int,
+    speed_kmh: float = 0.0,
+    n_repetitions: Optional[int] = None,
+    window_km: float = DEFAULT_WINDOW_KM,
+) -> list[RunOutcome]:
+    """The paper's repetition loop: same walk, fresh fading each time.
+
+    With ``shadow_sigma_db == 0`` the repetitions are identical by
+    construction, so a single run is returned to avoid wasted work.
+    """
+    reps = params.n_repetitions if n_repetitions is None else n_repetitions
+    if reps < 1:
+        raise ValueError(f"n_repetitions must be >= 1, got {reps}")
+    if params.shadow_sigma_db == 0.0:
+        reps = 1
+    return [
+        run_single(
+            params,
+            policy_spec,
+            walk_seed,
+            speed_kmh,
+            fading_seed=(walk_seed * 10_007 + r),
+            window_km=window_km,
+        )
+        for r in range(reps)
+    ]
+
+
+def run_grid(
+    params: SimulationParameters,
+    policy_spec: PolicySpec,
+    walk_seeds: Sequence[int],
+    speeds_kmh: Sequence[float] = (0.0,),
+    window_km: float = DEFAULT_WINDOW_KM,
+) -> list[RunOutcome]:
+    """Serial sweep over walk seeds × speeds (one repetition each).
+
+    For the process-parallel equivalent see
+    :func:`repro.sim.parallel.run_grid_parallel`.
+    """
+    out: list[RunOutcome] = []
+    for seed in walk_seeds:
+        for speed in speeds_kmh:
+            out.append(
+                run_single(params, policy_spec, seed, speed, window_km=window_km)
+            )
+    return out
+
+
+def summarize_outcomes(outcomes: Iterable[RunOutcome]) -> dict[str, float]:
+    """Mean aggregate metrics over a set of runs."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("no outcomes to summarize")
+    metr = [o.metrics for o in outcomes]
+    mean_outputs = np.array(
+        [m.mean_output for m in metr if np.isfinite(m.mean_output)]
+    )
+    return {
+        "n_runs": float(len(outcomes)),
+        "handovers_per_run": float(np.mean([m.n_handovers for m in metr])),
+        "ping_pongs_per_run": float(np.mean([m.n_ping_pongs for m in metr])),
+        "necessary_per_run": float(np.mean([m.n_necessary for m in metr])),
+        "ping_pong_rate": float(np.mean([m.ping_pong_rate for m in metr])),
+        "wrong_cell_fraction": float(
+            np.mean([m.wrong_cell_fraction for m in metr])
+        ),
+        "mean_dwell_epochs": float(
+            np.mean([m.mean_dwell_epochs for m in metr])
+        ),
+        "mean_output": float(mean_outputs.mean()) if mean_outputs.size else float("nan"),
+    }

@@ -1,0 +1,133 @@
+"""Session/QoS layer: what the handover decisions mean for a call.
+
+The paper's introduction motivates handover quality with QoS — "balance
+the call blocking and call dropping".  This module turns a
+:class:`~repro.sim.engine.SimulationResult` into the call-level view:
+
+* **outage** — epochs whose serving signal sits below the receiver
+  sensitivity (the call is effectively broken there);
+* **call-drop model** — a call drops when the outage persists for
+  ``drop_after_km`` of walking without recovery;
+* **signalling cost** — every executed handover costs signalling; every
+  ping-pong wastes it.
+
+These metrics are what the X-series comparison uses to show that
+"never hand over" is not an acceptable way to avoid ping-pong.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .engine import SimulationResult
+from .metrics import DEFAULT_WINDOW_KM, count_ping_pongs
+
+__all__ = ["SessionMetrics", "evaluate_session"]
+
+#: Receiver sensitivity: below this serving power the link is in outage.
+#: Sits at the bottom of the FLC's SSN universe — a signal the controller
+#: itself would grade as fully "Weak".
+DEFAULT_SENSITIVITY_DBW = -115.0
+
+#: Per-handover signalling cost, in arbitrary cost units.
+DEFAULT_HANDOVER_COST = 1.0
+
+
+@dataclass(frozen=True)
+class SessionMetrics:
+    """Call-level quality summary of one simulated trace."""
+
+    outage_fraction: float
+    longest_outage_km: float
+    dropped: bool
+    n_handovers: int
+    n_ping_pongs: int
+    signalling_cost: float
+    wasted_signalling_fraction: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "outage_fraction": self.outage_fraction,
+            "longest_outage_km": self.longest_outage_km,
+            "dropped": float(self.dropped),
+            "n_handovers": float(self.n_handovers),
+            "n_ping_pongs": float(self.n_ping_pongs),
+            "signalling_cost": self.signalling_cost,
+            "wasted_signalling_fraction": self.wasted_signalling_fraction,
+        }
+
+
+def _serving_power_series(result: SimulationResult) -> np.ndarray:
+    layout = result.series.layout
+    idx = np.array(
+        [layout.index_of(c) for c in result.serving_history], dtype=np.intp
+    )
+    return result.series.power_dbw[np.arange(idx.shape[0]), idx]
+
+
+def evaluate_session(
+    result: SimulationResult,
+    sensitivity_dbw: float = DEFAULT_SENSITIVITY_DBW,
+    drop_after_km: float = 0.5,
+    handover_cost: float = DEFAULT_HANDOVER_COST,
+    window_km: float = DEFAULT_WINDOW_KM,
+) -> SessionMetrics:
+    """Call-level metrics for one simulation run.
+
+    Parameters
+    ----------
+    result:
+        The simulator output.
+    sensitivity_dbw:
+        Receiver sensitivity; serving power below it is outage.
+    drop_after_km:
+        A call drops once an uninterrupted outage stretch exceeds this
+        walked distance.
+    handover_cost:
+        Signalling cost per executed handover.
+    window_km:
+        Ping-pong window forwarded to the ping-pong counter.
+    """
+    if not math.isfinite(sensitivity_dbw):
+        raise ValueError("sensitivity_dbw must be finite")
+    if drop_after_km <= 0:
+        raise ValueError(f"drop_after_km must be positive, got {drop_after_km}")
+    if handover_cost < 0:
+        raise ValueError(f"handover_cost must be >= 0, got {handover_cost}")
+
+    serving = _serving_power_series(result)
+    outage = serving < sensitivity_dbw
+    distance = result.series.distance_km
+
+    # longest contiguous outage stretch, in walked km
+    longest = 0.0
+    run_start: float | None = None
+    for k, bad in enumerate(outage):
+        if bad and run_start is None:
+            run_start = distance[k]
+        elif not bad and run_start is not None:
+            longest = max(longest, distance[k] - run_start)
+            run_start = None
+    if run_start is not None:
+        longest = max(longest, distance[-1] - run_start)
+
+    n_pp = count_ping_pongs(result.events, window_km)
+    n_ho = result.n_handovers
+    cost = handover_cost * n_ho
+    wasted = (handover_cost * 2.0 * n_pp / cost) if cost > 0 else 0.0
+    # each ping-pong wastes its own handover and the one it reverses,
+    # capped at 1 when every handover was part of a bounce
+    wasted = min(wasted, 1.0)
+
+    return SessionMetrics(
+        outage_fraction=float(outage.mean()),
+        longest_outage_km=float(longest),
+        dropped=bool(longest > drop_after_km),
+        n_handovers=n_ho,
+        n_ping_pongs=n_pp,
+        signalling_cost=float(cost),
+        wasted_signalling_fraction=float(wasted),
+    )

@@ -1,0 +1,97 @@
+"""ASCII plot renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_multiplot, ascii_plot
+
+
+class TestSingleSeries:
+    def test_contains_markers(self):
+        x = np.linspace(0, 10, 30)
+        out = ascii_plot(x, np.sin(x))
+        assert "*" in out
+
+    def test_title_and_labels(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_plot(x, x, title="T", xlabel="xs", ylabel="ys")
+        assert "T" in out
+        assert "xs" in out
+        assert "ys" in out
+
+    def test_axis_annotations(self):
+        x = np.linspace(0, 10, 5)
+        out = ascii_plot(x, x * 2)
+        assert "0" in out and "10" in out and "20" in out
+
+    def test_deterministic(self):
+        x = np.linspace(0, 1, 20)
+        y = np.cos(x)
+        assert ascii_plot(x, y) == ascii_plot(x, y)
+
+    def test_flat_series_renders(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_plot(x, np.full(5, 3.0))
+        assert "*" in out
+
+    def test_all_zero_series(self):
+        x = np.linspace(0, 1, 5)
+        out = ascii_plot(x, np.zeros(5))
+        assert "*" in out
+
+    def test_nan_samples_skipped(self):
+        x = np.linspace(0, 1, 5)
+        y = np.array([0.0, np.nan, 1.0, np.nan, 0.5])
+        out = ascii_plot(x, y)
+        assert "*" in out
+
+    def test_monotone_series_marker_positions(self):
+        x = np.linspace(0, 1, 40)
+        out = ascii_plot(x, x, width=40, height=10)
+        rows = [l for l in out.splitlines() if "|" in l]
+        # the top plot row holds the right end, the bottom the left end
+        top_cols = [rows[0].index(c) for c in rows[0] if c == "*"]
+        bot_cols = [rows[-1].index(c) for c in rows[-1] if c == "*"]
+        if top_cols and bot_cols:
+            assert max(top_cols) > min(bot_cols)
+
+
+class TestMultiSeries:
+    def test_legend(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_multiplot(x, [x, 1 - x], labels=["up", "down"])
+        assert "legend:" in out
+        assert "* up" in out
+        assert "o down" in out
+
+    def test_distinct_markers(self):
+        x = np.linspace(0, 1, 10)
+        out = ascii_multiplot(x, [x, x + 1, x + 2], labels=["a", "b", "c"])
+        for marker in "*o+":
+            assert marker in out
+
+    def test_validation(self):
+        x = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError, match="labels"):
+            ascii_multiplot(x, [x], labels=["a", "b"])
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_multiplot(x, [], labels=[])
+        with pytest.raises(ValueError, match="shape"):
+            ascii_multiplot(x, [np.zeros(5)], labels=["a"])
+        with pytest.raises(ValueError, match="1-D"):
+            ascii_multiplot(np.zeros((2, 2)), [np.zeros(4)], labels=["a"])
+
+    def test_too_many_series_rejected(self):
+        x = np.linspace(0, 1, 4)
+        with pytest.raises(ValueError, match="at most"):
+            ascii_multiplot(x, [x] * 9, labels=[str(k) for k in range(9)])
+
+    def test_entirely_nonfinite_rejected(self):
+        x = np.linspace(0, 1, 4)
+        with pytest.raises(ValueError, match="non-finite"):
+            ascii_multiplot(x, [np.full(4, np.nan)], labels=["a"])
+
+    def test_minimum_dimensions_clamped(self):
+        x = np.linspace(0, 1, 4)
+        out = ascii_multiplot(x, [x], labels=["a"], width=1, height=1)
+        assert len(out.splitlines()) >= 4

@@ -1,0 +1,123 @@
+"""Statistics-helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    MeanCI,
+    crossing_points,
+    mean_ci,
+    monotonicity_score,
+    paired_delta,
+)
+
+
+class TestMeanCI:
+    def test_basic(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+        assert ci.low < 2.0 < ci.high
+        assert ci.high - ci.mean == pytest.approx(ci.half_width)
+
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+
+    def test_constant_samples(self):
+        ci = mean_ci([2.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_t_inflation_for_small_n(self):
+        # same spread: 3 samples must give a wider CI than 100
+        small = mean_ci([0.0, 1.0, 2.0])
+        big = mean_ci(list(np.tile([0.0, 1.0, 2.0], 34)))
+        assert small.half_width > big.half_width
+
+    def test_known_value_n2(self):
+        # n=2: sd = sqrt(0.5), sem = sd/sqrt(2) = 0.5, t(1) = 12.706
+        ci = mean_ci([0.0, 1.0])
+        assert ci.half_width == pytest.approx(12.706 * 0.5, rel=1e-3)
+
+    def test_str(self):
+        assert "n=3" in str(mean_ci([1.0, 2.0, 3.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+        with pytest.raises(ValueError):
+            mean_ci([1.0, float("nan")])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_property_mean_inside_interval(self, xs):
+        ci = mean_ci(xs)
+        assert ci.low <= ci.mean <= ci.high
+
+
+class TestPairedDelta:
+    def test_removes_common_variance(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 10, 40)
+        a = base + 1.0 + rng.normal(0, 0.1, 40)
+        b = base + rng.normal(0, 0.1, 40)
+        delta = paired_delta(a, b)
+        assert delta.mean == pytest.approx(1.0, abs=0.1)
+        assert delta.half_width < 0.2  # tiny despite the huge shared noise
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_delta([1.0, 2.0], [1.0])
+
+
+class TestMonotonicityScore:
+    def test_strictly_monotone(self):
+        assert monotonicity_score([1, 2, 3, 4]) == 1.0
+        assert monotonicity_score([4, 3, 2, 1]) == 1.0
+
+    def test_constant_is_trivially_monotone(self):
+        assert monotonicity_score([2, 2, 2]) == 1.0
+
+    def test_alternating_is_half(self):
+        assert monotonicity_score([0, 1, 0, 1, 0]) == pytest.approx(0.5)
+
+    def test_mostly_up(self):
+        assert monotonicity_score([0, 1, 2, 1, 3, 4]) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            monotonicity_score([1.0])
+
+
+class TestCrossingPoints:
+    def test_single_crossing_interpolated(self):
+        x = [0.0, 1.0, 2.0]
+        a = [0.0, 0.0, 0.0]
+        b = [-1.0, 1.0, 3.0]
+        out = crossing_points(x, a, b)
+        assert len(out) == 1
+        assert out[0] == pytest.approx(0.5)
+
+    def test_no_crossing(self):
+        x = [0.0, 1.0, 2.0]
+        assert crossing_points(x, [0, 0, 0], [1, 1, 1]) == []
+
+    def test_multiple_crossings(self):
+        x = np.linspace(0, 2 * np.pi, 200)
+        out = crossing_points(x, np.sin(x), np.zeros_like(x))
+        # sin crosses zero at 0, pi, 2pi; interior detections at ~pi
+        assert any(abs(v - np.pi) < 0.05 for v in out)
+
+    def test_touch_counts_once(self):
+        x = [0.0, 1.0, 2.0]
+        a = [1.0, 0.0, 1.0]
+        b = [0.0, 0.0, 0.0]
+        out = crossing_points(x, a, b)
+        assert out == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossing_points([0, 1], [0, 1, 2], [0, 1, 2])

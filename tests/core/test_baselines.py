@@ -1,0 +1,143 @@
+"""Baseline handover-policy tests with crafted observations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlwaysStrongestHandover,
+    CombinedHandover,
+    DistanceHandover,
+    HandoverPolicy,
+    HysteresisHandover,
+    Observation,
+    ThresholdHandover,
+)
+
+
+def obs(serving=-95.0, neighbors=((2, -1), (1, 1)),
+        powers=(-92.0, -99.0), position=(1.0, 0.0), distance=1.0):
+    return Observation(
+        position_km=np.asarray(position, dtype=float),
+        serving_cell=(0, 0),
+        serving_power_dbw=serving,
+        neighbor_cells=tuple(neighbors),
+        neighbor_powers_dbw=np.asarray(powers, dtype=float),
+        distance_to_serving_km=distance,
+    )
+
+
+def no_neighbor_obs():
+    return obs(neighbors=(), powers=())
+
+
+class TestHysteresis:
+    def test_fires_above_margin(self):
+        p = HysteresisHandover(margin_db=4.0)
+        d = p.decide(obs(serving=-97.0, powers=(-92.0, -99.0)))
+        assert d.handover and d.target == (2, -1)
+
+    def test_holds_below_margin(self):
+        p = HysteresisHandover(margin_db=4.0)
+        d = p.decide(obs(serving=-95.0, powers=(-92.0, -99.0)))
+        assert not d.handover
+
+    def test_margin_boundary_exclusive(self):
+        p = HysteresisHandover(margin_db=3.0)
+        d = p.decide(obs(serving=-95.0, powers=(-92.0, -99.0)))
+        assert not d.handover  # exactly at margin: stay
+
+    def test_no_neighbors(self):
+        p = HysteresisHandover()
+        assert not p.decide(no_neighbor_obs()).handover
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HysteresisHandover(margin_db=-1.0)
+
+    def test_protocol(self):
+        assert isinstance(HysteresisHandover(), HandoverPolicy)
+        HysteresisHandover().reset()  # no-op must not raise
+
+
+class TestThreshold:
+    def test_fires_below_threshold_with_better_neighbor(self):
+        p = ThresholdHandover(threshold_dbw=-94.0)
+        d = p.decide(obs(serving=-95.0, powers=(-92.0, -99.0)))
+        assert d.handover
+
+    def test_holds_above_threshold(self):
+        p = ThresholdHandover(threshold_dbw=-94.0)
+        d = p.decide(obs(serving=-93.0, powers=(-85.0, -99.0)))
+        assert not d.handover  # serving still above the floor
+
+    def test_holds_when_no_better_neighbor(self):
+        p = ThresholdHandover(threshold_dbw=-94.0)
+        d = p.decide(obs(serving=-95.0, powers=(-96.0, -99.0)))
+        assert not d.handover
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdHandover(threshold_dbw=float("nan"))
+
+
+class TestCombined:
+    def test_needs_both_conditions(self):
+        p = CombinedHandover(threshold_dbw=-90.0, margin_db=4.0)
+        # below floor but margin not met
+        assert not p.decide(obs(serving=-95.0, powers=(-93.0, -99.0))).handover
+        # margin met but serving above floor
+        assert not p.decide(obs(serving=-89.0, powers=(-80.0, -99.0))).handover
+        # both met
+        assert p.decide(obs(serving=-95.0, powers=(-89.0, -99.0))).handover
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinedHandover(margin_db=-2.0)
+
+
+class TestDistance:
+    def make(self, ratio=0.9):
+        positions = {
+            (2, -1): np.array([np.sqrt(3.0), 0.0]),
+            (1, 1): np.array([np.sqrt(3.0) / 2, 1.5]),
+        }
+        return DistanceHandover(
+            neighbor_positions_km=positions, margin_ratio=ratio
+        )
+
+    def test_fires_when_neighbor_clearly_closer(self):
+        p = self.make()
+        d = p.decide(obs(position=(1.6, 0.0), distance=1.6))
+        assert d.handover and d.target == (2, -1)
+
+    def test_holds_at_midpoint(self):
+        p = self.make(ratio=0.9)
+        mid = np.sqrt(3.0) / 2
+        d = p.decide(obs(position=(mid, 0.0), distance=mid))
+        assert not d.handover  # equal distances, ratio < 1 blocks
+
+    def test_unknown_neighbors_ignored(self):
+        p = DistanceHandover(neighbor_positions_km={})
+        d = p.decide(obs(position=(1.6, 0.0), distance=1.6))
+        assert not d.handover
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistanceHandover(neighbor_positions_km={}, margin_ratio=0.0)
+        with pytest.raises(ValueError):
+            DistanceHandover(neighbor_positions_km={}, margin_ratio=1.2)
+
+
+class TestAlwaysStrongest:
+    def test_fires_on_any_stronger_neighbor(self):
+        p = AlwaysStrongestHandover()
+        d = p.decide(obs(serving=-93.0, powers=(-92.9, -99.0)))
+        assert d.handover
+
+    def test_holds_when_serving_is_strongest(self):
+        p = AlwaysStrongestHandover()
+        d = p.decide(obs(serving=-90.0, powers=(-92.0, -99.0)))
+        assert not d.handover
+
+    def test_no_neighbors(self):
+        assert not AlwaysStrongestHandover().decide(no_neighbor_obs()).handover

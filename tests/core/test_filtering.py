@@ -1,0 +1,153 @@
+"""EwmaFilter tests: smoothing math, per-cell state, delegation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlwaysStrongestHandover,
+    Decision,
+    EwmaFilter,
+    HandoverPolicy,
+    Observation,
+)
+
+
+class RecordingPolicy:
+    """Captures the observations it is given; never hands over."""
+
+    def __init__(self):
+        self.seen: list[Observation] = []
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+
+    def decide(self, obs: Observation) -> Decision:
+        self.seen.append(obs)
+        return Decision(handover=False, stage="recorded")
+
+
+def obs(serving, neighbors=(-90.0,), cell=(0, 0), step=0):
+    return Observation(
+        position_km=np.zeros(2),
+        serving_cell=cell,
+        serving_power_dbw=float(serving),
+        neighbor_cells=((2, -1),) if len(neighbors) == 1 else ((2, -1), (1, 1)),
+        neighbor_powers_dbw=np.asarray(neighbors, dtype=float),
+        distance_to_serving_km=1.0,
+        step_index=step,
+    )
+
+
+class TestSmoothing:
+    def test_first_sample_initialises(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.5)
+        f.decide(obs(-90.0))
+        assert inner.seen[0].serving_power_dbw == -90.0
+
+    def test_ewma_recursion(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.5)
+        f.decide(obs(-90.0))
+        f.decide(obs(-100.0, step=1))
+        # 0.5*-90 + 0.5*-100 = -95
+        assert inner.seen[1].serving_power_dbw == pytest.approx(-95.0)
+        f.decide(obs(-100.0, step=2))
+        assert inner.seen[2].serving_power_dbw == pytest.approx(-97.5)
+
+    def test_alpha_one_is_passthrough(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=1.0)
+        for k, p in enumerate((-90.0, -100.0, -80.0)):
+            f.decide(obs(p, step=k))
+        assert [o.serving_power_dbw for o in inner.seen] == [-90.0, -100.0, -80.0]
+
+    def test_neighbors_smoothed_per_cell(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.5)
+        f.decide(obs(-90.0, neighbors=(-100.0, -80.0)))
+        f.decide(obs(-90.0, neighbors=(-90.0, -90.0), step=1))
+        second = inner.seen[1]
+        np.testing.assert_allclose(
+            second.neighbor_powers_dbw, [-95.0, -85.0]
+        )
+
+    def test_serving_and_neighbor_share_per_cell_state(self):
+        # cell (2,-1) smoothed as neighbour, then becomes serving: the
+        # filter state carries over (one filter per BS, as in a real UE)
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.5)
+        f.decide(obs(-90.0, neighbors=(-100.0,)))
+        f.decide(
+            Observation(
+                position_km=np.zeros(2),
+                serving_cell=(2, -1),
+                serving_power_dbw=-90.0,
+                neighbor_cells=((0, 0),),
+                neighbor_powers_dbw=np.array([-95.0]),
+                distance_to_serving_km=1.0,
+                step_index=1,
+            )
+        )
+        # (2,-1) was at -100; new raw -90 -> smoothed -95
+        assert inner.seen[1].serving_power_dbw == pytest.approx(-95.0)
+
+    def test_non_power_fields_pass_through(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.5)
+        o = obs(-90.0)
+        f.decide(o)
+        s = inner.seen[0]
+        assert s.serving_cell == o.serving_cell
+        assert s.distance_to_serving_km == o.distance_to_serving_km
+        assert s.step_index == o.step_index
+
+
+class TestLifecycle:
+    def test_reset_clears_state_and_delegates(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.5)
+        f.decide(obs(-90.0))
+        f.reset()
+        assert inner.resets == 1
+        f.decide(obs(-100.0))
+        # state was cleared: -100 passes through unmixed
+        assert inner.seen[-1].serving_power_dbw == -100.0
+
+    def test_decision_passthrough(self):
+        f = EwmaFilter(AlwaysStrongestHandover(), alpha=0.5)
+        d = f.decide(obs(-95.0, neighbors=(-90.0,)))
+        assert d.handover and d.target == (2, -1)
+
+    def test_protocol_conformance(self):
+        assert isinstance(EwmaFilter(RecordingPolicy()), HandoverPolicy)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaFilter(RecordingPolicy(), alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaFilter(RecordingPolicy(), alpha=1.5)
+
+
+class TestBehaviouralEffect:
+    def test_smoothing_reduces_measurement_variance(self):
+        rng = np.random.default_rng(0)
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.2)
+        raw = -92.0 + rng.normal(0, 4, 400)
+        for k, s in enumerate(raw):
+            f.decide(obs(float(s), step=k))
+        smoothed = np.array([o.serving_power_dbw for o in inner.seen])
+        assert smoothed.std() < 0.6 * raw.std()
+        # the filter tracks the mean, it does not bias it
+        assert abs(smoothed.mean() - raw.mean()) < 1.0
+
+    def test_smoothing_delays_step_response(self):
+        inner = RecordingPolicy()
+        f = EwmaFilter(inner, alpha=0.3)
+        for k in range(5):
+            f.decide(obs(-90.0, step=k))
+        f.decide(obs(-100.0, step=5))
+        stepped = inner.seen[-1].serving_power_dbw
+        assert -93.5 < stepped < -92.5  # 0.7*-90 + 0.3*-100 = -93.0

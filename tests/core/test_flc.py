@@ -1,0 +1,132 @@
+"""Tests of the paper FLC construction (Fig. 5 variables + controller)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CSSP_ANCHORS,
+    DMB_ANCHORS,
+    HANDOVER_THRESHOLD,
+    HD_ANCHORS,
+    SSN_ANCHORS,
+    build_cssp_variable,
+    build_dmb_variable,
+    build_handover_flc,
+    build_hd_variable,
+    build_ssn_variable,
+)
+
+
+class TestVariables:
+    def test_term_sets_match_paper(self):
+        assert build_cssp_variable().term_names == ("SM", "LC", "NC", "BG")
+        assert build_ssn_variable().term_names == ("WK", "NSW", "NO", "ST")
+        assert build_dmb_variable().term_names == ("NR", "NSN", "NSF", "FA")
+        assert build_hd_variable().term_names == ("VL", "LO", "LH", "HG")
+
+    def test_universes(self):
+        assert build_cssp_variable().universe == (-10.0, 10.0)
+        assert build_ssn_variable().universe == (-120.0, -80.0)
+        assert build_dmb_variable().universe == (0.0, 1.5)
+        assert build_hd_variable().universe == (0.0, 1.0)
+
+    def test_all_ruspini(self):
+        for build in (
+            build_cssp_variable,
+            build_ssn_variable,
+            build_dmb_variable,
+            build_hd_variable,
+        ):
+            var = build()
+            assert var.is_ruspini(), var.name
+            assert var.coverage_gaps() == [], var.name
+
+    def test_cssp_no_change_peaks_at_zero(self):
+        v = build_cssp_variable()
+        assert v.fuzzify(0.0)["NC"] == 1.0
+
+    def test_ssn_anchor_grades(self):
+        v = build_ssn_variable()
+        assert v.fuzzify(-120.0)["WK"] == 1.0
+        assert v.fuzzify(-80.0)["ST"] == 1.0
+        # the -100 axis mark of Fig. 5 is the WK/NSW..NO crossover zone
+        g = v.fuzzify(-100.0)
+        assert g["NSW"] > 0.0 and g["NO"] > 0.0
+
+    def test_dmb_saturates_far(self):
+        v = build_dmb_variable()
+        assert v.fuzzify(1.0)["FA"] == 1.0
+        assert v.fuzzify(3.0)["FA"] == 1.0  # clipped beyond the universe
+        assert v.fuzzify(0.1)["NR"] == 1.0
+
+    def test_anchor_constants_consistent(self):
+        assert len(CSSP_ANCHORS) == 4
+        assert len(SSN_ANCHORS) == 4
+        assert len(DMB_ANCHORS) == 4
+        assert len(HD_ANCHORS) == 4
+        assert SSN_ANCHORS[0] == -120.0 and SSN_ANCHORS[-1] == -80.0
+        assert SSN_ANCHORS[1] == pytest.approx(-106.6667, abs=1e-3)
+
+    def test_threshold_value(self):
+        assert HANDOVER_THRESHOLD == 0.7
+        # the threshold must sit between the LH and HG output anchors
+        assert HD_ANCHORS[2] < HANDOVER_THRESHOLD < HD_ANCHORS[3]
+
+
+class TestController:
+    def test_io_signature(self, paper_flc):
+        assert paper_flc.input_names == ("CSSP", "SSN", "DMB")
+        assert paper_flc.output_variable.name == "HD"
+        assert len(paper_flc.rule_base) == 64
+
+    def test_output_bounded(self, paper_flc):
+        rng = np.random.default_rng(0)
+        out = paper_flc.evaluate_batch(
+            {
+                "CSSP": rng.uniform(-10, 10, 200),
+                "SSN": rng.uniform(-120, -80, 200),
+                "DMB": rng.uniform(0, 1.5, 200),
+            }
+        )
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_clear_handover_case(self, paper_flc):
+        assert paper_flc.evaluate(CSSP=-6.0, SSN=-85.0, DMB=1.0) > 0.7
+
+    def test_clear_stay_cases(self, paper_flc):
+        assert paper_flc.evaluate(CSSP=5.0, SSN=-115.0, DMB=0.2) < 0.3
+        assert paper_flc.evaluate(CSSP=0.0, SSN=-110.0, DMB=0.3) < 0.4
+
+    def test_boundary_graze_stays_below_threshold(self, paper_flc):
+        # the Table-3 regime: mild decay, corner-strength neighbour,
+        # distance around one radius
+        out = paper_flc.evaluate(CSSP=-1.5, SSN=-92.0, DMB=0.9)
+        assert out <= HANDOVER_THRESHOLD
+
+    def test_worst_case_exceeds_threshold(self, paper_flc):
+        out = paper_flc.evaluate(CSSP=-10.0, SSN=-80.0, DMB=1.5)
+        assert out > 0.8
+
+    def test_operator_overrides(self):
+        prod = build_handover_flc(and_method="prod", agg_method="bsum")
+        out = prod.evaluate(CSSP=-6.0, SSN=-85.0, DMB=1.0)
+        assert 0.0 <= out <= 1.0
+
+    def test_defuzzifier_override(self):
+        wavg = build_handover_flc(defuzzifier="wavg")
+        cent = build_handover_flc()
+        a = wavg.evaluate(CSSP=-6.0, SSN=-85.0, DMB=1.0)
+        b = cent.evaluate(CSSP=-6.0, SSN=-85.0, DMB=1.0)
+        assert a == pytest.approx(b, abs=0.1)
+
+    def test_resolution_override(self):
+        coarse = build_handover_flc(resolution=51)
+        fine = build_handover_flc(resolution=801)
+        a = coarse.evaluate(CSSP=-3.0, SSN=-95.0, DMB=0.8)
+        b = fine.evaluate(CSSP=-3.0, SSN=-95.0, DMB=0.8)
+        assert a == pytest.approx(b, abs=0.01)
+
+    def test_out_of_universe_inputs_saturate(self, paper_flc):
+        inside = paper_flc.evaluate(CSSP=-10.0, SSN=-120.0, DMB=1.5)
+        outside = paper_flc.evaluate(CSSP=-50.0, SSN=-200.0, DMB=9.0)
+        assert inside == pytest.approx(outside)

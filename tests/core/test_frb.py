@@ -1,0 +1,130 @@
+"""Audit of the transcribed Table-1 rule base.
+
+Three layers: verbatim spot checks against the printed table,
+structural completeness, and the monotone policy structure a sane
+handover FRB must have (checked exhaustively over all 64 rules).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    CSSP_TERMS,
+    DMB_TERMS,
+    HD_TERMS,
+    PAPER_FRB,
+    SSN_TERMS,
+    build_handover_rule_base,
+    frb_as_rules,
+    frb_lookup_table,
+)
+
+#: ordinal handover intensity of the output terms
+HD_RANK = {t: k for k, t in enumerate(HD_TERMS)}  # VL=0 .. HG=3
+
+
+class TestVerbatim:
+    """Row-by-row spot checks against the printed Table 1."""
+
+    @pytest.mark.parametrize(
+        "rule_no,expected",
+        [
+            (1, ("SM", "WK", "NR", "LO")),
+            (4, ("SM", "WK", "FA", "LH")),
+            (10, ("SM", "NO", "NSN", "HG")),
+            (16, ("SM", "ST", "FA", "HG")),
+            (17, ("LC", "WK", "NR", "VL")),
+            (24, ("LC", "NSW", "FA", "LH")),
+            (29, ("LC", "ST", "NR", "LH")),
+            (32, ("LC", "ST", "FA", "HG")),
+            (33, ("NC", "WK", "NR", "VL")),
+            (36, ("NC", "WK", "FA", "LO")),
+            (44, ("NC", "NO", "FA", "LH")),
+            (48, ("NC", "ST", "FA", "HG")),
+            (49, ("BG", "WK", "NR", "VL")),
+            (52, ("BG", "WK", "FA", "VL")),
+            (56, ("BG", "NSW", "FA", "LO")),
+            (60, ("BG", "NO", "FA", "LO")),
+            (64, ("BG", "ST", "FA", "LO")),
+        ],
+    )
+    def test_rule(self, rule_no, expected):
+        assert PAPER_FRB[rule_no - 1] == expected
+
+    def test_paper_ordering(self):
+        # rules 1-16 are the SM block, iterating SSN outer / DMB inner
+        for k, (c, s, d, _) in enumerate(PAPER_FRB):
+            assert c == CSSP_TERMS[k // 16]
+            assert s == SSN_TERMS[(k % 16) // 4]
+            assert d == DMB_TERMS[k % 4]
+
+
+class TestStructure:
+    def test_64_rules(self):
+        assert len(PAPER_FRB) == 64
+
+    def test_complete_and_conflict_free(self):
+        table = frb_lookup_table()
+        assert len(table) == 64
+        combos = set(
+            itertools.product(CSSP_TERMS, SSN_TERMS, DMB_TERMS)
+        )
+        assert set(table) == combos
+
+    def test_rule_base_builds_and_is_complete(self):
+        rb = build_handover_rule_base()
+        assert len(rb) == 64
+        assert rb.is_complete()
+
+    def test_only_valid_output_terms(self):
+        assert {h for _, _, _, h in PAPER_FRB} <= set(HD_TERMS)
+
+    def test_consequent_histogram(self):
+        rb = build_handover_rule_base()
+        hist = rb.consequent_histogram()
+        assert sum(hist.values()) == 64
+        # the printed table is VL-heavy (conservative controller)
+        assert hist["VL"] == max(hist.values())
+
+    def test_rules_carry_paper_numbers(self):
+        rules = frb_as_rules()
+        assert rules[0].label == "rule 1"
+        assert rules[63].label == "rule 64"
+
+
+class TestPolicyMonotonicity:
+    """The FRB must encode a monotone handover policy."""
+
+    def test_nonincreasing_in_cssp(self):
+        # a serving signal that drops harder (SM) can only raise the
+        # handover intensity relative to one that is recovering (BG)
+        table = frb_lookup_table()
+        for s in SSN_TERMS:
+            for d in DMB_TERMS:
+                ranks = [table[(c, s, d)] for c in CSSP_TERMS]
+                vals = [HD_RANK[r] for r in ranks]
+                assert vals == sorted(vals, reverse=True), (s, d, ranks)
+
+    def test_nondecreasing_in_ssn(self):
+        # a stronger neighbour can only raise the handover intensity
+        table = frb_lookup_table()
+        for c in CSSP_TERMS:
+            for d in DMB_TERMS:
+                vals = [HD_RANK[table[(c, s, d)]] for s in SSN_TERMS]
+                assert vals == sorted(vals), (c, d, vals)
+
+    def test_nondecreasing_in_dmb(self):
+        # being further from the serving BS can only raise it
+        table = frb_lookup_table()
+        for c in CSSP_TERMS:
+            for s in SSN_TERMS:
+                vals = [HD_RANK[table[(c, s, d)]] for d in DMB_TERMS]
+                assert vals == sorted(vals), (c, s, vals)
+
+    def test_extreme_corners(self):
+        table = frb_lookup_table()
+        # falling signal + strong neighbour + far away => High
+        assert table[("SM", "ST", "FA")] == "HG"
+        # recovering signal + weak neighbour + near => Very Low
+        assert table[("BG", "WK", "NR")] == "VL"

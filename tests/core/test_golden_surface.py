@@ -1,0 +1,70 @@
+"""Golden-surface regression test.
+
+``golden_surface.npz`` pins the paper controller's decision surface on
+a fixed 5×5×5 grid.  Any change to the membership anchors, the FRB,
+the inference operators or the defuzzifier shifts these 125 values and
+fails this test — the numeric fingerprint of the reproduction.
+
+To intentionally re-baseline after a *deliberate* controller change::
+
+    python - <<'PY'
+    import numpy as np
+    from repro.core import build_handover_flc
+    flc = build_handover_flc()
+    g = np.load("tests/core/golden_surface.npz")
+    gc, gs, gd = np.meshgrid(g["cssp"], g["ssn"], g["dmb"], indexing="ij")
+    out = flc.evaluate_batch({"CSSP": gc.ravel(), "SSN": gs.ravel(),
+                              "DMB": gd.ravel()}).reshape(gc.shape)
+    np.savez_compressed("tests/core/golden_surface.npz",
+                        cssp=g["cssp"], ssn=g["ssn"], dmb=g["dmb"], output=out)
+    PY
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import build_handover_flc
+
+GOLDEN = Path(__file__).parent / "golden_surface.npz"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    data = np.load(GOLDEN)
+    return data["cssp"], data["ssn"], data["dmb"], data["output"]
+
+
+class TestGoldenSurface:
+    def test_grid_shape(self, golden):
+        cssp, ssn, dmb, output = golden
+        assert output.shape == (len(cssp), len(ssn), len(dmb)) == (5, 5, 5)
+
+    def test_surface_matches_exactly(self, golden):
+        cssp, ssn, dmb, expected = golden
+        flc = build_handover_flc()
+        gc, gs, gd = np.meshgrid(cssp, ssn, dmb, indexing="ij")
+        out = flc.evaluate_batch(
+            {"CSSP": gc.ravel(), "SSN": gs.ravel(), "DMB": gd.ravel()}
+        ).reshape(gc.shape)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_surface_is_sane(self, golden):
+        _, _, _, output = golden
+        assert output.min() >= 0.0 and output.max() <= 1.0
+        # the worst corner for staying (falling signal, strong
+        # neighbour, far) attains the global maximum
+        assert output[0, -1, -1] == output.max()
+        # the stay-friendly corner (recovering, weak, near) sits deep in
+        # the Very-Low region (the exact argmin is the fully-LC point —
+        # a grid point with a single full-grade CSSP term clips VL at
+        # height 1 and lands the lowest centroid)
+        assert output[-1, 0, 0] < 0.2
+        assert output.min() == pytest.approx(0.1555, abs=1e-3)
+
+    def test_threshold_band_is_crossed(self, golden):
+        _, _, _, output = golden
+        # the surface spans the decision threshold: both regimes exist
+        assert (output > 0.7).any()
+        assert (output < 0.7).any()

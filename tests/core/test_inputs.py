@@ -1,0 +1,121 @@
+"""Input-extraction tests (CSSP/SSN/DMB)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HandoverInputs,
+    Observation,
+    compute_cssp,
+    compute_cssp_batch,
+    compute_dmb,
+    compute_ssn,
+    inputs_from_observation,
+)
+
+
+def make_obs(**overrides) -> Observation:
+    kwargs = dict(
+        position_km=np.array([0.5, 0.0]),
+        serving_cell=(0, 0),
+        serving_power_dbw=-92.0,
+        neighbor_cells=((2, -1), (1, 1)),
+        neighbor_powers_dbw=np.array([-95.0, -99.0]),
+        distance_to_serving_km=0.5,
+        speed_kmh=0.0,
+        step_index=3,
+    )
+    kwargs.update(overrides)
+    return Observation(**kwargs)
+
+
+class TestHandoverInputs:
+    def test_as_dict_keys_match_flc(self):
+        hi = HandoverInputs(cssp_db=-2.0, ssn_db=-95.0, dmb=0.8)
+        assert hi.as_dict() == {"CSSP": -2.0, "SSN": -95.0, "DMB": 0.8}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HandoverInputs(cssp_db=math.nan, ssn_db=-95.0, dmb=0.8)
+        with pytest.raises(ValueError):
+            HandoverInputs(cssp_db=0.0, ssn_db=math.inf, dmb=0.8)
+        with pytest.raises(ValueError):
+            HandoverInputs(cssp_db=0.0, ssn_db=-95.0, dmb=-0.1)
+
+
+class TestCssp:
+    def test_sign_convention(self):
+        # weakening signal -> negative CSSP (the paper's "Small")
+        assert compute_cssp(-90.0, -93.0) == pytest.approx(-3.0)
+        assert compute_cssp(-93.0, -90.0) == pytest.approx(+3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_cssp(math.nan, -90.0)
+        with pytest.raises(ValueError):
+            compute_cssp(-90.0, math.inf)
+
+    def test_batch_first_is_zero(self):
+        out = compute_cssp_batch(np.array([-90.0, -92.0, -91.0]))
+        np.testing.assert_allclose(out, [0.0, -2.0, 1.0])
+
+    def test_batch_empty(self):
+        assert compute_cssp_batch(np.array([])).shape == (0,)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError, match="1-D"):
+            compute_cssp_batch(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="finite"):
+            compute_cssp_batch(np.array([0.0, np.nan]))
+
+
+class TestSsn:
+    def test_penalty_applied(self):
+        assert compute_ssn(-90.0, 10.0) == pytest.approx(-92.0)
+        assert compute_ssn(-90.0, 50.0) == pytest.approx(-100.0)
+
+    def test_zero_speed_passthrough(self):
+        assert compute_ssn(-90.0) == -90.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_ssn(math.nan, 0.0)
+        with pytest.raises(ValueError):
+            compute_ssn(-90.0, -5.0)
+
+
+class TestDmb:
+    def test_normalisation(self):
+        assert compute_dmb(0.5, 1.0) == 0.5
+        assert compute_dmb(2.0, 2.0) == 1.0
+        assert compute_dmb(3.0, 2.0) == 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_dmb(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            compute_dmb(1.0, 0.0)
+        with pytest.raises(ValueError):
+            compute_dmb(math.inf, 1.0)
+
+
+class TestFromObservation:
+    def test_uses_best_neighbor(self):
+        obs = make_obs()
+        hi = inputs_from_observation(obs, previous_serving_dbw=-90.0,
+                                     cell_radius_km=1.0)
+        assert hi.ssn_db == pytest.approx(-95.0)  # the stronger of the two
+        assert hi.cssp_db == pytest.approx(-2.0)
+        assert hi.dmb == pytest.approx(0.5)
+
+    def test_speed_penalises_ssn(self):
+        obs = make_obs(speed_kmh=30.0)
+        hi = inputs_from_observation(obs, -90.0, 1.0)
+        assert hi.ssn_db == pytest.approx(-101.0)
+
+    def test_no_neighbors_rejected(self):
+        obs = make_obs(neighbor_cells=(), neighbor_powers_dbw=np.array([]))
+        with pytest.raises(ValueError, match="no neighbour"):
+            inputs_from_observation(obs, -90.0, 1.0)

@@ -1,0 +1,146 @@
+"""Figure-generator tests — each asserts the qualitative shape the
+paper's corresponding figure shows."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import monotonicity_score
+from repro.experiments import (
+    SCENARIO_CROSSING,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13,
+)
+
+
+class TestFigure6:
+    def test_layout_metadata(self):
+        fig = figure_6()
+        assert fig.meta["cell_radius_km"] == 1.0
+        assert len(fig.meta["cells"]) == 19  # 2 rings
+        assert (0, 0) in fig.meta["cells"]
+
+    def test_renders(self):
+        assert "BS sites" in figure_6().render()
+
+
+class TestWalkFigures:
+    def test_figure7_visits_paper_cells(self):
+        fig = figure_7()
+        assert fig.meta["cell_sequence"] == [
+            (0, 0), (2, -1), (0, 0), (1, -2)
+        ]
+        assert fig.meta["cell_sequence"] == fig.meta["expected_sequence"]
+
+    def test_figure8_visits_paper_cells(self):
+        fig = figure_8()
+        assert fig.meta["cell_sequence"] == [
+            (0, 0), (-1, 2), (-2, 1), (-1, 2)
+        ]
+
+    def test_waypoint_counts(self):
+        assert len(figure_7().meta["waypoints"]) == 6   # nwalk=5
+        assert len(figure_8().meta["waypoints"]) == 11  # nwalk=10
+
+    def test_walk_lengths_plausible(self):
+        # 5 legs of mean 0.6 km ~ 3 km; 10 legs ~ 6 km
+        assert 1.5 < figure_7().meta["total_length_km"] < 5.0
+        assert 3.0 < figure_8().meta["total_length_km"] < 9.0
+
+    def test_render(self):
+        assert "Random Walk" in figure_7().render()
+
+
+class TestPowerFigures:
+    def test_figure9_serving_power_decays(self):
+        fig = figure_9()
+        power = fig.series["Electric Field Intensity BS(0, 0)"]
+        # the MS walks away from BS(0,0): late samples are much weaker
+        early = power[: len(power) // 4].mean()
+        late = power[-len(power) // 4:].mean()
+        assert late < early - 5.0
+
+    def test_figure10_neighbor_rises_then_holds(self):
+        fig = figure_10()
+        power = fig.series["Electric Field Intensity BS(-1, 2)"]
+        early = power[: len(power) // 4].mean()
+        mid = power[len(power) // 3: 2 * len(power) // 3].mean()
+        assert mid > early  # the MS approaches BS(-1,2)
+
+    def test_figure11_second_neighbor_peaks_between_visits(self):
+        # the walk is (0,0) -> (-1,2) -> (-2,1) -> (-1,2): BS(-1,2)'s
+        # power peaks early (first visit) and again late (return);
+        # BS(-2,1) peaks in between, during the middle dwell
+        f10 = figure_10()
+        f11 = figure_11()
+        p10 = f10.series["Electric Field Intensity BS(-1, 2)"]
+        p11 = f11.series["Electric Field Intensity BS(-2, 1)"]
+        n = len(p10)
+        first_visit_peak = int(np.argmax(p10[: n // 2]))
+        middle_peak = int(np.argmax(p11))
+        assert first_visit_peak < middle_peak
+        # and the return to (-1,2) lifts its power again at the end
+        assert p10[-1] > p10[n // 2]
+
+    def test_powers_in_paper_band(self):
+        # Figs. 9-11 axes: -140..-60 dB
+        for fig in (figure_9(), figure_10(), figure_11()):
+            assert fig.meta["min_dbw"] > -140.0
+            assert fig.meta["max_dbw"] < -60.0
+
+    def test_power_tracks_distance(self):
+        fig = figure_9()
+        power = fig.series["Electric Field Intensity BS(0, 0)"]
+        dist = np.asarray(fig.meta["distance_to_bs_km"])
+        # skipping the under-mast null, power is anti-correlated with
+        # distance to the BS
+        mask = dist > 0.2
+        rho = np.corrcoef(power[mask], dist[mask])[0, 1]
+        assert rho < -0.9
+
+    def test_x_axis_is_walked_distance(self, paper_params):
+        fig = figure_9()
+        assert fig.x[0] == 0.0
+        assert np.all(np.diff(fig.x) >= 0)
+        trace = SCENARIO_CROSSING.generate(paper_params)
+        assert fig.x[-1] == pytest.approx(trace.total_length, rel=1e-6)
+
+
+class TestMeasurementPointFigures:
+    def test_figure12_series_and_points(self):
+        fig = figure_12()
+        assert len(fig.series) == 3
+        assert len(fig.meta["measurement_epochs"]) == 3
+
+    def test_figure13_series_and_points(self):
+        fig = figure_13()
+        assert len(fig.series) == 3
+        assert len(fig.meta["measurement_epochs"]) == 3
+
+    def test_figure13_crossovers_near_boundary(self):
+        fig = figure_13()
+        # the serving/neighbour power crossover happens where the MS is
+        # roughly equidistant: within the walk, at a plausible distance
+        crossings = fig.meta["power_crossovers_km"]["(-1, 2)"]
+        assert crossings, "no crossover found"
+        measured = fig.meta["measurement_distances_km"]
+        # first crossover coincides with the first measurement point
+        assert abs(crossings[0] - measured[0]) < 0.3
+
+    def test_measurement_points_are_near_ties(self):
+        fig = figure_13()
+        series = list(fig.series.values())
+        for k in fig.meta["measurement_epochs"]:
+            values = sorted(s[k] for s in series)
+            # the two strongest of the three BSs are close at the point
+            assert values[-1] - values[-2] < 2.0
+
+    def test_render_legend(self):
+        text = figure_13().render()
+        assert "legend:" in text
+        assert "BS(0, 0)" in text

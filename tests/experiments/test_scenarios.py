@@ -1,0 +1,97 @@
+"""Frozen-scenario tests: the paper walks must stay bit-stable."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCENARIO_CROSSING,
+    SCENARIO_PINGPONG,
+    crossing_epochs,
+    measurement_point_epochs,
+)
+from repro.mobility import cell_sequence_of
+
+
+class TestFrozenSeeds:
+    def test_pingpong_sequence_matches_paper(self, paper_params):
+        # the paper's Fig. 7: (0,0) -> (2,-1) -> (0,0) -> (1,-2)
+        assert SCENARIO_PINGPONG.expected_sequence == (
+            (0, 0), (2, -1), (0, 0), (1, -2)
+        )
+        assert SCENARIO_PINGPONG.verify_sequence(paper_params)
+
+    def test_crossing_sequence_matches_paper(self, paper_params):
+        # the paper's Fig. 8: (0,0) -> (-1,2) -> (-2,1) -> (-1,2)
+        assert SCENARIO_CROSSING.expected_sequence == (
+            (0, 0), (-1, 2), (-2, 1), (-1, 2)
+        )
+        assert SCENARIO_CROSSING.verify_sequence(paper_params)
+
+    def test_walk_lengths(self, pingpong_trace, crossing_trace):
+        assert pingpong_trace.n_points == 6    # nwalk = 5
+        assert crossing_trace.n_points == 11   # nwalk = 10
+
+    def test_walks_start_at_origin(self, pingpong_trace, crossing_trace):
+        np.testing.assert_allclose(pingpong_trace.start, [0.0, 0.0])
+        np.testing.assert_allclose(crossing_trace.start, [0.0, 0.0])
+
+    def test_traces_reproducible(self, paper_params):
+        a = SCENARIO_CROSSING.generate(paper_params)
+        b = SCENARIO_CROSSING.generate(paper_params)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_paper_iseed_roles(self):
+        assert SCENARIO_PINGPONG.paper_iseed == 100
+        assert SCENARIO_CROSSING.paper_iseed == 200
+
+
+class TestCrossingEpochs:
+    def test_three_crossings_each(self, pingpong_series, crossing_series):
+        assert len(crossing_epochs(pingpong_series)) == 3
+        assert len(crossing_epochs(crossing_series)) == 3
+
+    def test_epochs_are_boundary_points(self, crossing_series):
+        # at a crossing epoch the two strongest BSs are nearly tied
+        for k in crossing_epochs(crossing_series):
+            top2 = np.sort(crossing_series.power_dbw[k])[-2:]
+            assert top2[1] - top2[0] < 1.5  # dB
+
+    def test_sequence_around_crossings(self, crossing_series):
+        layout = crossing_series.layout
+        ks = crossing_epochs(crossing_series)
+        strongest = crossing_series.strongest_cell_indices()
+        visited = [layout.cells[strongest[0]]]
+        for k in ks:
+            visited.append(layout.cells[strongest[k]])
+        assert visited == list(SCENARIO_CROSSING.expected_sequence)
+
+
+class TestMeasurementPoints:
+    def test_two_samples_per_point(self, crossing_series):
+        pts = measurement_point_epochs(crossing_series)
+        assert len(pts) == 3
+        for epochs in pts:
+            assert len(epochs) == 2
+
+    def test_samples_straddle_crossing(self, crossing_series):
+        ks = crossing_epochs(crossing_series)
+        pts = measurement_point_epochs(crossing_series, offset=2)
+        for k, (before, after) in zip(ks, pts):
+            assert before <= k <= after
+
+    def test_single_sample_mode(self, crossing_series):
+        pts = measurement_point_epochs(crossing_series, samples_per_point=1)
+        assert all(len(p) == 1 for p in pts)
+        assert [p[0] for p in pts] == crossing_epochs(crossing_series)
+
+    def test_epochs_clipped_to_series(self, crossing_series):
+        pts = measurement_point_epochs(crossing_series, offset=10_000)
+        for epochs in pts:
+            for e in epochs:
+                assert 1 <= e < crossing_series.n_epochs
+
+    def test_validation(self, crossing_series):
+        with pytest.raises(ValueError):
+            measurement_point_epochs(crossing_series, samples_per_point=0)
+        with pytest.raises(ValueError):
+            measurement_point_epochs(crossing_series, offset=0)

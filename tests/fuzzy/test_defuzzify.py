@@ -1,0 +1,157 @@
+"""Defuzzifier tests: analytic cases, degenerate inputs, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy import (
+    DEFUZZIFIERS,
+    Triangular,
+    bisector,
+    centroid,
+    get_defuzzifier,
+    largest_of_maximum,
+    mean_of_maximum,
+    smallest_of_maximum,
+    weighted_average,
+)
+
+GRID = np.linspace(0.0, 1.0, 201)
+
+
+def surface_from_mf(mf) -> np.ndarray:
+    return mf.evaluate(GRID)[None, :]
+
+
+class TestCentroid:
+    def test_symmetric_triangle(self):
+        surf = surface_from_mf(Triangular(0.2, 0.5, 0.8))
+        assert centroid(GRID, surf)[0] == pytest.approx(0.5, abs=1e-9)
+
+    def test_right_leaning_triangle(self):
+        surf = surface_from_mf(Triangular(0.0, 0.9, 1.0))
+        # analytic centroid = (a+b+c)/3
+        assert centroid(GRID, surf)[0] == pytest.approx(1.9 / 3, abs=2e-3)
+
+    def test_zero_surface_falls_back_to_midpoint(self):
+        surf = np.zeros((1, GRID.size))
+        assert centroid(GRID, surf)[0] == pytest.approx(0.5)
+
+    def test_batch_rows_independent(self):
+        s1 = surface_from_mf(Triangular(0.0, 0.2, 0.4))
+        s2 = surface_from_mf(Triangular(0.6, 0.8, 1.0))
+        both = np.vstack([s1, s2])
+        out = centroid(GRID, both)
+        assert out[0] == pytest.approx(0.2, abs=1e-9)
+        assert out[1] == pytest.approx(0.8, abs=1e-9)
+
+    def test_1d_surface_accepted(self):
+        surf = Triangular(0.2, 0.5, 0.8).evaluate(GRID)
+        assert centroid(GRID, surf).shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1-D"):
+            centroid(GRID.reshape(3, -1), np.zeros((1, GRID.size)))
+        with pytest.raises(ValueError, match="incompatible"):
+            centroid(GRID, np.zeros((1, 7)))
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            centroid(GRID, np.full((1, GRID.size), 1.5))
+
+
+class TestBisector:
+    def test_symmetric_equals_centroid(self):
+        surf = surface_from_mf(Triangular(0.2, 0.5, 0.8))
+        assert bisector(GRID, surf)[0] == pytest.approx(0.5, abs=2e-3)
+
+    def test_rectangle_halves(self):
+        surf = np.where((GRID >= 0.2) & (GRID <= 0.6), 1.0, 0.0)[None, :]
+        assert bisector(GRID, surf)[0] == pytest.approx(0.4, abs=2e-3)
+
+    def test_zero_surface_fallback(self):
+        assert bisector(GRID, np.zeros((1, GRID.size)))[0] == pytest.approx(0.5)
+
+    def test_area_split_is_equal(self):
+        surf = surface_from_mf(Triangular(0.0, 0.9, 1.0))
+        x = bisector(GRID, surf)[0]
+        mu = surf[0]
+        left = np.trapezoid(np.where(GRID <= x, mu, 0.0), GRID)
+        right = np.trapezoid(np.where(GRID > x, mu, 0.0), GRID)
+        assert left == pytest.approx(right, rel=0.05)
+
+
+class TestMaxFamily:
+    def test_plateau_statistics(self):
+        surf = np.where((GRID >= 0.4) & (GRID <= 0.8), 0.7, 0.0)[None, :]
+        surf = np.where(GRID < 0.4, 0.2, surf[0])[None, :]
+        assert smallest_of_maximum(GRID, surf)[0] == pytest.approx(0.4, abs=5e-3)
+        assert largest_of_maximum(GRID, surf)[0] == pytest.approx(0.8, abs=5e-3)
+        assert mean_of_maximum(GRID, surf)[0] == pytest.approx(0.6, abs=5e-3)
+
+    def test_single_peak(self):
+        surf = surface_from_mf(Triangular(0.2, 0.5, 0.8))
+        for fn in (smallest_of_maximum, largest_of_maximum, mean_of_maximum):
+            assert fn(GRID, surf)[0] == pytest.approx(0.5, abs=5e-3)
+
+    def test_zero_surface_fallback(self):
+        z = np.zeros((1, GRID.size))
+        for fn in (smallest_of_maximum, largest_of_maximum, mean_of_maximum):
+            assert fn(GRID, z)[0] == pytest.approx(0.5)
+
+
+class TestWeightedAverage:
+    def test_two_term_blend(self):
+        c = np.array([0.2, 0.8])
+        act = np.array([[0.5], [0.5]])
+        assert weighted_average(c, act, 0.5)[0] == pytest.approx(0.5)
+
+    def test_weighting(self):
+        c = np.array([0.2, 0.8])
+        act = np.array([[0.75], [0.25]])
+        assert weighted_average(c, act, 0.5)[0] == pytest.approx(0.35)
+
+    def test_no_activation_fallback(self):
+        c = np.array([0.2, 0.8])
+        act = np.zeros((2, 3))
+        np.testing.assert_allclose(weighted_average(c, act, 0.42), 0.42)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            weighted_average(np.array([0.2, 0.8]), np.zeros((3, 1)), 0.5)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(DEFUZZIFIERS) == {"centroid", "bisector", "mom", "som", "lom"}
+
+    def test_lookup(self):
+        assert get_defuzzifier("centroid") is centroid
+
+    def test_unknown_mentions_wavg(self):
+        with pytest.raises(ValueError, match="wavg"):
+            get_defuzzifier("nope")
+
+
+class TestProperties:
+    @given(
+        st.floats(0.05, 0.45),
+        st.floats(0.5, 0.95),
+        st.floats(0.1, 1.0),
+    )
+    @settings(max_examples=80)
+    def test_defuzz_within_support(self, peak_lo, peak_hi, clip):
+        mf = Triangular(peak_lo - 0.05, 0.5 * (peak_lo + peak_hi), peak_hi + 0.05)
+        surf = np.minimum(mf.evaluate(GRID), clip)[None, :]
+        if surf.max() == 0:
+            return
+        for name, fn in DEFUZZIFIERS.items():
+            v = fn(GRID, surf)[0]
+            assert GRID[0] <= v <= GRID[-1], name
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_centroid_between_term_centroids(self, a1, a2):
+        c = np.array([0.2, 0.8])
+        act = np.array([[a1], [a2]])
+        v = weighted_average(c, act, 0.5)[0]
+        assert 0.2 - 1e-9 <= v <= 0.8 + 1e-9

@@ -1,0 +1,277 @@
+"""Membership-function unit and property tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy import (
+    Gaussian,
+    LeftShoulder,
+    RightShoulder,
+    Singleton,
+    Trapezoidal,
+    Triangular,
+    paper_trapezoid,
+    paper_triangle,
+)
+
+
+class TestTriangular:
+    def test_peak_is_one(self):
+        mf = Triangular(0.0, 1.0, 2.0)
+        assert mf(1.0) == 1.0
+
+    def test_feet_are_zero(self):
+        mf = Triangular(0.0, 1.0, 2.0)
+        assert mf(0.0) == 0.0
+        assert mf(2.0) == 0.0
+
+    def test_outside_support_zero(self):
+        mf = Triangular(0.0, 1.0, 2.0)
+        assert mf(-5.0) == 0.0
+        assert mf(7.0) == 0.0
+
+    def test_linear_ramps(self):
+        mf = Triangular(0.0, 1.0, 2.0)
+        assert mf(0.5) == pytest.approx(0.5)
+        assert mf(1.5) == pytest.approx(0.5)
+        assert mf(0.25) == pytest.approx(0.25)
+
+    def test_asymmetric_widths(self):
+        mf = Triangular(-1.0, 0.0, 3.0)
+        assert mf(-0.5) == pytest.approx(0.5)
+        assert mf(1.5) == pytest.approx(0.5)
+
+    def test_degenerate_left_ramp(self):
+        mf = Triangular(1.0, 1.0, 2.0)
+        assert mf(1.0) == 1.0
+        assert mf(0.99) == 0.0
+        assert mf(1.5) == pytest.approx(0.5)
+
+    def test_degenerate_right_ramp(self):
+        mf = Triangular(0.0, 1.0, 1.0)
+        assert mf(1.0) == 1.0
+        assert mf(1.01) == 0.0
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="Singleton"):
+            Triangular(1.0, 1.0, 1.0)
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Triangular(2.0, 1.0, 3.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Triangular(0.0, math.nan, 2.0)
+        with pytest.raises(ValueError, match="finite"):
+            Triangular(-math.inf, 0.0, 1.0)
+
+    def test_core_and_support(self):
+        mf = Triangular(0.0, 1.0, 3.0)
+        assert mf.core == (1.0, 1.0)
+        assert mf.support == (0.0, 3.0)
+
+    def test_centroid_analytic(self):
+        mf = Triangular(0.0, 1.0, 2.0)
+        assert mf.centroid == pytest.approx(1.0)
+        mf2 = Triangular(0.0, 0.0, 3.0)
+        assert mf2.centroid == pytest.approx(1.0)
+
+    def test_array_evaluation_matches_scalar(self):
+        mf = Triangular(-1.0, 0.5, 2.0)
+        xs = np.linspace(-2, 3, 101)
+        arr = mf(xs)
+        scal = np.array([mf(float(x)) for x in xs])
+        np.testing.assert_allclose(arr, scal)
+
+    def test_scalar_returns_float(self):
+        mf = Triangular(0.0, 1.0, 2.0)
+        assert isinstance(mf(0.5), float)
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(0.01, 50),
+        st.floats(0.01, 50),
+        st.floats(-200, 200),
+    )
+    @settings(max_examples=100)
+    def test_property_range(self, b, wl, wr, x):
+        mf = Triangular(b - wl, b, b + wr)
+        val = mf(x)
+        assert 0.0 <= val <= 1.0
+
+    @given(st.floats(-10, 10), st.floats(0.1, 5))
+    @settings(max_examples=50)
+    def test_property_symmetry(self, b, w):
+        mf = Triangular(b - w, b, b + w)
+        for dx in (0.1 * w, 0.5 * w, 0.9 * w):
+            assert mf(b - dx) == pytest.approx(mf(b + dx), abs=1e-12)
+
+
+class TestTrapezoidal:
+    def test_plateau_is_one(self):
+        mf = Trapezoidal(0.0, 1.0, 2.0, 3.0)
+        for x in (1.0, 1.5, 2.0):
+            assert mf(x) == 1.0
+
+    def test_ramps(self):
+        mf = Trapezoidal(0.0, 1.0, 2.0, 3.0)
+        assert mf(0.5) == pytest.approx(0.5)
+        assert mf(2.5) == pytest.approx(0.5)
+
+    def test_outside_zero(self):
+        mf = Trapezoidal(0.0, 1.0, 2.0, 3.0)
+        assert mf(-1.0) == 0.0
+        assert mf(4.0) == 0.0
+
+    def test_core_support(self):
+        mf = Trapezoidal(0.0, 1.0, 2.0, 3.0)
+        assert mf.core == (1.0, 2.0)
+        assert mf.support == (0.0, 3.0)
+
+    def test_centroid_symmetric(self):
+        mf = Trapezoidal(0.0, 1.0, 2.0, 3.0)
+        assert mf.centroid == pytest.approx(1.5)
+
+    def test_centroid_matches_numeric(self):
+        mf = Trapezoidal(0.0, 0.5, 2.0, 4.0)
+        xs = np.linspace(0, 4, 20001)
+        mu = mf.evaluate(xs)
+        num = np.trapezoid(mu * xs, xs) / np.trapezoid(mu, xs)
+        assert mf.centroid == pytest.approx(float(num), rel=1e-4)
+
+    def test_triangle_degenerate(self):
+        mf = Trapezoidal(0.0, 1.0, 1.0, 2.0)
+        assert mf(1.0) == 1.0
+        assert mf(0.5) == pytest.approx(0.5)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Trapezoidal(1.0, 1.0, 1.0, 1.0)
+
+    def test_unordered_rejected(self):
+        with pytest.raises(ValueError):
+            Trapezoidal(0.0, 2.0, 1.0, 3.0)
+
+    @given(st.floats(-50, 50), st.floats(0, 10), st.floats(0.01, 10),
+           st.floats(0, 10), st.floats(-100, 100))
+    @settings(max_examples=100)
+    def test_property_range(self, a, w1, w2, w3, x):
+        mf = Trapezoidal(a, a + w1, a + w1 + w2, a + w1 + w2 + w3)
+        assert 0.0 <= mf(x) <= 1.0
+
+
+class TestShoulders:
+    def test_left_saturation(self):
+        mf = LeftShoulder(-10.0, -5.0)
+        assert mf(-20.0) == 1.0
+        assert mf(-10.0) == 1.0
+        assert mf(-7.5) == pytest.approx(0.5)
+        assert mf(-5.0) == 0.0
+        assert mf(0.0) == 0.0
+
+    def test_right_saturation(self):
+        mf = RightShoulder(5.0, 10.0)
+        assert mf(0.0) == 0.0
+        assert mf(5.0) == 0.0
+        assert mf(7.5) == pytest.approx(0.5)
+        assert mf(10.0) == 1.0
+        assert mf(50.0) == 1.0
+
+    def test_left_core_support_unbounded(self):
+        mf = LeftShoulder(0.0, 1.0)
+        assert mf.core == (-math.inf, 0.0)
+        assert mf.support == (-math.inf, 1.0)
+
+    def test_right_core_support_unbounded(self):
+        mf = RightShoulder(0.0, 1.0)
+        assert mf.core == (1.0, math.inf)
+        assert mf.support == (0.0, math.inf)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            LeftShoulder(1.0, 1.0)
+        with pytest.raises(ValueError):
+            RightShoulder(2.0, 2.0)
+
+    def test_left_centroid_below_shoulder_edge(self):
+        mf = LeftShoulder(0.0, 1.0)
+        # plateau [-1, 0] + ramp [0, 1]: centroid must sit left of 0.held
+        assert mf.centroid < 0.25
+        assert mf.centroid > -1.0
+
+    def test_right_centroid_mirrors_left(self):
+        left = LeftShoulder(-1.0, 0.0)
+        right = RightShoulder(0.0, 1.0)
+        assert right.centroid == pytest.approx(-left.centroid, abs=1e-9)
+
+    @given(st.floats(-20, 20), st.floats(0.1, 10), st.floats(-50, 50))
+    @settings(max_examples=60)
+    def test_property_monotone_left(self, s, w, x):
+        mf = LeftShoulder(s, s + w)
+        assert mf(x) >= mf(x + 0.5)
+
+
+class TestGaussianSingleton:
+    def test_gaussian_peak(self):
+        mf = Gaussian(2.0, 1.0)
+        assert mf(2.0) == 1.0
+
+    def test_gaussian_sigma_point(self):
+        mf = Gaussian(0.0, 2.0)
+        assert mf(2.0) == pytest.approx(math.exp(-0.5))
+
+    def test_gaussian_centroid(self):
+        assert Gaussian(3.5, 0.7).centroid == 3.5
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            Gaussian(0.0, 0.0)
+        with pytest.raises(ValueError):
+            Gaussian(0.0, -1.0)
+        with pytest.raises(ValueError):
+            Gaussian(math.nan, 1.0)
+
+    def test_gaussian_support_covers_tails(self):
+        mf = Gaussian(0.0, 1.0)
+        lo, hi = mf.support
+        assert mf(lo) <= 1e-5
+        assert mf(hi) <= 1e-5
+        assert lo < -4 and hi > 4
+
+    def test_singleton(self):
+        mf = Singleton(1.5)
+        assert mf(1.5) == 1.0
+        assert mf(1.5000001) == 0.0
+        assert mf.centroid == 1.5
+        assert mf.core == (1.5, 1.5)
+
+    def test_singleton_validation(self):
+        with pytest.raises(ValueError):
+            Singleton(math.inf)
+
+
+class TestPaperParametrisation:
+    def test_paper_triangle_maps_widths(self):
+        mf = paper_triangle(0.0, 2.0, 3.0)
+        assert mf.a == -2.0
+        assert mf.b == 0.0
+        assert mf.c == 3.0
+
+    def test_paper_trapezoid_maps_edges(self):
+        mf = paper_trapezoid(1.0, 3.0, 0.5, 1.5)
+        assert (mf.a, mf.b, mf.c, mf.d) == (0.5, 1.0, 3.0, 4.5)
+
+    def test_negative_widths_rejected(self):
+        with pytest.raises(ValueError):
+            paper_triangle(0.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            paper_trapezoid(0.0, 1.0, 1.0, -2.0)
+
+    def test_trapezoid_edge_order_enforced(self):
+        with pytest.raises(ValueError):
+            paper_trapezoid(3.0, 1.0, 0.5, 0.5)

@@ -1,0 +1,200 @@
+"""Rule and rule-base tests, including the textual parser."""
+
+import numpy as np
+import pytest
+
+from repro.fuzzy import (
+    Rule,
+    RuleBase,
+    RuleConflictError,
+    parse_rule,
+    parse_rules,
+    ruspini_partition,
+)
+
+
+def two_vars():
+    a = ruspini_partition("A", [0.0, 1.0], ["LO", "HI"])
+    b = ruspini_partition("B", [0.0, 1.0], ["LO", "HI"])
+    out = ruspini_partition("OUT", [0.0, 0.5, 1.0], ["N", "M", "Y"])
+    return a, b, out
+
+
+def full_rules():
+    return [
+        Rule({"A": "LO", "B": "LO"}, "N"),
+        Rule({"A": "LO", "B": "HI"}, "M"),
+        Rule({"A": "HI", "B": "LO"}, "M"),
+        Rule({"A": "HI", "B": "HI"}, "Y"),
+    ]
+
+
+class TestRule:
+    def test_key_order(self):
+        r = Rule({"B": "HI", "A": "LO"}, "M")
+        assert r.key(["A", "B"]) == ("LO", "HI")
+        assert r.key(["B", "A"]) == ("HI", "LO")
+
+    def test_describe(self):
+        r = Rule({"A": "LO", "B": "HI"}, "M")
+        assert r.describe("OUT") == "IF A is LO AND B is HI THEN OUT is M"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="antecedent"):
+            Rule({}, "Y")
+        with pytest.raises(ValueError, match="consequent"):
+            Rule({"A": "LO"}, "")
+        with pytest.raises(ValueError, match="weight"):
+            Rule({"A": "LO"}, "Y", weight=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            Rule({"A": "LO"}, "Y", weight=1.5)
+
+    def test_antecedent_frozen_copy(self):
+        src = {"A": "LO"}
+        r = Rule(src, "Y")
+        src["A"] = "HI"
+        assert r.antecedent["A"] == "LO"
+
+
+class TestRuleBase:
+    def test_construction_and_len(self):
+        a, b, out = two_vars()
+        rb = RuleBase([a, b], out, full_rules())
+        assert len(rb) == 4
+        assert rb.variable_names == ("A", "B")
+
+    def test_is_complete(self):
+        a, b, out = two_vars()
+        rb = RuleBase([a, b], out, full_rules())
+        assert rb.is_complete()
+        assert rb.missing_combinations() == []
+
+    def test_missing_combination_listed(self):
+        a, b, out = two_vars()
+        rb = RuleBase([a, b], out, full_rules()[:3])
+        assert rb.missing_combinations() == [("HI", "HI")]
+        assert not rb.is_complete()
+
+    def test_missing_variable_condition_rejected(self):
+        a, b, out = two_vars()
+        with pytest.raises(ValueError, match="missing condition"):
+            RuleBase([a, b], out, [Rule({"A": "LO"}, "N")])
+
+    def test_unknown_variable_rejected(self):
+        a, b, out = two_vars()
+        with pytest.raises(ValueError, match="unknown variable"):
+            RuleBase(
+                [a, b], out, [Rule({"A": "LO", "B": "LO", "C": "LO"}, "N")]
+            )
+
+    def test_unknown_term_rejected(self):
+        a, b, out = two_vars()
+        with pytest.raises(ValueError, match="no term"):
+            RuleBase([a, b], out, [Rule({"A": "XX", "B": "LO"}, "N")])
+
+    def test_unknown_output_term_rejected(self):
+        a, b, out = two_vars()
+        with pytest.raises(ValueError, match="no term"):
+            RuleBase([a, b], out, [Rule({"A": "LO", "B": "LO"}, "XX")])
+
+    def test_conflict_detected(self):
+        a, b, out = two_vars()
+        rules = full_rules() + [Rule({"A": "LO", "B": "LO"}, "Y")]
+        with pytest.raises(RuleConflictError):
+            RuleBase([a, b], out, rules)
+
+    def test_conflict_check_disabled(self):
+        a, b, out = two_vars()
+        rules = full_rules() + [Rule({"A": "LO", "B": "LO"}, "Y")]
+        rb = RuleBase([a, b], out, rules, check_conflicts=False)
+        assert len(rb) == 5
+
+    def test_duplicate_nonconflicting_allowed(self):
+        a, b, out = two_vars()
+        rules = full_rules() + [Rule({"A": "LO", "B": "LO"}, "N")]
+        rb = RuleBase([a, b], out, rules)
+        assert len(rb) == 5
+
+    def test_duplicate_input_names_rejected(self):
+        a, _, out = two_vars()
+        with pytest.raises(ValueError, match="duplicate"):
+            RuleBase([a, a], out, [Rule({"A": "LO"}, "N")])
+
+    def test_empty_rejected(self):
+        a, b, out = two_vars()
+        with pytest.raises(ValueError):
+            RuleBase([a, b], out, [])
+        with pytest.raises(ValueError):
+            RuleBase([], out, full_rules())
+
+    def test_consequent_histogram(self):
+        a, b, out = two_vars()
+        rb = RuleBase([a, b], out, full_rules())
+        assert rb.consequent_histogram() == {"N": 1, "M": 2, "Y": 1}
+
+    def test_lookup(self):
+        a, b, out = two_vars()
+        rb = RuleBase([a, b], out, full_rules())
+        assert rb.lookup(A="HI", B="HI").consequent == "Y"
+        with pytest.raises(KeyError):
+            rb.lookup(A="HI", B="XX")
+
+    def test_compile_indices(self):
+        a, b, out = two_vars()
+        rb = RuleBase([a, b], out, full_rules())
+        ant, con, w = rb.compile_indices()
+        assert ant.shape == (4, 2)
+        assert con.shape == (4,)
+        np.testing.assert_array_equal(ant[0], [0, 0])  # LO, LO
+        np.testing.assert_array_equal(ant[3], [1, 1])  # HI, HI
+        assert con[0] == 0  # N
+        assert con[3] == 2  # Y
+        np.testing.assert_allclose(w, 1.0)
+
+
+class TestParser:
+    def test_round_trip(self):
+        r = parse_rule("IF A is LO AND B is HI THEN OUT is M")
+        assert r.antecedent == {"A": "LO", "B": "HI"}
+        assert r.consequent == "M"
+        assert r.weight == 1.0
+
+    def test_weight_suffix(self):
+        r = parse_rule("IF A is LO THEN OUT is M [weight=0.5]")
+        assert r.weight == 0.5
+
+    def test_case_insensitive_keywords(self):
+        r = parse_rule("if A is LO and B is HI then OUT is M")
+        assert r.consequent == "M"
+
+    def test_output_name_checked(self):
+        with pytest.raises(ValueError, match="does not match"):
+            parse_rule("IF A is LO THEN WRONG is M", output_name="OUT")
+
+    def test_unparseable(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_rule("A is LO gives M")
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_rule("IF A equals LO THEN OUT is M")
+
+    def test_duplicate_condition_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_rule("IF A is LO AND A is HI THEN OUT is M")
+
+    def test_parse_rules_skips_comments_and_blanks(self):
+        text = [
+            "# header comment",
+            "",
+            "IF A is LO AND B is LO THEN OUT is N",
+            "   ",
+            "IF A is HI AND B is HI THEN OUT is Y",
+        ]
+        rules = parse_rules(text, output_name="OUT")
+        assert len(rules) == 2
+        assert rules[1].consequent == "Y"
+
+    def test_parsed_rules_build_a_rule_base(self):
+        a, b, out = two_vars()
+        lines = [r.describe("OUT") for r in full_rules()]
+        rb = RuleBase([a, b], out, parse_rules(lines, output_name="OUT"))
+        assert rb.is_complete()

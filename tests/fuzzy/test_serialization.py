@@ -1,0 +1,147 @@
+"""Rule-base and variable serialization round-trip tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_cssp_variable,
+    build_dmb_variable,
+    build_handover_flc,
+    build_handover_rule_base,
+    build_hd_variable,
+    build_ssn_variable,
+)
+from repro.fuzzy import (
+    FuzzyController,
+    Gaussian,
+    LinguisticVariable,
+    Rule,
+    RuleBase,
+    Singleton,
+    Term,
+    Trapezoidal,
+    Triangular,
+    rules_from_text,
+    rules_to_text,
+    ruspini_partition,
+    variable_from_dict,
+    variable_to_dict,
+)
+
+
+class TestRuleRoundTrip:
+    def test_paper_frb_round_trips(self):
+        rb = build_handover_rule_base()
+        text = rules_to_text(rb, header="paper Table 1")
+        rb2 = rules_from_text(
+            text,
+            [build_cssp_variable(), build_ssn_variable(), build_dmb_variable()],
+            build_hd_variable(),
+        )
+        assert len(rb2) == 64
+        assert rb2.is_complete()
+        for r1, r2 in zip(rb.rules, rb2.rules):
+            assert r1.antecedent == r2.antecedent
+            assert r1.consequent == r2.consequent
+
+    def test_round_trip_preserves_controller_behaviour(self):
+        rb = build_handover_rule_base()
+        rb2 = rules_from_text(
+            rules_to_text(rb),
+            [build_cssp_variable(), build_ssn_variable(), build_dmb_variable()],
+            build_hd_variable(),
+        )
+        c1 = build_handover_flc()
+        c2 = FuzzyController(rb2)
+        rng = np.random.default_rng(9)
+        grid = {
+            "CSSP": rng.uniform(-10, 10, 100),
+            "SSN": rng.uniform(-120, -80, 100),
+            "DMB": rng.uniform(0, 1.5, 100),
+        }
+        np.testing.assert_allclose(
+            c1.evaluate_batch(grid), c2.evaluate_batch(grid), atol=1e-12
+        )
+
+    def test_header_is_commented(self):
+        rb = build_handover_rule_base()
+        text = rules_to_text(rb, header="line one\nline two")
+        lines = text.splitlines()
+        assert lines[0] == "# line one"
+        assert lines[1] == "# line two"
+
+    def test_weights_survive(self):
+        a = ruspini_partition("A", [0.0, 1.0], ["LO", "HI"])
+        out = ruspini_partition("OUT", [0.0, 1.0], ["N", "Y"])
+        rb = RuleBase(
+            [a],
+            out,
+            [Rule({"A": "LO"}, "N", weight=0.25), Rule({"A": "HI"}, "Y")],
+        )
+        rb2 = rules_from_text(rules_to_text(rb), [a], out)
+        assert rb2.rules[0].weight == 0.25
+        assert rb2.rules[1].weight == 1.0
+
+
+class TestVariableRoundTrip:
+    @pytest.mark.parametrize(
+        "build",
+        [
+            build_cssp_variable,
+            build_ssn_variable,
+            build_dmb_variable,
+            build_hd_variable,
+        ],
+    )
+    def test_paper_variables_round_trip(self, build):
+        var = build()
+        data = variable_to_dict(var)
+        # must survive a JSON round trip too
+        back = variable_from_dict(json.loads(json.dumps(data)))
+        assert back.name == var.name
+        assert back.universe == var.universe
+        assert back.term_names == var.term_names
+        xs = var.sample(101)
+        np.testing.assert_allclose(
+            back.membership_matrix(xs), var.membership_matrix(xs), atol=1e-12
+        )
+
+    def test_all_mf_shapes_round_trip(self):
+        terms = [
+            Term("t1", Triangular(0.0, 1.0, 2.0)),
+            Term("t2", Trapezoidal(1.0, 2.0, 3.0, 4.0)),
+            Term("t3", Gaussian(5.0, 0.5)),
+            Term("t4", Singleton(6.0)),
+        ]
+        var = LinguisticVariable("V", (0.0, 7.0), terms)
+        back = variable_from_dict(variable_to_dict(var))
+        xs = np.linspace(0, 7, 201)
+        np.testing.assert_allclose(
+            back.membership_matrix(xs), var.membership_matrix(xs), atol=1e-12
+        )
+
+    def test_unknown_mf_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown membership"):
+            variable_from_dict(
+                {
+                    "name": "V",
+                    "universe": [0, 1],
+                    "terms": [{"name": "t", "mf": {"type": "cauchy"}}],
+                }
+            )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            variable_from_dict({"name": "V", "universe": [0, 1]})
+        with pytest.raises(ValueError, match="missing field"):
+            variable_from_dict(
+                {
+                    "name": "V",
+                    "universe": [0, 1],
+                    "terms": [
+                        {"name": "t", "mf": {"type": "triangular", "a": 0}}
+                    ],
+                }
+            )

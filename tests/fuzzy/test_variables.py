@@ -1,0 +1,205 @@
+"""Linguistic-variable and partition tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy import (
+    LinguisticVariable,
+    Term,
+    Triangular,
+    ruspini_partition,
+)
+
+
+def simple_var() -> LinguisticVariable:
+    return LinguisticVariable(
+        "X",
+        (0.0, 10.0),
+        [
+            Term("LO", Triangular(0.0, 0.0, 5.0)),
+            Term("MID", Triangular(0.0, 5.0, 10.0)),
+            Term("HI", Triangular(5.0, 10.0, 10.0)),
+        ],
+        unit="u",
+    )
+
+
+class TestTerm:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Term("", Triangular(0, 1, 2))
+        with pytest.raises(ValueError):
+            Term("   ", Triangular(0, 1, 2))
+
+    def test_grade_delegates(self):
+        t = Term("A", Triangular(0, 1, 2))
+        assert t.grade(1.0) == 1.0
+
+    def test_repr_contains_name(self):
+        assert "A" in repr(Term("A", Triangular(0, 1, 2), label="Alpha"))
+
+
+class TestLinguisticVariable:
+    def test_term_names_order(self):
+        assert simple_var().term_names == ("LO", "MID", "HI")
+
+    def test_len_and_contains(self):
+        v = simple_var()
+        assert len(v) == 3
+        assert "MID" in v
+        assert "NOPE" not in v
+
+    def test_getitem_and_index(self):
+        v = simple_var()
+        assert v["HI"].name == "HI"
+        assert v.term_index("MID") == 1
+
+    def test_unknown_term_raises_with_known_list(self):
+        v = simple_var()
+        with pytest.raises(KeyError, match="LO, MID, HI"):
+            v["nope"]
+        with pytest.raises(KeyError):
+            v.term_index("nope")
+
+    def test_duplicate_term_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LinguisticVariable(
+                "X",
+                (0, 1),
+                [Term("A", Triangular(0, 0, 1)), Term("A", Triangular(0, 1, 1))],
+            )
+
+    def test_bad_universe_rejected(self):
+        terms = [Term("A", Triangular(0, 0.5, 1))]
+        with pytest.raises(ValueError):
+            LinguisticVariable("X", (1.0, 0.0), terms)
+        with pytest.raises(ValueError):
+            LinguisticVariable("X", (0.0, 0.0), terms)
+        with pytest.raises(ValueError):
+            LinguisticVariable("X", (0.0, np.inf), terms)
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            LinguisticVariable("X", (0, 1), [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            LinguisticVariable("", (0, 1), [Term("A", Triangular(0, 0.5, 1))])
+
+    def test_clip(self):
+        v = simple_var()
+        assert v.clip(-5.0) == 0.0
+        assert v.clip(15.0) == 10.0
+        assert v.clip(3.0) == 3.0
+        np.testing.assert_allclose(
+            v.clip(np.array([-1.0, 5.0, 11.0])), [0.0, 5.0, 10.0]
+        )
+
+    def test_fuzzify_returns_all_terms(self):
+        grades = simple_var().fuzzify(5.0)
+        assert set(grades) == {"LO", "MID", "HI"}
+        assert grades["MID"] == 1.0
+        assert grades["LO"] == 0.0
+
+    def test_fuzzify_clips_out_of_range(self):
+        grades = simple_var().fuzzify(100.0)
+        assert grades["HI"] == 1.0
+
+    def test_fuzzify_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            simple_var().fuzzify(float("nan"))
+
+    def test_membership_matrix_shape_and_rows(self):
+        v = simple_var()
+        xs = np.linspace(0, 10, 21)
+        m = v.membership_matrix(xs)
+        assert m.shape == (3, 21)
+        np.testing.assert_allclose(m[1], [v["MID"].mf(float(x)) for x in xs])
+
+    def test_membership_matrix_validation(self):
+        v = simple_var()
+        with pytest.raises(ValueError, match="1-D"):
+            v.membership_matrix(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="NaN"):
+            v.membership_matrix(np.array([1.0, np.nan]))
+
+    def test_sample_grid(self):
+        xs = simple_var().sample(11)
+        assert xs.shape == (11,)
+        assert xs[0] == 0.0 and xs[-1] == 10.0
+        with pytest.raises(ValueError):
+            simple_var().sample(1)
+
+    def test_coverage_gaps_none_for_good_var(self):
+        assert simple_var().coverage_gaps() == []
+
+    def test_coverage_gaps_detected(self):
+        v = LinguisticVariable(
+            "X",
+            (0.0, 10.0),
+            [Term("A", Triangular(0, 1, 2)), Term("B", Triangular(8, 9, 10))],
+        )
+        gaps = v.coverage_gaps(101)
+        assert gaps  # the middle of the universe is uncovered
+        assert any(4.0 <= g <= 6.0 for g in gaps)
+        # the term cores are covered
+        assert all(not (0.5 <= g <= 1.5) for g in gaps)
+        assert all(not (8.5 <= g <= 9.5) for g in gaps)
+
+    def test_is_ruspini(self):
+        assert simple_var().is_ruspini()
+
+
+class TestRuspiniPartition:
+    def test_partition_structure(self):
+        v = ruspini_partition("V", [0.0, 1.0, 2.0, 4.0], ["A", "B", "C", "D"])
+        assert v.term_names == ("A", "B", "C", "D")
+        assert v.universe == (0.0, 4.0)
+
+    def test_sum_to_one_everywhere(self):
+        v = ruspini_partition("V", [-10, -5, 0, 10], ["a", "b", "c", "d"])
+        assert v.is_ruspini()
+
+    def test_shoulder_saturation(self):
+        v = ruspini_partition("V", [0.0, 1.0, 2.0], ["A", "B", "C"])
+        assert v["A"].mf(-100.0) == 1.0
+        assert v["C"].mf(+100.0) == 1.0
+
+    def test_explicit_universe(self):
+        v = ruspini_partition(
+            "V", [0.25, 0.5, 0.75], ["A", "B", "C"], universe=(0.0, 1.5)
+        )
+        assert v.universe == (0.0, 1.5)
+        assert v.is_ruspini()  # shoulders keep the sum at 1 beyond anchors
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="anchors"):
+            ruspini_partition("V", [0.0], ["A"])
+        with pytest.raises(ValueError, match="increasing"):
+            ruspini_partition("V", [0.0, 0.0], ["A", "B"])
+        with pytest.raises(ValueError, match="term names"):
+            ruspini_partition("V", [0.0, 1.0], ["A"])
+        with pytest.raises(ValueError, match="labels"):
+            ruspini_partition("V", [0.0, 1.0], ["A", "B"], labels=["x"])
+
+    @given(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=2, max_size=6
+        ).map(sorted).filter(
+            lambda xs: all(b - a > 1e-3 for a, b in zip(xs, xs[1:]))
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_random_partitions_sum_to_one(self, anchors):
+        names = [f"t{i}" for i in range(len(anchors))]
+        v = ruspini_partition("V", anchors, names)
+        assert v.is_ruspini(tol=1e-9)
+
+    @given(st.floats(-200, 200, allow_nan=False))
+    @settings(max_examples=60)
+    def test_property_grades_in_unit_interval(self, x):
+        v = ruspini_partition("V", [-10, -5, 0, 10], ["a", "b", "c", "d"])
+        for g in v.fuzzify(x).values():
+            assert 0.0 <= g <= 1.0

@@ -1,0 +1,237 @@
+"""Hex-grid geometry tests: the paper's (i, j) scheme, embeddings,
+assignment and boundary math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import NEIGHBOR_OFFSETS, SQRT3, HexGrid, hex_distance
+
+# valid paper lattice coordinates for property tests: i-j and i+2j both
+# divisible by 3 <=> generated from the neighbour basis
+lattice_cells = st.tuples(
+    st.integers(-6, 6), st.integers(-6, 6)
+).map(lambda qr: (2 * qr[0] + qr[1], qr[1] - qr[0]))
+
+
+class TestCoordinateScheme:
+    def test_origin_at_zero(self):
+        g = HexGrid(1.0)
+        np.testing.assert_allclose(g.center((0, 0)), [0.0, 0.0])
+
+    def test_paper_neighbor_offsets(self):
+        assert set(NEIGHBOR_OFFSETS) == {
+            (2, -1), (1, 1), (-1, 2), (-2, 1), (-1, -1), (1, -2)
+        }
+
+    def test_east_neighbor_position(self):
+        g = HexGrid(1.0)
+        c = g.center((2, -1))
+        np.testing.assert_allclose(c, [SQRT3, 0.0], atol=1e-12)
+
+    def test_all_neighbors_equidistant(self):
+        g = HexGrid(2.0)
+        base = g.center((0, 0))
+        for cell in g.neighbors((0, 0)):
+            d = np.hypot(*(g.center(cell) - base))
+            assert d == pytest.approx(g.spacing_km, abs=1e-12)
+
+    def test_neighbor_angles_60_degrees_apart(self):
+        g = HexGrid(1.0)
+        angles = sorted(
+            math.atan2(*(g.center(c) - g.center((0, 0)))[::-1])
+            for c in g.neighbors((0, 0))
+        )
+        diffs = np.diff(angles)
+        np.testing.assert_allclose(diffs, math.pi / 3, atol=1e-9)
+
+    def test_invalid_coordinate_rejected(self):
+        g = HexGrid(1.0)
+        with pytest.raises(ValueError, match="not a valid"):
+            g.center((1, 0))
+        with pytest.raises(ValueError, match="not a valid"):
+            g.neighbors((0, 1))
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ValueError):
+            HexGrid(0.0)
+        with pytest.raises(ValueError):
+            HexGrid(-2.0)
+        with pytest.raises(ValueError):
+            HexGrid(float("nan"))
+
+    def test_spacing_and_apothem(self):
+        g = HexGrid(2.0)
+        assert g.spacing_km == pytest.approx(2.0 * SQRT3)
+        assert g.apothem_km == pytest.approx(SQRT3)
+
+    @given(lattice_cells)
+    @settings(max_examples=60)
+    def test_property_neighbors_are_valid_lattice_points(self, cell):
+        g = HexGrid(1.0)
+        for n in g.neighbors(cell):
+            g.center(n)  # must not raise
+
+
+class TestHexDistance:
+    def test_self_distance_zero(self):
+        assert hex_distance((0, 0), (0, 0)) == 0
+
+    def test_neighbors_distance_one(self):
+        for di, dj in NEIGHBOR_OFFSETS:
+            assert hex_distance((0, 0), (di, dj)) == 1
+
+    def test_two_steps(self):
+        assert hex_distance((0, 0), (4, -2)) == 2  # twice east
+        assert hex_distance((0, 0), (3, 0)) == 2   # east + north-east
+
+    def test_symmetry(self):
+        assert hex_distance((2, -1), (-1, 2)) == hex_distance((-1, 2), (2, -1))
+
+    @given(lattice_cells, lattice_cells, lattice_cells)
+    @settings(max_examples=60)
+    def test_property_triangle_inequality(self, a, b, c):
+        assert hex_distance(a, c) <= hex_distance(a, b) + hex_distance(b, c)
+
+
+class TestCellAssignment:
+    def test_centers_map_to_their_cells(self):
+        g = HexGrid(1.7)
+        for cell in [(0, 0), (2, -1), (-1, 2), (4, -2), (1, 1), (-3, 3)]:
+            assigned = g.cell_of(g.center(cell))
+            assert tuple(assigned) == cell
+
+    def test_batch_assignment(self):
+        g = HexGrid(1.0)
+        cells = [(0, 0), (2, -1), (1, -2)]
+        pts = np.array([g.center(c) for c in cells])
+        out = g.cell_of(pts)
+        assert out.shape == (3, 2)
+        for row, cell in zip(out, cells):
+            assert tuple(row) == cell
+
+    def test_assignment_is_nearest_center(self):
+        g = HexGrid(1.3)
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(-4, 4, size=(200, 2))
+        assigned = g.cell_of(pts)
+        for p, ij in zip(pts, assigned):
+            c = g.center(tuple(ij))
+            d_assigned = np.hypot(*(p - c))
+            # no neighbour of the assigned cell may be strictly closer
+            for n in g.neighbors(tuple(ij)):
+                d_n = np.hypot(*(p - g.center(n)))
+                assert d_assigned <= d_n + 1e-9
+
+    @given(st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=80)
+    def test_property_assigned_cell_contains_point(self, x, y):
+        g = HexGrid(1.0)
+        cell = tuple(g.cell_of(np.array([x, y])))
+        assert g.contains(cell, np.array([x, y]))
+
+    def test_shape_validation(self):
+        g = HexGrid(1.0)
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            g.fractional_coords(np.zeros((3, 3)))
+
+
+class TestBoundaryGeometry:
+    def test_center_is_apothem_from_boundary(self):
+        g = HexGrid(2.0)
+        d = g.boundary_distance((0, 0), np.array([0.0, 0.0]))
+        assert d == pytest.approx(g.apothem_km)
+
+    def test_edge_midpoint_on_boundary(self):
+        g = HexGrid(1.0)
+        mid = g.shared_edge_midpoint((0, 0), (2, -1))
+        assert g.boundary_distance((0, 0), mid) == pytest.approx(0.0, abs=1e-12)
+        assert g.boundary_distance((2, -1), mid) == pytest.approx(0.0, abs=1e-12)
+
+    def test_outside_is_negative(self):
+        g = HexGrid(1.0)
+        far = np.array([10.0, 0.0])
+        assert g.boundary_distance((0, 0), far) < 0
+
+    def test_batch_boundary_distance(self):
+        g = HexGrid(1.0)
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        d = g.boundary_distance((0, 0), pts)
+        assert d.shape == (2,)
+        assert d[0] > 0 > d[1]
+
+    def test_vertices_on_circumradius(self):
+        g = HexGrid(1.5)
+        v = g.vertices((2, -1))
+        c = g.center((2, -1))
+        radii = np.hypot(*(v - c).T)
+        np.testing.assert_allclose(radii, 1.5, atol=1e-12)
+
+    def test_vertices_on_cell_boundary(self):
+        g = HexGrid(1.0)
+        for vert in g.vertices((0, 0)):
+            assert g.boundary_distance((0, 0), vert) == pytest.approx(
+                0.0, abs=1e-12
+            )
+
+    def test_non_adjacent_edge_midpoint_rejected(self):
+        g = HexGrid(1.0)
+        with pytest.raises(ValueError, match="not adjacent"):
+            g.shared_edge_midpoint((0, 0), (4, -2))
+
+    def test_corner_point_equidistant(self):
+        g = HexGrid(1.0)
+        corner = g.corner_point((0, 0), (2, -1), (1, 1))
+        dists = [
+            np.hypot(*(corner - g.center(c)))
+            for c in [(0, 0), (2, -1), (1, 1)]
+        ]
+        np.testing.assert_allclose(dists, dists[0], atol=1e-12)
+        # the common vertex lies at exactly one circumradius
+        assert dists[0] == pytest.approx(g.cell_radius_km, abs=1e-12)
+
+    def test_corner_point_requires_mutual_adjacency(self):
+        g = HexGrid(1.0)
+        with pytest.raises(ValueError, match="mutually adjacent"):
+            g.corner_point((0, 0), (2, -1), (4, -2))
+
+
+class TestRingsAndDisks:
+    def test_ring_zero_is_center(self):
+        g = HexGrid(1.0)
+        assert g.ring((0, 0), 0) == [(0, 0)]
+
+    def test_ring_sizes(self):
+        g = HexGrid(1.0)
+        for k in (1, 2, 3):
+            assert len(g.ring((0, 0), k)) == 6 * k
+
+    def test_ring_cells_at_exact_distance(self):
+        g = HexGrid(1.0)
+        for k in (1, 2, 3):
+            for cell in g.ring((0, 0), k):
+                assert hex_distance((0, 0), cell) == k
+
+    def test_disk_sizes(self):
+        g = HexGrid(1.0)
+        for k in (0, 1, 2, 3):
+            assert len(g.disk((0, 0), k)) == 1 + 3 * k * (k + 1)
+
+    def test_disk_unique_cells(self):
+        g = HexGrid(1.0)
+        cells = g.disk((0, 0), 3)
+        assert len(set(cells)) == len(cells)
+
+    def test_ring_around_offset_center(self):
+        g = HexGrid(1.0)
+        ring = g.ring((2, -1), 1)
+        assert len(ring) == 6
+        assert all(hex_distance((2, -1), c) == 1 for c in ring)
+
+    def test_negative_ring_rejected(self):
+        g = HexGrid(1.0)
+        with pytest.raises(ValueError):
+            g.ring((0, 0), -1)

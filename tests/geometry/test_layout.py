@@ -1,0 +1,121 @@
+"""CellLayout tests: finite-layout queries the simulator relies on."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import CellLayout, hex_distance
+
+
+class TestConstruction:
+    def test_cell_counts(self):
+        assert CellLayout(rings=0).n_cells == 1
+        assert CellLayout(rings=1).n_cells == 7
+        assert CellLayout(rings=2).n_cells == 19
+        assert CellLayout(rings=3).n_cells == 37
+
+    def test_center_cell_first(self):
+        layout = CellLayout(rings=2)
+        assert layout.cells[0] == (0, 0)
+
+    def test_len_and_contains(self):
+        layout = CellLayout(rings=1)
+        assert len(layout) == 7
+        assert (0, 0) in layout
+        assert (2, -1) in layout
+        assert (4, -2) not in layout
+
+    def test_negative_rings_rejected(self):
+        with pytest.raises(ValueError):
+            CellLayout(rings=-1)
+
+    def test_bs_positions_match_grid(self):
+        layout = CellLayout(cell_radius_km=2.0, rings=1)
+        for k, cell in enumerate(layout.cells):
+            np.testing.assert_allclose(
+                layout.bs_positions[k], layout.grid.center(cell)
+            )
+
+    def test_index_round_trip(self):
+        layout = CellLayout(rings=2)
+        for k, cell in enumerate(layout.cells):
+            assert layout.index_of(cell) == k
+            assert layout.cell_at(k) == cell
+
+    def test_unknown_cell_raises(self):
+        layout = CellLayout(rings=1)
+        with pytest.raises(KeyError, match="outside"):
+            layout.index_of((6, -3))
+
+
+class TestSpatialQueries:
+    def test_distances_shape(self):
+        layout = CellLayout(rings=1)
+        pts = np.zeros((5, 2))
+        assert layout.distances_to(pts).shape == (5, 7)
+
+    def test_single_point_distances(self):
+        layout = CellLayout(rings=1)
+        d = layout.distances_to(np.array([0.0, 0.0]))
+        assert d.shape == (7,)
+        assert d[0] == 0.0
+        np.testing.assert_allclose(d[1:], layout.grid.spacing_km, atol=1e-12)
+
+    def test_nearest_cell(self):
+        layout = CellLayout(cell_radius_km=1.0, rings=2)
+        east = layout.grid.center((2, -1))
+        assert layout.cells[int(layout.nearest_cell(east))] == (2, -1)
+
+    def test_serving_cell(self):
+        layout = CellLayout(cell_radius_km=1.0, rings=2)
+        assert layout.serving_cell(np.array([0.05, 0.05])) == (0, 0)
+
+    def test_neighbors_clipped_to_layout(self):
+        layout = CellLayout(rings=1)
+        # an edge cell of a 1-ring layout has neighbours outside it
+        edge = (2, -1)
+        neigh = layout.neighbors_of(edge)
+        assert all(n in layout for n in neigh)
+        assert len(neigh) < 6
+        assert (0, 0) in neigh
+
+    def test_center_has_six_neighbors(self):
+        layout = CellLayout(rings=1)
+        assert len(layout.neighbors_of((0, 0))) == 6
+
+    def test_adjacency_symmetric(self):
+        layout = CellLayout(rings=2)
+        adj = layout.adjacency()
+        for cell, neigh in adj.items():
+            for n in neigh:
+                assert cell in adj[n]
+
+    def test_extent_contains_all_sites(self):
+        layout = CellLayout(cell_radius_km=2.0, rings=2)
+        xmin, xmax, ymin, ymax = layout.extent_km()
+        xs, ys = layout.bs_positions[:, 0], layout.bs_positions[:, 1]
+        assert xmin < xs.min() and xmax > xs.max()
+        assert ymin < ys.min() and ymax > ys.max()
+
+    def test_points_validation(self):
+        layout = CellLayout(rings=1)
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            layout.distances_to(np.zeros((2, 3)))
+
+
+class TestCellSequence:
+    def test_dedup(self):
+        layout = CellLayout(cell_radius_km=1.0, rings=2)
+        c0 = layout.grid.center((0, 0))
+        c1 = layout.grid.center((2, -1))
+        pts = np.array([c0, c0, c1, c1, c0])
+        assert layout.cell_sequence(pts) == [(0, 0), (2, -1), (0, 0)]
+
+    def test_single_point(self):
+        layout = CellLayout(rings=1)
+        assert layout.cell_sequence(np.array([[0.0, 0.0]])) == [(0, 0)]
+
+    def test_straight_east_walk_crosses_once(self):
+        layout = CellLayout(cell_radius_km=1.0, rings=2)
+        xs = np.linspace(0.0, layout.grid.spacing_km, 50)
+        pts = np.column_stack([xs, np.zeros_like(xs)])
+        assert layout.cell_sequence(pts) == [(0, 0), (2, -1)]

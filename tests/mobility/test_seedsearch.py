@@ -1,0 +1,95 @@
+"""Seed-search tests: predicates, discovery, and the frozen paper seeds."""
+
+import pytest
+
+from repro.geometry import CellLayout
+from repro.mobility import (
+    RandomWalk,
+    SeedSearchError,
+    cell_sequence_of,
+    find_seed,
+    is_crossing_sequence,
+    is_pingpong_sequence,
+)
+
+
+class TestPredicates:
+    def test_pingpong_accepts_paper_pattern(self):
+        assert is_pingpong_sequence([(0, 0), (2, -1), (0, 0), (1, -2)])
+
+    def test_pingpong_rejects_wrong_shapes(self):
+        assert not is_pingpong_sequence([(0, 0)])
+        assert not is_pingpong_sequence([(0, 0), (2, -1), (0, 0)])
+        assert not is_pingpong_sequence([(0, 0), (2, -1), (0, 0), (2, -1)])
+        assert not is_pingpong_sequence([(2, -1), (0, 0), (2, -1), (1, 1)])
+        assert not is_pingpong_sequence(
+            [(0, 0), (2, -1), (0, 0), (1, -2), (0, 0)]
+        )
+
+    def test_crossing_accepts_paper_pattern(self):
+        assert is_crossing_sequence([(0, 0), (-1, 2), (-2, 1), (-1, 2)])
+
+    def test_crossing_rejects_return_home(self):
+        assert not is_crossing_sequence([(0, 0), (-1, 2), (0, 0), (-1, 2)])
+
+    def test_crossing_rejects_no_return(self):
+        assert not is_crossing_sequence([(0, 0), (-1, 2), (-2, 1), (-3, 3)])
+
+    def test_custom_home(self):
+        assert is_pingpong_sequence(
+            [(2, -1), (0, 0), (2, -1), (1, 1)], home=(2, -1)
+        )
+
+
+class TestCellSequence:
+    def test_sequence_of_stationary_walk(self, paper_params):
+        layout = paper_params.make_layout()
+        walk = RandomWalk(n_walks=2, mean_step_km=0.05, step_sigma_km=0.01)
+        trace = walk.generate_seeded(0)
+        assert cell_sequence_of(trace, layout) == [(0, 0)]
+
+    def test_densification_catches_corner_cuts(self, paper_params):
+        layout = paper_params.make_layout()
+        # way-points only: a leg that dips through a neighbour cell and
+        # back would be invisible without densification
+        import numpy as np
+
+        from repro.mobility import Trace
+
+        spacing = layout.grid.spacing_km
+        trace = Trace(
+            np.array([[0.0, 0.0], [spacing * 0.95, 0.0], [0.0, 0.0]])
+        )
+        seq = cell_sequence_of(trace, layout, max_spacing_km=0.05)
+        assert seq == [(0, 0), (2, -1), (0, 0)]
+
+
+class TestFindSeed:
+    def test_finds_smallest_matching_seed(self, paper_params):
+        layout = paper_params.make_layout()
+        walk = RandomWalk(n_walks=5, mean_step_km=0.6, step_sigma_km=0.2)
+        seed = find_seed(
+            walk, layout, is_pingpong_sequence, start_seed=0, max_tries=2000
+        )
+        trace = walk.generate_seeded(seed)
+        assert is_pingpong_sequence(cell_sequence_of(trace, layout))
+        # nothing below it matches
+        for s in range(seed):
+            t = walk.generate_seeded(s)
+            assert not is_pingpong_sequence(cell_sequence_of(t, layout))
+
+    def test_gives_up_loudly(self, paper_params):
+        layout = paper_params.make_layout()
+        walk = RandomWalk(n_walks=2, mean_step_km=0.01, step_sigma_km=0.001)
+        with pytest.raises(SeedSearchError):
+            find_seed(
+                walk,
+                layout,
+                lambda seq: len(seq) > 50,  # impossible for 2 tiny legs
+                max_tries=25,
+            )
+
+    def test_validation(self, paper_params):
+        layout = paper_params.make_layout()
+        with pytest.raises(ValueError):
+            find_seed(RandomWalk(), layout, lambda s: True, max_tries=0)

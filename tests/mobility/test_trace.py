@@ -1,0 +1,142 @@
+"""Trace dataclass tests: construction, path math, densification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import Trace
+
+
+def zigzag() -> Trace:
+    return Trace(np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]))
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            Trace(np.zeros((3, 3)))
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            Trace(np.zeros(4))
+
+    def test_at_least_one_point(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((0, 2)))
+
+    def test_finite_required(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trace(np.array([[0.0, np.nan]]))
+        with pytest.raises(ValueError, match="finite"):
+            Trace(np.array([[np.inf, 0.0]]))
+
+    def test_from_steps(self):
+        t = Trace.from_steps([1.0, 2.0], np.array([[1.0, 0.0], [0.0, 1.0]]))
+        np.testing.assert_allclose(
+            t.positions, [[1, 2], [2, 2], [2, 3]]
+        )
+
+    def test_from_steps_empty(self):
+        t = Trace.from_steps([0.5, 0.5], np.zeros((0, 2)))
+        assert t.n_points == 1
+        np.testing.assert_allclose(t.start, [0.5, 0.5])
+
+    def test_from_steps_shape_validation(self):
+        with pytest.raises(ValueError):
+            Trace.from_steps([0, 0], np.zeros((2, 3)))
+
+
+class TestPathMath:
+    def test_step_lengths(self):
+        np.testing.assert_allclose(zigzag().step_lengths(), [1.0, 1.0, 1.0])
+
+    def test_total_length(self):
+        assert zigzag().total_length == pytest.approx(3.0)
+
+    def test_cumulative_distance(self):
+        np.testing.assert_allclose(
+            zigzag().cumulative_distance(), [0.0, 1.0, 2.0, 3.0]
+        )
+
+    def test_headings(self):
+        h = zigzag().headings()
+        np.testing.assert_allclose(h, [0.0, np.pi / 2, np.pi])
+
+    def test_distance_to(self):
+        d = zigzag().distance_to([0.0, 0.0])
+        np.testing.assert_allclose(d, [0.0, 1.0, np.sqrt(2.0), 1.0])
+
+    def test_start_end(self):
+        t = zigzag()
+        np.testing.assert_allclose(t.start, [0, 0])
+        np.testing.assert_allclose(t.end, [0, 1])
+
+    def test_single_point_trace(self):
+        t = Trace(np.array([[1.0, 1.0]]))
+        assert t.total_length == 0.0
+        assert t.step_lengths().shape == (0,)
+        np.testing.assert_allclose(t.cumulative_distance(), [0.0])
+
+
+class TestDensify:
+    def test_spacing_bound(self):
+        d = zigzag().densify(0.3)
+        assert np.all(d.step_lengths() <= 0.3 + 1e-12)
+
+    def test_endpoints_preserved(self):
+        t = zigzag()
+        d = t.densify(0.07)
+        np.testing.assert_allclose(d.start, t.start)
+        np.testing.assert_allclose(d.end, t.end)
+
+    def test_waypoints_preserved(self):
+        t = zigzag()
+        d = t.densify(0.25)
+        for wp in t.positions:
+            dist = np.min(np.hypot(*(d.positions - wp).T))
+            assert dist < 1e-12
+
+    def test_total_length_unchanged(self):
+        t = zigzag()
+        assert t.densify(0.1).total_length == pytest.approx(t.total_length)
+
+    def test_coarse_spacing_is_noop_in_count(self):
+        t = zigzag()
+        d = t.densify(10.0)
+        assert d.n_points == t.n_points
+
+    def test_single_point(self):
+        t = Trace(np.array([[0.0, 0.0]]))
+        assert t.densify(0.1).n_points == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zigzag().densify(0.0)
+        with pytest.raises(ValueError):
+            zigzag().densify(-0.5)
+
+    @given(st.floats(0.01, 2.0))
+    @settings(max_examples=40)
+    def test_property_densify_preserves_length(self, spacing):
+        t = zigzag()
+        assert t.densify(spacing).total_length == pytest.approx(
+            t.total_length, rel=1e-9
+        )
+
+
+class TestTransforms:
+    def test_subsample(self):
+        t = zigzag().densify(0.1)
+        s = t.subsample(5)
+        assert s.n_points < t.n_points
+        np.testing.assert_allclose(s.end, t.end)  # last point kept
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            zigzag().subsample(0)
+
+    def test_reversed(self):
+        t = zigzag()
+        r = t.reversed()
+        np.testing.assert_allclose(r.start, t.end)
+        np.testing.assert_allclose(r.end, t.start)
+        assert r.total_length == pytest.approx(t.total_length)

@@ -1,0 +1,150 @@
+"""Dipole-antenna tests: geometry, pattern, field law (paper Eqs. 3/4)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import DipoleAntenna
+
+
+def paper_antenna(**overrides) -> DipoleAntenna:
+    kwargs = dict(
+        power_w=10.0, height_m=40.0, tilt_deg=3.0, path_loss_exponent=1.1
+    )
+    kwargs.update(overrides)
+    return DipoleAntenna(**kwargs)
+
+
+class TestValidation:
+    def test_defaults_are_paper_values(self):
+        a = DipoleAntenna()
+        assert a.power_w == 10.0
+        assert a.height_m == 40.0
+        assert a.tilt_deg == 3.0
+        assert a.gain == 1.5
+        assert a.path_loss_exponent == 1.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"power_w": 0.0},
+            {"power_w": -5.0},
+            {"height_m": 0.0},
+            {"tilt_deg": -1.0},
+            {"tilt_deg": 90.0},
+            {"gain": 0.0},
+            {"path_loss_exponent": 0.1},
+            {"path_loss_exponent": 5.0},
+            {"power_w": math.nan},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            paper_antenna(**kwargs)
+
+
+class TestSlantGeometry:
+    def test_directly_below_mast(self):
+        a = paper_antenna()
+        r, theta = a.slant_geometry(0.0, 1.5)
+        assert r == pytest.approx(38.5)
+        assert theta == pytest.approx(math.pi)  # straight down the axis
+
+    def test_far_field_approaches_horizon(self):
+        a = paper_antenna()
+        _, theta = a.slant_geometry(1e6, 1.5)
+        assert theta == pytest.approx(math.pi / 2, abs=1e-3)
+
+    def test_slant_range_pythagoras(self):
+        a = paper_antenna()
+        r, _ = a.slant_geometry(1000.0, 1.5)
+        assert r == pytest.approx(math.hypot(1000.0, 38.5))
+
+    def test_negative_distance_rejected(self):
+        a = paper_antenna()
+        with pytest.raises(ValueError):
+            a.slant_geometry(-1.0, 1.5)
+
+
+class TestPattern:
+    def test_broadside_maximum_without_tilt(self):
+        a = paper_antenna(tilt_deg=0.0)
+        assert a.pattern(math.pi / 2) == pytest.approx(1.0)
+
+    def test_tilt_shifts_the_maximum(self):
+        a = paper_antenna(tilt_deg=3.0)
+        shifted = math.pi / 2 + math.radians(3.0)
+        assert a.pattern(shifted) == pytest.approx(1.0)
+        assert a.pattern(math.pi / 2) < 1.0
+
+    def test_axis_null(self):
+        a = paper_antenna(tilt_deg=0.0)
+        assert a.pattern(0.0) == pytest.approx(0.0)
+        assert a.pattern(math.pi) == pytest.approx(0.0, abs=1e-12)
+
+    def test_pattern_nonnegative(self):
+        a = paper_antenna()
+        thetas = np.linspace(0, 2 * math.pi, 101)
+        assert np.all(np.asarray(a.pattern(thetas)) >= 0.0)
+
+
+class TestField:
+    def test_sqrt45w_amplitude_at_unit_range(self):
+        # with gain 1.5 the paper's sqrt(45 W) prefactor holds exactly
+        a = paper_antenna(tilt_deg=0.0, path_loss_exponent=1.0, height_m=2.0)
+        # place receiver at same height so theta = 90 deg, r = rho
+        e = a.field_rms(1000.0, rx_height_m=2.0)
+        assert e == pytest.approx(math.sqrt(45.0 * 10.0) / 1000.0, rel=1e-12)
+
+    def test_field_decreases_with_distance(self):
+        a = paper_antenna()
+        rho = np.linspace(100.0, 7000.0, 200)
+        e = a.field_rms(rho)
+        assert np.all(np.diff(e) < 0)
+
+    def test_exponent_steepens_decay(self):
+        gentle = paper_antenna(path_loss_exponent=1.0)
+        steep = paper_antenna(path_loss_exponent=2.0)
+        ratio_gentle = gentle.field_rms(4000.0) / gentle.field_rms(2000.0)
+        ratio_steep = steep.field_rms(4000.0) / steep.field_rms(2000.0)
+        assert ratio_steep < ratio_gentle
+
+    def test_power_scales_as_sqrt(self):
+        lo = paper_antenna(power_w=10.0)
+        hi = paper_antenna(power_w=20.0)
+        assert hi.field_rms(1000.0) / lo.field_rms(1000.0) == pytest.approx(
+            math.sqrt(2.0)
+        )
+
+    def test_near_field_clamped(self):
+        a = paper_antenna()
+        # extremely close to the mast: r clamps at 1 m, no blow-up
+        assert np.isfinite(a.field_rms(0.0))
+
+    def test_complex_field_magnitude_matches_rms(self):
+        a = paper_antenna()
+        rho = np.array([500.0, 1500.0])
+        c = a.field_complex(rho, 1.5, wavelength_m=0.15)
+        np.testing.assert_allclose(np.abs(c), a.field_rms(rho), rtol=1e-12)
+
+    def test_complex_field_phase_rotates(self):
+        a = paper_antenna()
+        c = a.field_complex(np.array([1000.0, 1000.075]), 1.5, wavelength_m=0.15)
+        # half a wavelength of extra path flips the phase
+        phase_diff = np.angle(c[1] / c[0])
+        assert abs(abs(phase_diff) - math.pi) < 0.05
+
+    def test_wavelength_validation(self):
+        a = paper_antenna()
+        with pytest.raises(ValueError):
+            a.field_complex(1000.0, 1.5, wavelength_m=0.0)
+
+    @given(st.floats(10.0, 50_000.0))
+    @settings(max_examples=60)
+    def test_property_field_positive_and_finite(self, rho):
+        a = paper_antenna()
+        e = a.field_rms(rho)
+        assert np.isfinite(e) and e >= 0.0

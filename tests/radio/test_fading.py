@@ -1,0 +1,134 @@
+"""Shadow fading and speed-penalty tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import (
+    SPEED_PENALTY_DB_PER_KMH,
+    ShadowFading,
+    apply_speed_penalty,
+    speed_penalty_db,
+)
+
+
+class TestSpeedPenalty:
+    def test_paper_values(self):
+        # "for each 10 km/h the signal strength is decreased 2 db"
+        assert speed_penalty_db(10.0) == pytest.approx(2.0)
+        assert speed_penalty_db(50.0) == pytest.approx(10.0)
+        assert speed_penalty_db(0.0) == 0.0
+
+    def test_constant(self):
+        assert SPEED_PENALTY_DB_PER_KMH == pytest.approx(0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            speed_penalty_db(-1.0)
+
+    def test_apply(self):
+        assert apply_speed_penalty(-90.0, 30.0) == pytest.approx(-96.0)
+
+    def test_array(self):
+        out = apply_speed_penalty(np.array([-90.0, -100.0]), 10.0)
+        np.testing.assert_allclose(out, [-92.0, -102.0])
+
+    @given(st.floats(0, 300))
+    @settings(max_examples=40)
+    def test_property_linear(self, v):
+        assert speed_penalty_db(v) == pytest.approx(0.2 * v)
+
+
+class TestShadowFadingConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShadowFading(sigma_db=-1.0)
+        with pytest.raises(ValueError):
+            ShadowFading(decorrelation_km=-0.5)
+
+    def test_rng_coercion(self):
+        f = ShadowFading(rng=42)
+        assert isinstance(f.rng, np.random.Generator)
+
+
+class TestIidFading:
+    def test_zero_sigma_is_silent(self):
+        f = ShadowFading(sigma_db=0.0)
+        assert np.all(f.sample_iid((10, 3)) == 0.0)
+
+    def test_statistics(self):
+        f = ShadowFading(sigma_db=4.0, rng=0)
+        x = f.sample_iid((20000,))
+        assert abs(x.mean()) < 0.15
+        assert x.std() == pytest.approx(4.0, rel=0.05)
+
+    def test_reproducible(self):
+        a = ShadowFading(sigma_db=4.0, rng=7).sample_iid((100,))
+        b = ShadowFading(sigma_db=4.0, rng=7).sample_iid((100,))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCorrelatedFading:
+    def test_shapes(self):
+        f = ShadowFading(sigma_db=4.0, decorrelation_km=0.1, rng=1)
+        d = np.linspace(0, 5, 50)
+        out = f.sample_along(d, n_sources=3)
+        assert out.shape == (50, 3)
+
+    def test_empty_trace(self):
+        f = ShadowFading(sigma_db=4.0, rng=1)
+        assert f.sample_along(np.array([]), 2).shape == (0, 2)
+
+    def test_zero_sigma(self):
+        f = ShadowFading(sigma_db=0.0, decorrelation_km=0.1)
+        assert np.all(f.sample_along(np.linspace(0, 1, 10)) == 0.0)
+
+    def test_marginal_std_preserved(self):
+        f = ShadowFading(sigma_db=4.0, decorrelation_km=0.2, rng=3)
+        d = np.arange(0, 400, 0.05)
+        out = f.sample_along(d, n_sources=1)[:, 0]
+        assert out.std() == pytest.approx(4.0, rel=0.1)
+
+    def test_correlation_decays_with_distance(self):
+        f = ShadowFading(sigma_db=4.0, decorrelation_km=0.5, rng=5)
+        d = np.arange(0, 2000, 0.05)
+        x = f.sample_along(d, n_sources=1)[:, 0]
+
+        def autocorr(series, lag):
+            return np.corrcoef(series[:-lag], series[lag:])[0, 1]
+
+        short = autocorr(x, 1)    # 0.05 km apart
+        long = autocorr(x, 100)   # 5 km apart
+        assert short > 0.8
+        assert abs(long) < 0.2
+
+    def test_gudmundson_theoretical_rho(self):
+        f = ShadowFading(sigma_db=4.0, decorrelation_km=0.5, rng=9)
+        d = np.arange(0, 3000, 0.1)
+        x = f.sample_along(d, n_sources=1)[:, 0]
+        lag_km = 0.5
+        lag = int(lag_km / 0.1)
+        measured = np.corrcoef(x[:-lag], x[lag:])[0, 1]
+        assert measured == pytest.approx(np.exp(-1.0), abs=0.08)
+
+    def test_sources_independent(self):
+        f = ShadowFading(sigma_db=4.0, decorrelation_km=0.1, rng=11)
+        d = np.arange(0, 1000, 0.1)
+        out = f.sample_along(d, n_sources=2)
+        rho = np.corrcoef(out[:, 0], out[:, 1])[0, 1]
+        assert abs(rho) < 0.1
+
+    def test_zero_decorrelation_is_iid(self):
+        f = ShadowFading(sigma_db=4.0, decorrelation_km=0.0, rng=13)
+        d = np.arange(0, 500, 0.05)
+        x = f.sample_along(d, n_sources=1)[:, 0]
+        rho = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert abs(rho) < 0.05
+
+    def test_validation(self):
+        f = ShadowFading(sigma_db=4.0)
+        with pytest.raises(ValueError, match="1-D"):
+            f.sample_along(np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="n_sources"):
+            f.sample_along(np.zeros(3), n_sources=0)

@@ -1,0 +1,108 @@
+"""Unit-conversion tests: the classic 10-vs-20 log traps."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import (
+    FREE_SPACE_IMPEDANCE,
+    SPEED_OF_LIGHT,
+    db_from_field_ratio,
+    db_from_power_ratio,
+    dbm_from_dbw,
+    dbm_from_watts,
+    dbw_from_dbm,
+    dbw_from_watts,
+    field_ratio_from_db,
+    power_ratio_from_db,
+    watts_from_dbm,
+    watts_from_dbw,
+    wavelength_m,
+)
+
+
+class TestPowerDb:
+    def test_ten_x_is_ten_db(self):
+        assert db_from_power_ratio(10.0) == pytest.approx(10.0)
+
+    def test_unity_is_zero_db(self):
+        assert db_from_power_ratio(1.0) == pytest.approx(0.0)
+
+    def test_zero_is_minus_inf(self):
+        assert db_from_power_ratio(0.0) == -math.inf
+        assert db_from_power_ratio(-3.0) == -math.inf
+
+    def test_round_trip(self):
+        for db in (-100.0, -3.0, 0.0, 17.0):
+            assert db_from_power_ratio(power_ratio_from_db(db)) == pytest.approx(db)
+
+    def test_array_support(self):
+        arr = db_from_power_ratio(np.array([1.0, 10.0, 100.0]))
+        np.testing.assert_allclose(arr, [0.0, 10.0, 20.0])
+
+    @given(st.floats(1e-12, 1e12))
+    @settings(max_examples=60)
+    def test_property_round_trip(self, ratio):
+        assert power_ratio_from_db(
+            db_from_power_ratio(ratio)
+        ) == pytest.approx(ratio, rel=1e-9)
+
+
+class TestFieldDb:
+    def test_field_uses_20log(self):
+        assert db_from_field_ratio(10.0) == pytest.approx(20.0)
+
+    def test_field_vs_power_factor_two(self):
+        for r in (2.0, 5.0, 30.0):
+            assert db_from_field_ratio(r) == pytest.approx(
+                2.0 * db_from_power_ratio(r)
+            )
+
+    def test_round_trip(self):
+        assert field_ratio_from_db(db_from_field_ratio(3.7)) == pytest.approx(3.7)
+
+    def test_zero_is_minus_inf(self):
+        assert db_from_field_ratio(0.0) == -math.inf
+
+
+class TestWattConversions:
+    def test_one_watt_is_zero_dbw(self):
+        assert dbw_from_watts(1.0) == pytest.approx(0.0)
+
+    def test_one_milliwatt_is_zero_dbm(self):
+        assert dbm_from_watts(1e-3) == pytest.approx(0.0)
+
+    def test_dbw_dbm_offset_30(self):
+        assert dbm_from_dbw(-90.0) == pytest.approx(-60.0)
+        assert dbw_from_dbm(-60.0) == pytest.approx(-90.0)
+
+    def test_watts_round_trips(self):
+        assert watts_from_dbw(dbw_from_watts(12.5)) == pytest.approx(12.5)
+        assert watts_from_dbm(dbm_from_watts(12.5)) == pytest.approx(12.5)
+
+    def test_ten_watts(self):
+        assert dbw_from_watts(10.0) == pytest.approx(10.0)
+        assert dbm_from_watts(10.0) == pytest.approx(40.0)
+
+
+class TestWavelength:
+    def test_2ghz_is_15cm(self):
+        assert wavelength_m(2.0e9) == pytest.approx(0.1499, rel=1e-3)
+
+    def test_speed_of_light_consistency(self):
+        assert wavelength_m(1.0) == SPEED_OF_LIGHT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wavelength_m(0.0)
+        with pytest.raises(ValueError):
+            wavelength_m(-1.0)
+        with pytest.raises(ValueError):
+            wavelength_m(math.inf)
+
+
+def test_free_space_impedance_value():
+    assert FREE_SPACE_IMPEDANCE == pytest.approx(376.73, rel=1e-4)

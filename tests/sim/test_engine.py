@@ -1,0 +1,163 @@
+"""Simulator tests with scripted policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decision, Observation
+from repro.mobility import Trace
+from repro.sim import (
+    HandoverEvent,
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+)
+
+
+class StayPolicy:
+    def reset(self):
+        pass
+
+    def decide(self, obs: Observation) -> Decision:
+        return Decision(handover=False, stage="stay")
+
+
+class HandoverAtStep:
+    """Hands over to the strongest neighbour at a fixed epoch."""
+
+    def __init__(self, step, output=0.9):
+        self.step = step
+        self.output = output
+        self.reset_count = 0
+
+    def reset(self):
+        self.reset_count += 1
+
+    def decide(self, obs: Observation) -> Decision:
+        if obs.step_index == self.step and len(obs.neighbor_cells):
+            target, _ = obs.best_neighbor()
+            return Decision(
+                handover=True, target=target, output=self.output, stage="x"
+            )
+        return Decision(handover=False, output=0.1, stage="x")
+
+
+class BadTargetPolicy:
+    def reset(self):
+        pass
+
+    def decide(self, obs: Observation) -> Decision:
+        return Decision(handover=True, target=(99, 99), stage="bad")
+
+
+@pytest.fixture(scope="module")
+def east_series():
+    params = SimulationParameters()
+    layout = params.make_layout()
+    sampler = MeasurementSampler(
+        layout, params.make_propagation(), spacing_km=0.05
+    )
+    trace = Trace(np.array([[0.0, 0.0], [layout.grid.spacing_km, 0.0]]))
+    return sampler.measure(trace)
+
+
+class TestRun:
+    def test_stay_policy_never_hands_over(self, east_series):
+        res = Simulator(StayPolicy()).run(east_series)
+        assert res.n_handovers == 0
+        assert res.serving_sequence() == [(0, 0)]
+        assert len(res.decisions) == east_series.n_epochs
+        assert len(res.serving_history) == east_series.n_epochs
+
+    def test_initial_cell_defaults_to_strongest(self, east_series):
+        res = Simulator(StayPolicy()).run(east_series)
+        assert res.serving_history[0] == (0, 0)
+
+    def test_initial_cell_override(self, east_series):
+        res = Simulator(StayPolicy(), initial_cell=(2, -1)).run(east_series)
+        assert res.serving_history[0] == (2, -1)
+
+    def test_invalid_initial_cell_rejected(self, east_series):
+        with pytest.raises(KeyError):
+            Simulator(StayPolicy(), initial_cell=(99, 99)).run(east_series)
+
+    def test_scripted_handover_switches_serving(self, east_series):
+        k = east_series.n_epochs // 2
+        res = Simulator(HandoverAtStep(k)).run(east_series)
+        assert res.n_handovers == 1
+        ev = res.events[0]
+        assert ev.step == k
+        assert ev.source == (0, 0)
+        assert res.serving_history[k] == ev.target
+        assert res.serving_history[k - 1] == (0, 0)
+
+    def test_policy_reset_called(self, east_series):
+        p = HandoverAtStep(3)
+        Simulator(p).run(east_series)
+        Simulator(p).run(east_series)
+        assert p.reset_count == 2
+
+    def test_outputs_recorded_and_nan_padded(self, east_series):
+        k = 5
+        res = Simulator(HandoverAtStep(k, output=0.88)).run(east_series)
+        assert res.outputs[k] == pytest.approx(0.88)
+        assert np.isfinite(res.outputs).all()  # scripted policy always reports
+        res2 = Simulator(StayPolicy()).run(east_series)
+        assert np.isnan(res2.outputs).all()  # stay policy reports none
+
+    def test_unknown_target_raises(self, east_series):
+        with pytest.raises(ValueError, match="unknown cell"):
+            Simulator(BadTargetPolicy()).run(east_series)
+
+    def test_empty_series_rejected(self, east_series):
+        with pytest.raises(ValueError):
+            Simulator(StayPolicy()).run(east_series.epoch_slice(0, 0))
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(StayPolicy(), speed_kmh=-1.0)
+
+    def test_speed_forwarded_to_observations(self, east_series):
+        seen = []
+
+        class Spy(StayPolicy):
+            def decide(self, obs):
+                seen.append(obs.speed_kmh)
+                return super().decide(obs)
+
+        Simulator(Spy(), speed_kmh=30.0).run(east_series)
+        assert all(v == 30.0 for v in seen)
+
+    def test_observation_neighbors_are_layout_neighbors(self, east_series):
+        layout = east_series.layout
+        captured = []
+
+        class Spy(StayPolicy):
+            def decide(self, obs):
+                captured.append(obs)
+                return super().decide(obs)
+
+        Simulator(Spy()).run(east_series)
+        first = captured[0]
+        assert set(first.neighbor_cells) == set(layout.neighbors_of((0, 0)))
+        # neighbour powers consistent with the series matrix
+        for cell, p in zip(first.neighbor_cells, first.neighbor_powers_dbw):
+            assert p == east_series.power_dbw[0, layout.index_of(cell)]
+
+    def test_stage_histogram(self, east_series):
+        res = Simulator(HandoverAtStep(3)).run(east_series)
+        hist = res.stage_histogram()
+        assert hist["x"] == east_series.n_epochs
+
+
+class TestHandoverEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match=r"\(2,\)"):
+            HandoverEvent(
+                step=0, source=(0, 0), target=(2, -1),
+                position_km=np.zeros(3), distance_km=0.0,
+            )
+        with pytest.raises(ValueError, match="serving cell"):
+            HandoverEvent(
+                step=0, source=(0, 0), target=(0, 0),
+                position_km=np.zeros(2), distance_km=0.0,
+            )

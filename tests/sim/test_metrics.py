@@ -1,0 +1,167 @@
+"""Metric tests: ping-pong detection, necessity, dwell, aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Decision
+from repro.mobility import Trace
+from repro.sim import (
+    HandoverEvent,
+    MeasurementSampler,
+    SimulationParameters,
+    SimulationResult,
+    Simulator,
+    compute_metrics,
+    count_ping_pongs,
+    mean_dwell_epochs,
+    necessary_handovers,
+    ping_pong_events,
+    wrong_cell_fraction,
+)
+
+
+def ev(step, source, target, dist):
+    return HandoverEvent(
+        step=step, source=source, target=target,
+        position_km=np.zeros(2), distance_km=dist,
+    )
+
+
+class TestPingPongDetection:
+    def test_immediate_bounce_detected(self):
+        events = [ev(10, (0, 0), (2, -1), 1.0), ev(12, (2, -1), (0, 0), 1.1)]
+        assert count_ping_pongs(events, window_km=0.5) == 1
+        assert ping_pong_events(events, 0.5)[0].step == 12
+
+    def test_slow_return_not_pingpong(self):
+        events = [ev(10, (0, 0), (2, -1), 1.0), ev(60, (2, -1), (0, 0), 3.5)]
+        assert count_ping_pongs(events, window_km=0.5) == 0
+
+    def test_non_reciprocal_not_pingpong(self):
+        events = [ev(10, (0, 0), (2, -1), 1.0), ev(12, (2, -1), (1, 1), 1.1)]
+        assert count_ping_pongs(events) == 0
+
+    def test_window_boundary_inclusive(self):
+        events = [ev(10, (0, 0), (2, -1), 1.0), ev(12, (2, -1), (0, 0), 1.5)]
+        assert count_ping_pongs(events, window_km=0.5) == 1
+        assert count_ping_pongs(events, window_km=0.49) == 0
+
+    def test_triple_bounce_counts_twice(self):
+        events = [
+            ev(10, (0, 0), (2, -1), 1.0),
+            ev(11, (2, -1), (0, 0), 1.05),
+            ev(12, (0, 0), (2, -1), 1.1),
+        ]
+        assert count_ping_pongs(events, window_km=0.5) == 2
+
+    def test_empty_and_single(self):
+        assert count_ping_pongs([]) == 0
+        assert count_ping_pongs([ev(1, (0, 0), (2, -1), 0.5)]) == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            count_ping_pongs([], window_km=0.0)
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=20)
+    def test_property_pingpongs_bounded_by_events(self, n):
+        events = []
+        d = 0.0
+        cells = [(0, 0), (2, -1)]
+        for k in range(n):
+            events.append(ev(k, cells[k % 2], cells[(k + 1) % 2], d))
+            d += 0.1
+        assert 0 <= count_ping_pongs(events) <= max(0, len(events) - 1)
+
+
+@pytest.fixture(scope="module")
+def east_result():
+    """Walk east into the neighbour cell; policy never hands over."""
+    params = SimulationParameters()
+    layout = params.make_layout()
+    sampler = MeasurementSampler(
+        layout, params.make_propagation(), spacing_km=0.05
+    )
+    trace = Trace(np.array([[0.0, 0.0], [layout.grid.spacing_km, 0.0]]))
+    series = sampler.measure(trace)
+
+    class Stay:
+        def reset(self):
+            pass
+
+        def decide(self, obs):
+            return Decision(handover=False, stage="stay")
+
+    return Simulator(Stay()).run(series)
+
+
+class TestGroundTruthMetrics:
+    def test_necessary_handovers_east_walk(self, east_result):
+        # one geometric crossing on the way east
+        assert necessary_handovers(east_result) == 1
+
+    def test_wrong_cell_fraction_about_half(self, east_result):
+        # staying on (0,0) while walking one full spacing east: wrong
+        # for roughly the second half of the walk
+        frac = wrong_cell_fraction(east_result)
+        assert 0.35 < frac < 0.65
+
+    def test_dwell_with_no_handover_is_whole_trace(self, east_result):
+        assert mean_dwell_epochs(east_result) == east_result.n_epochs
+
+    def test_compute_metrics_aggregates(self, east_result):
+        m = compute_metrics(east_result)
+        assert m.n_handovers == 0
+        assert m.n_ping_pongs == 0
+        assert m.n_necessary == 1
+        assert m.excess_handovers == -1
+        assert m.ping_pong_rate == 0.0
+        assert np.isnan(m.mean_output)  # stay policy emits no outputs
+
+    def test_as_dict_keys(self, east_result):
+        d = compute_metrics(east_result).as_dict()
+        assert {
+            "n_handovers",
+            "n_ping_pongs",
+            "n_necessary",
+            "ping_pong_rate",
+            "wrong_cell_fraction",
+            "mean_dwell_epochs",
+            "mean_output",
+            "max_output",
+        } <= set(d)
+
+
+class TestDwell:
+    def _result_with_events(self, base_result, steps):
+        events = []
+        cells = [(0, 0), (2, -1)]
+        for i, s in enumerate(steps):
+            events.append(
+                ev(s, cells[i % 2], cells[(i + 1) % 2],
+                   float(base_result.series.distance_km[s]))
+            )
+        return SimulationResult(
+            serving_history=base_result.serving_history,
+            decisions=base_result.decisions,
+            events=tuple(events),
+            outputs=base_result.outputs,
+            series=base_result.series,
+            speed_kmh=0.0,
+        )
+
+    def test_mean_dwell_between_events(self, east_result):
+        n = east_result.n_epochs
+        res = self._result_with_events(east_result, [10, 20])
+        # dwells: 10, 10, n-20
+        expected = np.mean([10, 10, n - 20])
+        assert mean_dwell_epochs(res) == pytest.approx(expected)
+
+    def test_ping_pong_rate_property(self, east_result):
+        res = self._result_with_events(east_result, [10, 11])
+        m = compute_metrics(res)
+        assert m.n_handovers == 2
+        assert m.n_ping_pongs == 1
+        assert m.ping_pong_rate == pytest.approx(0.5)

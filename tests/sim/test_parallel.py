@@ -1,0 +1,80 @@
+"""Process-parallel runner tests."""
+
+import pytest
+
+from repro.sim import (
+    SimulationParameters,
+    default_workers,
+    expand_grid,
+    run_grid,
+    run_grid_parallel,
+)
+
+FAST = SimulationParameters(measurement_spacing_km=0.25, n_walks=4)
+
+
+class TestExpandGrid:
+    def test_cross_product(self):
+        cells = expand_grid([1, 2], [0.0, 10.0])
+        assert cells == [(1, 0.0), (1, 10.0), (2, 0.0), (2, 10.0)]
+
+    def test_type_coercion(self):
+        cells = expand_grid([np.int64(1)], [0])
+        assert cells == [(1, 0.0)]
+        assert isinstance(cells[0][0], int)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid([], [0.0])
+        with pytest.raises(ValueError):
+            expand_grid([1], [])
+
+
+class TestDefaultWorkers:
+    def test_at_least_one(self):
+        assert default_workers() >= 1
+
+
+class TestParallelExecution:
+    def test_single_worker_runs_in_process(self):
+        outs = run_grid_parallel(
+            FAST, ("strongest", {}), [1, 2], max_workers=1
+        )
+        assert len(outs) == 2
+
+    def test_single_task_skips_pool(self):
+        outs = run_grid_parallel(FAST, ("strongest", {}), [7], max_workers=8)
+        assert len(outs) == 1
+        assert outs[0].walk_seed == 7
+
+    def test_matches_serial_results(self):
+        seeds = [1, 2, 3]
+        speeds = [0.0, 20.0]
+        serial = run_grid(FAST, ("hysteresis", {"margin_db": 4.0}), seeds, speeds)
+        parallel = run_grid_parallel(
+            FAST, ("hysteresis", {"margin_db": 4.0}), seeds, speeds,
+            max_workers=2,
+        )
+        assert len(serial) == len(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.walk_seed == p.walk_seed
+            assert s.speed_kmh == p.speed_kmh
+            # NaN-aware metric comparison (baselines report NaN outputs)
+            for key, sv in s.metrics.as_dict().items():
+                pv = p.metrics.as_dict()[key]
+                assert sv == pytest.approx(pv, nan_ok=True), key
+            assert s.serving_sequence == p.serving_sequence
+
+    def test_fuzzy_policy_crosses_process_boundary(self):
+        outs = run_grid_parallel(
+            FAST, ("fuzzy", {"smoothing_alpha": 0.5}), [555], [0.0],
+            max_workers=2,
+        )
+        assert outs[0].policy_kind == "fuzzy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_grid_parallel(FAST, ("strongest", {}), [1], max_workers=0)
+
+
+import numpy as np  # noqa: E402  (used by TestExpandGrid)

@@ -1,0 +1,133 @@
+"""Runner tests: policy registry, sweeps, aggregation, picklability."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlwaysStrongestHandover,
+    CombinedHandover,
+    DistanceHandover,
+    EwmaFilter,
+    FuzzyHandoverSystem,
+    HysteresisHandover,
+    ThresholdHandover,
+)
+from repro.sim import (
+    SimulationParameters,
+    make_policy,
+    run_grid,
+    run_repetitions,
+    run_single,
+    summarize_outcomes,
+)
+
+FAST = SimulationParameters(measurement_spacing_km=0.2)
+
+
+class TestMakePolicy:
+    def test_all_kinds(self):
+        cases = {
+            "fuzzy": FuzzyHandoverSystem,
+            "hysteresis": HysteresisHandover,
+            "threshold": ThresholdHandover,
+            "combined": CombinedHandover,
+            "strongest": AlwaysStrongestHandover,
+        }
+        for kind, cls in cases.items():
+            assert isinstance(make_policy((kind, {}), FAST), cls)
+
+    def test_distance_gets_layout_positions(self):
+        p = make_policy(("distance", {}), FAST)
+        assert isinstance(p, DistanceHandover)
+        assert (0, 0) in p.neighbor_positions_km
+
+    def test_fuzzy_inherits_cell_radius(self):
+        params = SimulationParameters(cell_radius_km=2.0)
+        p = make_policy(("fuzzy", {}), params)
+        assert p.cell_radius_km == 2.0
+
+    def test_fuzzy_kwargs_forwarded(self):
+        p = make_policy(("fuzzy", {"threshold": 0.6}), FAST)
+        assert p.threshold == 0.6
+
+    def test_smoothing_wraps_any_kind(self):
+        p = make_policy(("hysteresis", {"smoothing_alpha": 0.3}), FAST)
+        assert isinstance(p, EwmaFilter)
+        assert isinstance(p.inner, HysteresisHandover)
+        assert p.alpha == 0.3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy kind"):
+            make_policy(("nope", {}), FAST)
+
+
+class TestRunSingle:
+    def test_deterministic(self):
+        a = run_single(FAST, ("fuzzy", {}), walk_seed=555)
+        b = run_single(FAST, ("fuzzy", {}), walk_seed=555)
+        assert a.metrics == b.metrics
+        assert a.serving_sequence == b.serving_sequence
+
+    def test_outcome_fields(self):
+        o = run_single(FAST, ("hysteresis", {"margin_db": 4.0}),
+                       walk_seed=3, speed_kmh=20.0)
+        assert o.policy_kind == "hysteresis"
+        assert o.walk_seed == 3
+        assert o.speed_kmh == 20.0
+        assert o.serving_sequence[0] == (0, 0)
+        assert len(o.handover_targets) == o.metrics.n_handovers
+
+    def test_n_walks_override(self):
+        short = run_single(FAST, ("strongest", {}), 0, n_walks=2)
+        long = run_single(FAST, ("strongest", {}), 0, n_walks=20)
+        assert long.metrics.mean_dwell_epochs != short.metrics.mean_dwell_epochs
+
+    def test_picklable(self):
+        o = run_single(FAST, ("fuzzy", {}), walk_seed=1)
+        blob = pickle.dumps(o)
+        back = pickle.loads(blob)
+        assert back.metrics == o.metrics
+
+
+class TestRunRepetitions:
+    def test_deterministic_collapses_to_one(self):
+        outs = run_repetitions(FAST, ("fuzzy", {}), walk_seed=1)
+        assert len(outs) == 1  # sigma == 0: repetitions are identical
+
+    def test_fading_repetitions_differ(self):
+        params = FAST.with_(shadow_sigma_db=4.0, n_repetitions=3)
+        outs = run_repetitions(params, ("strongest", {}), walk_seed=1)
+        assert len(outs) == 3
+        seeds = {o.fading_seed for o in outs}
+        assert len(seeds) == 3
+        counts = {o.metrics.n_handovers for o in outs}
+        assert len(counts) >= 1  # may coincide, but runs were distinct
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_repetitions(FAST, ("fuzzy", {}), 1, n_repetitions=0)
+
+
+class TestRunGrid:
+    def test_grid_size_and_order(self):
+        outs = run_grid(FAST, ("strongest", {}), [1, 2], [0.0, 30.0])
+        assert len(outs) == 4
+        assert [(o.walk_seed, o.speed_kmh) for o in outs] == [
+            (1, 0.0), (1, 30.0), (2, 0.0), (2, 30.0)
+        ]
+
+
+class TestSummarize:
+    def test_keys_and_values(self):
+        outs = run_grid(FAST, ("strongest", {}), [1, 2, 3])
+        s = summarize_outcomes(outs)
+        assert s["n_runs"] == 3.0
+        assert s["handovers_per_run"] >= 0.0
+        assert 0.0 <= s["wrong_cell_fraction"] <= 1.0
+        assert s["ping_pongs_per_run"] <= s["handovers_per_run"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_outcomes([])

@@ -1,0 +1,136 @@
+"""Session/QoS metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decision, FuzzyHandoverSystem
+from repro.experiments import SCENARIO_CROSSING
+from repro.mobility import Trace
+from repro.sim import (
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+    evaluate_session,
+    run_trace,
+)
+
+
+class Stay:
+    def reset(self):
+        pass
+
+    def decide(self, obs):
+        return Decision(handover=False, stage="stay")
+
+
+@pytest.fixture(scope="module")
+def long_east_result():
+    """Walk far east while camped on (0,0): guaranteed deep outage."""
+    params = SimulationParameters()
+    layout = params.make_layout()
+    sampler = MeasurementSampler(
+        layout, params.make_propagation(), spacing_km=0.05
+    )
+    trace = Trace(np.array([[0.0, 0.0], [3.0 * layout.grid.spacing_km, 0.0]]))
+    series = sampler.measure(trace)
+    return Simulator(Stay()).run(series)
+
+
+class TestOutage:
+    def test_stubborn_policy_goes_into_outage(self, long_east_result):
+        s = evaluate_session(long_east_result, sensitivity_dbw=-105.0)
+        assert s.outage_fraction > 0.0
+        assert s.longest_outage_km > 0.0
+
+    def test_drop_decision_follows_longest_outage(self, long_east_result):
+        lenient = evaluate_session(
+            long_east_result, sensitivity_dbw=-105.0, drop_after_km=100.0
+        )
+        strict = evaluate_session(
+            long_east_result, sensitivity_dbw=-105.0, drop_after_km=0.1
+        )
+        assert not lenient.dropped
+        assert strict.dropped
+
+    def test_high_sensitivity_never_outage(self, long_east_result):
+        s = evaluate_session(long_east_result, sensitivity_dbw=-500.0)
+        assert s.outage_fraction == 0.0
+        assert s.longest_outage_km == 0.0
+        assert not s.dropped
+
+    def test_everything_outage(self, long_east_result):
+        s = evaluate_session(long_east_result, sensitivity_dbw=0.0)
+        assert s.outage_fraction == 1.0
+        # one contiguous stretch covering the whole walk
+        total = long_east_result.series.distance_km[-1]
+        assert s.longest_outage_km == pytest.approx(total)
+
+
+class TestSignalling:
+    def test_costs_scale_with_handover_count(self, paper_params, crossing_trace):
+        system = FuzzyHandoverSystem(cell_radius_km=1.0)
+        result, _ = run_trace(paper_params, system, crossing_trace)
+        s = evaluate_session(result, handover_cost=2.0)
+        assert s.n_handovers == 3
+        assert s.signalling_cost == pytest.approx(6.0)
+        assert s.wasted_signalling_fraction == 0.0  # no ping-pong
+
+    def test_no_handover_no_cost(self, long_east_result):
+        s = evaluate_session(long_east_result)
+        assert s.signalling_cost == 0.0
+        assert s.wasted_signalling_fraction == 0.0
+
+
+class TestFuzzyQoS:
+    # The crossing walk's serving power: the fuzzy system keeps it above
+    # -91.7 dBW (it hands over near the boundary); a policy that refuses
+    # to hand over lets it sink to -100 dBW.  A -95 dBW sensitivity
+    # separates the two regimes cleanly.
+    SENSITIVITY = -95.0
+
+    def test_fuzzy_system_avoids_drop_on_crossing_walk(
+        self, paper_params, crossing_trace
+    ):
+        # the headline QoS story: by executing the 3 handovers the
+        # fuzzy system keeps the call alive end to end
+        system = FuzzyHandoverSystem(cell_radius_km=1.0)
+        result, _ = run_trace(paper_params, system, crossing_trace)
+        s = evaluate_session(
+            result, sensitivity_dbw=self.SENSITIVITY, drop_after_km=0.3
+        )
+        assert not s.dropped
+        assert s.outage_fraction == 0.0
+
+    def test_refusing_to_hand_over_would_drop(self, paper_params, crossing_trace):
+        layout = paper_params.make_layout()
+        sampler = MeasurementSampler(
+            layout,
+            paper_params.make_propagation(),
+            spacing_km=paper_params.measurement_spacing_km,
+        )
+        result = Simulator(Stay()).run(sampler.measure(crossing_trace))
+        s = evaluate_session(
+            result, sensitivity_dbw=self.SENSITIVITY, drop_after_km=0.3
+        )
+        assert s.outage_fraction > 0.05
+        assert s.dropped
+
+    def test_as_dict_keys(self, long_east_result):
+        d = evaluate_session(long_east_result).as_dict()
+        assert {
+            "outage_fraction",
+            "longest_outage_km",
+            "dropped",
+            "signalling_cost",
+            "wasted_signalling_fraction",
+        } <= set(d)
+
+
+class TestValidation:
+    def test_bad_arguments(self, long_east_result):
+        with pytest.raises(ValueError):
+            evaluate_session(long_east_result, sensitivity_dbw=float("nan"))
+        with pytest.raises(ValueError):
+            evaluate_session(long_east_result, drop_after_km=0.0)
+        with pytest.raises(ValueError):
+            evaluate_session(long_east_result, handover_cost=-1.0)

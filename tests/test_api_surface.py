@@ -1,0 +1,75 @@
+"""Public-API surface tests.
+
+A downstream user imports from the sub-package roots; these tests lock
+the advertised names in place (every ``__all__`` entry must resolve)
+and sanity-check the top-level package metadata.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.fuzzy",
+    "repro.geometry",
+    "repro.radio",
+    "repro.mobility",
+    "repro.core",
+    "repro.sim",
+    "repro.experiments",
+    "repro.analysis",
+]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, modname):
+        mod = importlib.import_module(modname)
+        assert mod.__all__, f"{modname} exports nothing"
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{modname}.{name}"
+
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_subpackage_has_docstring(self, modname):
+        mod = importlib.import_module(modname)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+    def test_key_entry_points_importable(self):
+        from repro.core import FuzzyHandoverSystem, build_handover_flc
+        from repro.experiments import SCENARIO_CROSSING, full_report
+        from repro.fuzzy import FuzzyController, SugenoController
+        from repro.sim import SimulationParameters, run_trace
+
+        assert callable(build_handover_flc)
+        assert callable(run_trace)
+        assert callable(full_report)
+
+    def test_no_accidental_module_shadowing(self):
+        # names exported from repro.core must not be module objects
+        import types
+
+        from repro import core
+
+        for name in core.__all__:
+            assert not isinstance(getattr(core, name), types.ModuleType), name
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_public_callables_documented(self, modname):
+        mod = importlib.import_module(modname)
+        undocumented = []
+        for name in mod.__all__:
+            obj = getattr(mod, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{modname}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"

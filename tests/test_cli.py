@@ -1,0 +1,65 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_show_validates_artefact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["show", "table99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "figure13" in out
+        assert "[table]" in out and "[figure]" in out
+
+    def test_show_static_artefact(self, capsys):
+        assert main(["show", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SM   WK   NR   LO" in out
+
+    def test_show_figure(self, capsys):
+        assert main(["show", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "Random Walk" in out
+
+    def test_evaluate_handover_case(self, capsys):
+        assert main(["evaluate", "-6", "-85", "0.95"]) == 0
+        out = capsys.readouterr().out
+        assert "HANDOVER" in out
+        assert "IF CSSP" in out  # rule explanation present
+
+    def test_evaluate_stay_case(self, capsys):
+        assert main(["evaluate", "2", "-115", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "stay" in out
+
+    def test_simulate_pingpong(self, capsys):
+        assert main(["simulate", "pingpong"]) == 0
+        out = capsys.readouterr().out
+        assert "handovers: 0" in out
+
+    def test_simulate_crossing(self, capsys):
+        assert main(["simulate", "crossing"]) == 0
+        out = capsys.readouterr().out
+        assert "handovers: 3" in out
+        assert "(-2, 1)" in out
+
+    def test_simulate_with_speed(self, capsys):
+        assert main(["simulate", "crossing", "--speed", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 km/h" in out

@@ -1,0 +1,157 @@
+"""Failure-injection tests: the stack must fail loudly, not silently.
+
+Every layer receives deliberately broken input — NaN measurements,
+empty structures, out-of-domain values, misbehaving policies — and must
+raise a clear ValueError/TypeError rather than propagate garbage into
+a handover decision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decision,
+    FuzzyHandoverSystem,
+    Observation,
+    build_handover_flc,
+)
+from repro.geometry import CellLayout
+from repro.mobility import RandomWalk, Trace
+from repro.sim import (
+    MeasurementSampler,
+    MeasurementSeries,
+    SimulationParameters,
+    Simulator,
+)
+
+
+class TestNaNPropagation:
+    def test_flc_rejects_nan_inputs(self):
+        flc = build_handover_flc()
+        with pytest.raises(ValueError, match="NaN"):
+            flc.evaluate(CSSP=float("nan"), SSN=-90.0, DMB=0.5)
+        with pytest.raises(ValueError, match="NaN"):
+            flc.evaluate_batch(
+                {
+                    "CSSP": np.array([0.0, np.nan]),
+                    "SSN": np.full(2, -90.0),
+                    "DMB": np.full(2, 0.5),
+                }
+            )
+
+    def test_observation_rejects_nan_serving_power(self):
+        with pytest.raises(ValueError, match="finite"):
+            Observation(
+                position_km=np.zeros(2),
+                serving_cell=(0, 0),
+                serving_power_dbw=float("nan"),
+                neighbor_cells=((2, -1),),
+                neighbor_powers_dbw=np.array([-90.0]),
+                distance_to_serving_km=1.0,
+            )
+
+    def test_trace_rejects_nan_positions(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trace(np.array([[0.0, 0.0], [np.nan, 1.0]]))
+
+    def test_fuzzy_system_rejects_nan_neighbor(self):
+        sys_ = FuzzyHandoverSystem()
+        good = Observation(
+            position_km=np.zeros(2),
+            serving_cell=(0, 0),
+            serving_power_dbw=-95.0,
+            neighbor_cells=((2, -1),),
+            neighbor_powers_dbw=np.array([-90.0]),
+            distance_to_serving_km=1.0,
+        )
+        sys_.decide(good)  # warm-up
+        bad = Observation(
+            position_km=np.zeros(2),
+            serving_cell=(0, 0),
+            serving_power_dbw=-95.5,
+            neighbor_cells=((2, -1),),
+            neighbor_powers_dbw=np.array([np.nan]),
+            distance_to_serving_km=1.0,
+            step_index=1,
+        )
+        with pytest.raises(ValueError):
+            sys_.decide(bad)
+
+
+class TestEmptyStructures:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((0, 2)))
+
+    def test_empty_series_rejected_by_simulator(self, paper_params):
+        layout = paper_params.make_layout()
+        empty = MeasurementSeries(
+            positions_km=np.zeros((1, 2)),
+            distance_km=np.zeros(1),
+            power_dbw=np.zeros((1, layout.n_cells)),
+            layout=layout,
+        ).epoch_slice(0, 0)
+
+        class Stay:
+            def reset(self):
+                pass
+
+            def decide(self, obs):
+                return Decision(handover=False)
+
+        with pytest.raises(ValueError, match="empty"):
+            Simulator(Stay()).run(empty)
+
+    def test_zero_ring_layout_has_no_neighbors(self):
+        layout = CellLayout(rings=0)
+        assert layout.neighbors_of((0, 0)) == []
+        # a fuzzy system on a 1-cell world simply never hands over
+        sampler = MeasurementSampler(
+            layout, SimulationParameters().make_propagation(), spacing_km=0.1
+        )
+        trace = RandomWalk(n_walks=3).generate_seeded(1)
+        series = sampler.measure(trace)
+        result = Simulator(FuzzyHandoverSystem()).run(series)
+        assert result.n_handovers == 0
+        stages = result.stage_histogram()
+        assert set(stages) <= {"warmup", "no-neighbor", "potlc-pass"}
+
+
+class TestMisbehavingPolicies:
+    def make_series(self, paper_params):
+        layout = paper_params.make_layout()
+        sampler = MeasurementSampler(
+            layout, paper_params.make_propagation(), spacing_km=0.2
+        )
+        return sampler.measure(RandomWalk(n_walks=3).generate_seeded(2))
+
+    def test_handover_to_nonexistent_cell_rejected(self, paper_params):
+        class Rogue:
+            def reset(self):
+                pass
+
+            def decide(self, obs):
+                return Decision(handover=True, target=(40, -20))
+
+        with pytest.raises(ValueError, match="unknown cell"):
+            Simulator(Rogue()).run(self.make_series(paper_params))
+
+    def test_handover_without_target_rejected_at_decision(self):
+        with pytest.raises(ValueError, match="target"):
+            Decision(handover=True, target=None)
+
+
+class TestOutOfDomainParameters:
+    def test_configuration_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(cell_radius_km=-1.0)
+        with pytest.raises(ValueError):
+            FuzzyHandoverSystem(threshold=1.5)
+        with pytest.raises(ValueError):
+            RandomWalk(mean_step_km=-0.6)
+
+    def test_extreme_but_valid_inputs_saturate(self):
+        # far out of universe: clipped, never NaN/inf
+        flc = build_handover_flc()
+        out = flc.evaluate(CSSP=-1e6, SSN=-1e6, DMB=1e6)
+        assert 0.0 <= out <= 1.0

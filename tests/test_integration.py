@@ -1,0 +1,163 @@
+"""End-to-end integration tests: the paper's headline claims.
+
+These drive the complete stack — walk generation, propagation,
+measurement, the POTLC → FLC → PRTLC pipeline, metrics — and assert the
+three results the paper's evaluation section rests on:
+
+1. on the boundary-hugging walk the fuzzy system never hands over
+   (ping-pong avoided), at every speed of the paper's sweep;
+2. on the crossing walk it executes exactly the three necessary
+   handovers (at the paper's primary operating point) and never
+   ping-pongs at any speed;
+3. against the conventional comparators, the fuzzy system sits on the
+   favourable side of the ping-pong/connectivity trade-off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlwaysStrongestHandover,
+    EwmaFilter,
+    FuzzyHandoverSystem,
+    HysteresisHandover,
+)
+from repro.experiments import SCENARIO_CROSSING, SCENARIO_PINGPONG
+from repro.sim import (
+    PAPER_SPEEDS_KMH,
+    SimulationParameters,
+    run_grid,
+    run_trace,
+    summarize_outcomes,
+)
+
+
+class TestPingPongAvoidance:
+    """Paper claim 1 (Table 3 / Fig. 7): no handover on the boundary walk."""
+
+    @pytest.mark.parametrize("speed", PAPER_SPEEDS_KMH)
+    def test_fuzzy_never_hands_over(self, paper_params, pingpong_trace, speed):
+        system = FuzzyHandoverSystem(cell_radius_km=paper_params.cell_radius_km)
+        result, metrics = run_trace(
+            paper_params, system, pingpong_trace, speed_kmh=speed
+        )
+        assert metrics.n_handovers == 0
+        assert metrics.n_ping_pongs == 0
+        assert result.serving_sequence() == [(0, 0)]
+
+    def test_naive_policy_ping_pongs_here(self, paper_params, pingpong_trace):
+        # the walk is a genuine trap: strongest-BS camping bounces
+        result, metrics = run_trace(
+            paper_params, AlwaysStrongestHandover(), pingpong_trace
+        )
+        assert metrics.n_ping_pongs >= 1
+        assert metrics.n_handovers >= 3
+
+    def test_prtlc_contributes(self, paper_params, pingpong_trace):
+        # at 0 km/h the FLC output does graze the threshold; the PRTLC
+        # is what cancels the transient (stage histogram shows it)
+        system = FuzzyHandoverSystem(cell_radius_km=1.0)
+        result, _ = run_trace(paper_params, system, pingpong_trace)
+        hist = result.stage_histogram()
+        assert hist.get("prtlc-reject", 0) >= 1
+
+
+class TestNecessaryHandovers:
+    """Paper claim 2 (Table 4 / Fig. 8): three handovers, no ping-pong."""
+
+    def test_three_handovers_at_primary_point(
+        self, paper_params, crossing_trace
+    ):
+        system = FuzzyHandoverSystem(cell_radius_km=1.0)
+        result, metrics = run_trace(paper_params, system, crossing_trace)
+        assert metrics.n_handovers == 3
+        assert metrics.n_ping_pongs == 0
+        assert result.serving_sequence() == list(
+            SCENARIO_CROSSING.expected_sequence
+        )
+
+    def test_handover_outputs_exceed_threshold(
+        self, paper_params, crossing_trace
+    ):
+        system = FuzzyHandoverSystem(cell_radius_km=1.0)
+        result, _ = run_trace(paper_params, system, crossing_trace)
+        for event in result.events:
+            assert event.output is not None and event.output > system.threshold
+
+    @pytest.mark.parametrize("speed", PAPER_SPEEDS_KMH)
+    def test_no_wrong_handovers_at_any_speed(
+        self, paper_params, crossing_trace, speed
+    ):
+        # at high speed the penalised neighbour suppresses the later
+        # handovers (EXPERIMENTS.md D2) but the system must never
+        # ping-pong or hand over to a cell the MS is not moving into
+        system = FuzzyHandoverSystem(cell_radius_km=1.0)
+        result, metrics = run_trace(
+            paper_params, system, crossing_trace, speed_kmh=speed
+        )
+        assert metrics.n_handovers >= 1
+        assert metrics.n_ping_pongs == 0
+        expected = list(SCENARIO_CROSSING.expected_sequence)
+        seq = result.serving_sequence()
+        assert seq == expected[: len(seq)]
+
+
+class TestBaselineComparison:
+    """Paper claim 3 (the future-work comparison, X1)."""
+
+    @pytest.fixture(scope="class")
+    def fading_params(self):
+        return SimulationParameters(
+            n_walks=10,
+            measurement_spacing_km=0.1,
+            shadow_sigma_db=4.0,
+            shadow_decorrelation_km=0.1,
+        )
+
+    def test_fuzzy_beats_raw_hysteresis_on_ping_pong(self, fading_params):
+        seeds = list(range(8))
+        fuzzy = summarize_outcomes(
+            run_grid(fading_params, ("fuzzy", {"smoothing_alpha": 0.3}), seeds)
+        )
+        hyst = summarize_outcomes(
+            run_grid(fading_params, ("hysteresis", {"margin_db": 4.0}), seeds)
+        )
+        # the paper's claim: the conventional constant-margin scheme
+        # ping-pongs under shadow fading, the fuzzy system does not
+        assert fuzzy["ping_pongs_per_run"] < hyst["ping_pongs_per_run"]
+        assert fuzzy["ping_pong_rate"] < hyst["ping_pong_rate"]
+
+    def test_fuzzy_still_serves_connectivity(self, fading_params):
+        seeds = list(range(8))
+        fuzzy = summarize_outcomes(
+            run_grid(fading_params, ("fuzzy", {"smoothing_alpha": 0.3}), seeds)
+        )
+        # suppression must not come from refusing to hand over at all
+        assert fuzzy["handovers_per_run"] >= 1.0
+        assert fuzzy["wrong_cell_fraction"] < 0.5
+
+
+class TestStackConsistency:
+    def test_filtered_fuzzy_matches_unfiltered_on_clean_measurements(
+        self, paper_params, crossing_trace
+    ):
+        # with noise-free measurements and alpha=1 the filter is a no-op
+        raw = FuzzyHandoverSystem(cell_radius_km=1.0)
+        filt = EwmaFilter(FuzzyHandoverSystem(cell_radius_km=1.0), alpha=1.0)
+        r1, m1 = run_trace(paper_params, raw, crossing_trace)
+        r2, m2 = run_trace(paper_params, filt, crossing_trace)
+        assert m1.n_handovers == m2.n_handovers
+        assert r1.serving_sequence() == r2.serving_sequence()
+
+    def test_speed_monotonically_discourages_handover(
+        self, paper_params, crossing_trace
+    ):
+        # more speed penalty -> the max FLC output cannot increase much
+        maxes = []
+        for v in PAPER_SPEEDS_KMH:
+            system = FuzzyHandoverSystem(cell_radius_km=1.0)
+            _, metrics = run_trace(
+                paper_params, system, crossing_trace, speed_kmh=v
+            )
+            maxes.append(metrics.max_output)
+        assert maxes[-1] <= maxes[0] + 0.05
