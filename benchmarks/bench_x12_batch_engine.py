@@ -1,0 +1,119 @@
+"""X12 — the vectorised batch engine vs N scalar simulator runs.
+
+The same mixed-speed fleet (independent seeded walks, paper physics)
+through :class:`repro.sim.batch.BatchSimulator` in one lockstep pass and
+through N fresh scalar :class:`~repro.sim.engine.Simulator` runs.  The
+per-UE logs are identical by construction (the equivalence suite pins
+them bit-for-bit); the point here is throughput: one batched FLC call
+per epoch across the fleet instead of one Python-loop pipeline per UE.
+
+``test_x12_speedup_at_n1000`` is the ISSUE-1 acceptance check: at
+N = 1000 UEs the batch path must be at least 10× faster end-to-end
+(measurement + simulation) than the N scalar runs.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core import FuzzyHandoverSystem
+from repro.mobility import TraceBatch
+from repro.sim import (
+    BatchSimulator,
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+)
+
+PARAMS = SimulationParameters(n_walks=10)
+BASE_SEED = 2000
+N_BENCH = 200       # calibrated-group size (keeps the scalar side short)
+N_ACCEPT = 1000     # the acceptance-criterion fleet size
+
+
+def make_sampler():
+    return MeasurementSampler(
+        PARAMS.make_layout(),
+        PARAMS.make_propagation(),
+        spacing_km=PARAMS.measurement_spacing_km,
+    )
+
+
+def fleet_speeds(n):
+    return np.array([10.0 * (i % 6) for i in range(n)])
+
+
+def fleet_traces(n):
+    walk = PARAMS.make_walk()
+    return [walk.generate_seeded(BASE_SEED + i) for i in range(n)]
+
+
+def run_scalar_fleet(traces, speeds):
+    sampler = make_sampler()
+    out = []
+    for trace, speed in zip(traces, speeds):
+        system = FuzzyHandoverSystem(cell_radius_km=PARAMS.cell_radius_km)
+        out.append(
+            Simulator(system, speed_kmh=float(speed)).run(
+                sampler.measure(trace)
+            )
+        )
+    return out
+
+
+def run_batch_fleet(traces, speeds):
+    sampler = make_sampler()
+    series = sampler.measure_batch(TraceBatch.from_traces(traces))
+    system = FuzzyHandoverSystem(cell_radius_km=PARAMS.cell_radius_km)
+    return BatchSimulator(system, speed_kmh=speeds).run(series)
+
+
+@pytest.mark.benchmark(group="x12-batch-engine")
+def test_x12_scalar_fleet(benchmark):
+    traces = fleet_traces(N_BENCH)
+    results = run_once(
+        benchmark, run_scalar_fleet, traces, fleet_speeds(N_BENCH)
+    )
+    assert len(results) == N_BENCH
+
+
+@pytest.mark.benchmark(group="x12-batch-engine")
+def test_x12_batch_fleet(benchmark):
+    traces = fleet_traces(N_BENCH)
+    result = run_once(
+        benchmark, run_batch_fleet, traces, fleet_speeds(N_BENCH)
+    )
+    assert result.n_ues == N_BENCH
+    # correctness spot-check against the scalar path
+    scalar = run_scalar_fleet(traces[:5], fleet_speeds(N_BENCH)[:5])
+    for i, s in enumerate(scalar):
+        b = result.ue_result(i)
+        assert b.serving_history == s.serving_history
+        np.testing.assert_array_equal(b.outputs, s.outputs)
+        assert [e.step for e in b.events] == [e.step for e in s.events]
+
+
+def test_x12_speedup_at_n1000():
+    """ISSUE-1 acceptance: >= 10x over N scalar runs at N = 1000."""
+    traces = fleet_traces(N_ACCEPT)
+    speeds = fleet_speeds(N_ACCEPT)
+
+    t0 = time.perf_counter()
+    batch = run_batch_fleet(traces, speeds)
+    t_batch = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = run_scalar_fleet(traces, speeds)
+    t_scalar = time.perf_counter() - t0
+
+    assert batch.n_ues == len(scalar) == N_ACCEPT
+    assert batch.n_handovers == sum(r.n_handovers for r in scalar)
+    speedup = t_scalar / t_batch
+    print(f"\nx12: scalar {t_scalar:.2f} s, batch {t_batch:.2f} s "
+          f"-> {speedup:.1f}x over {N_ACCEPT} UEs")
+    assert speedup >= 10.0, (
+        f"batch engine only {speedup:.1f}x faster than {N_ACCEPT} "
+        f"scalar runs (target 10x)"
+    )

@@ -12,22 +12,32 @@ Commands
     One controller evaluation with the rule-level explanation.
 ``simulate {pingpong,crossing} [--speed V]``
     Run the full pipeline on a frozen paper scenario.
+``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]``
+    Run a whole UE population through the vectorised batch engine and
+    print the fleet-level quality metrics.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .core import FuzzyHandoverSystem, build_handover_flc
 from .experiments import (
     EXPERIMENTS,
     SCENARIO_CROSSING,
     SCENARIO_PINGPONG,
+    FleetScenario,
     full_report,
     get_experiment,
 )
-from .sim import SimulationParameters, run_trace
+from .sim import (
+    PAPER_SPEEDS_KMH,
+    SimulationParameters,
+    compute_fleet_metrics,
+    run_trace,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("scenario", choices=["pingpong", "crossing"])
     p_sim.add_argument("--speed", type=float, default=0.0,
                        help="MS speed in km/h (default 0)")
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a UE population through the batch engine"
+    )
+    p_fleet.add_argument("--ues", type=int, default=100,
+                         help="fleet size (default 100)")
+    p_fleet.add_argument("--walks", type=int, default=10,
+                         help="walk legs per UE (default 10)")
+    p_fleet.add_argument("--seed", type=int, default=1000,
+                         help="base walk seed; UE i walks seed+i")
+    p_fleet.add_argument("--speeds", type=float, nargs="+", default=None,
+                         metavar="V",
+                         help="speeds in km/h, cycled over the fleet "
+                              "(default: the paper's 0..50 sweep)")
     return parser
 
 
@@ -113,6 +137,34 @@ def main(argv: list[str] | None = None) -> int:
         for e in result.events:
             print(f"  step {e.step:3d} @ {e.distance_km:5.2f} km: "
                   f"{e.source} -> {e.target} (output {e.output:.3f})")
+        return 0
+
+    if args.command == "fleet":
+        scenario = FleetScenario(
+            name=f"fleet-{args.ues}",
+            n_ues=args.ues,
+            n_walks=args.walks,
+            base_seed=args.seed,
+            speeds_kmh=(
+                tuple(args.speeds) if args.speeds else PAPER_SPEEDS_KMH
+            ),
+        )
+        t0 = time.perf_counter()
+        result = scenario.run(SimulationParameters())
+        elapsed = time.perf_counter() - t0
+        fleet = compute_fleet_metrics(result)
+        epochs = fleet.n_epochs_total
+        print(f"scenario : {scenario.name} (seeds {args.seed}.."
+              f"{args.seed + args.ues - 1}, {args.walks} legs/UE)")
+        print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
+        print(f"wall     : {elapsed:.3f} s "
+              f"({epochs / elapsed:,.0f} UE-epochs/s)")
+        print(f"handovers: {fleet.n_handovers} "
+              f"({fleet.mean_handovers_per_ue:.2f}/UE, "
+              f"necessary {fleet.n_necessary})")
+        print(f"ping-pong: {fleet.n_ping_pongs} "
+              f"(rate {fleet.ping_pong_rate:.3f})")
+        print(f"wrong-BS : {fleet.wrong_cell_fraction:.4f} of epochs")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

@@ -23,15 +23,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..mobility.base import Trace
+from ..mobility.base import Trace, TraceBatch
 from ..mobility.seedsearch import cell_sequence_of
-from ..sim.config import SimulationParameters
-from ..sim.measurement import MeasurementSeries
+from ..sim.config import PAPER_SPEEDS_KMH, SimulationParameters
+from ..sim.measurement import MeasurementSampler, MeasurementSeries
 
 __all__ = [
     "WalkScenario",
+    "FleetScenario",
     "SCENARIO_PINGPONG",
     "SCENARIO_CROSSING",
+    "SCENARIO_FLEET",
     "make_trace",
     "crossing_epochs",
     "measurement_point_epochs",
@@ -84,6 +86,91 @@ SCENARIO_CROSSING = WalkScenario(
     description=(
         "Fig. 8 analogue: the MS marches through neighbouring cells; "
         "three handovers are necessary and must all be executed."
+    ),
+)
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A reproducible *population* of walks for the batch engine.
+
+    Where :class:`WalkScenario` freezes one paper walk, a fleet scenario
+    describes N UEs — one seeded walk each (seeds ``base_seed …
+    base_seed + n_ues - 1``, so any single UE can be replayed through
+    the scalar pipeline bit-for-bit) with speeds cycled over
+    :attr:`speeds_kmh`.  :meth:`run` takes the whole fleet through
+    measurement and the :class:`~repro.sim.batch.BatchSimulator` in one
+    vectorised pass.
+    """
+
+    name: str
+    n_ues: int = 100
+    n_walks: int = 10
+    base_seed: int = 1000
+    speeds_kmh: tuple[float, ...] = PAPER_SPEEDS_KMH
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_ues < 1:
+            raise ValueError(f"n_ues must be >= 1, got {self.n_ues}")
+        if self.n_walks < 1:
+            raise ValueError(f"n_walks must be >= 1, got {self.n_walks}")
+        if not self.speeds_kmh:
+            raise ValueError("speeds_kmh must be non-empty")
+
+    # ------------------------------------------------------------------
+    def walk_seeds(self) -> list[int]:
+        """One deterministic walk seed per UE."""
+        return list(range(self.base_seed, self.base_seed + self.n_ues))
+
+    def ue_speeds(self) -> np.ndarray:
+        """``(n_ues,)`` speeds, cycling through :attr:`speeds_kmh`."""
+        speeds = np.asarray(self.speeds_kmh, dtype=float)
+        return speeds[np.arange(self.n_ues) % speeds.shape[0]]
+
+    def make_batch(
+        self, params: SimulationParameters | None = None
+    ) -> TraceBatch:
+        """The fleet's walks under the given physical configuration."""
+        if params is None:
+            params = SimulationParameters()
+        return params.make_walk(self.n_walks).generate_batch_seeded(
+            self.walk_seeds()
+        )
+
+    def run(self, params: SimulationParameters | None = None, system=None):
+        """Measure and simulate the whole fleet in one batched pass.
+
+        Returns a :class:`~repro.sim.batch.BatchSimulationResult`; pass
+        a custom :class:`~repro.core.system.FuzzyHandoverSystem` to run
+        a non-default pipeline configuration.
+        """
+        from ..core.system import FuzzyHandoverSystem
+        from ..sim.batch import BatchSimulator
+
+        if params is None:
+            params = SimulationParameters()
+        sampler = MeasurementSampler(
+            params.make_layout(),
+            params.make_propagation(),
+            spacing_km=params.measurement_spacing_km,
+        )
+        series = sampler.measure_batch(self.make_batch(params))
+        if system is None:
+            system = FuzzyHandoverSystem(
+                cell_radius_km=params.cell_radius_km
+            )
+        return BatchSimulator(system, speed_kmh=self.ue_speeds()).run(series)
+
+
+#: Default fleet workload: 100 UEs, 10-leg walks, the paper's speed
+#: sweep cycled across the population.
+SCENARIO_FLEET = FleetScenario(
+    name="fleet-100",
+    description=(
+        "100 mixed-speed UEs on independent seeded walks — the batch "
+        "engine's reference workload (any UE replays bit-identically "
+        "through the scalar pipeline)."
     ),
 )
 

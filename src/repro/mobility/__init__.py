@@ -5,7 +5,7 @@ The paper's Monte-Carlo random walk (Sec. 3) plus extension models
 utility that reproduces the paper's walk shapes with NumPy's RNG.
 """
 
-from .base import MobilityModel, Trace
+from .base import MobilityModel, Trace, TraceBatch
 from .random_walk import RandomWalk
 from .waypoint import RandomWaypoint
 from .gauss_markov import GaussMarkov
@@ -20,6 +20,7 @@ from .seedsearch import (
 
 __all__ = [
     "Trace",
+    "TraceBatch",
     "MobilityModel",
     "RandomWalk",
     "RandomWaypoint",

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import Literal, Sequence, Union
 
 import numpy as np
 
-from .base import Trace
+from .base import Trace, TraceBatch
 
 __all__ = ["RandomWalk"]
 
@@ -88,11 +88,19 @@ class RandomWalk:
             )
 
     # ------------------------------------------------------------------
-    def _draw_steps(self, rng: np.random.Generator) -> np.ndarray:
-        """Truncated-Gaussian leg lengths, shape ``(n_walks,)``."""
+    def _draw_steps(
+        self,
+        rng: np.random.Generator,
+        shape: Union[int, tuple[int, ...], None] = None,
+    ) -> np.ndarray:
+        """Truncated-Gaussian leg lengths, shape ``(n_walks,)`` by
+        default or any requested ``shape`` (the batch path draws a
+        ``(n_traces, n_walks)`` matrix from the same law)."""
+        if shape is None:
+            shape = self.n_walks
         if self.step_sigma_km == 0.0:
-            return np.full(self.n_walks, self.mean_step_km)
-        out = rng.normal(self.mean_step_km, self.step_sigma_km, self.n_walks)
+            return np.full(shape, self.mean_step_km)
+        out = rng.normal(self.mean_step_km, self.step_sigma_km, shape)
         bad = out < self.min_step_km
         # resample the tail instead of clipping, to keep the law Gaussian
         # conditional on positivity
@@ -133,6 +141,63 @@ class RandomWalk:
         """Convenience: one walk from an integer seed (the paper's
         ``iseed`` role)."""
         return self.generate(np.random.default_rng(seed))
+
+    # ------------------------------------------------------------------
+    # batch generation (the fleet-simulation hot path)
+    # ------------------------------------------------------------------
+    def generate_batch(
+        self, rng: np.random.Generator, n_traces: int
+    ) -> TraceBatch:
+        """``n_traces`` walks drawn at once from one shared generator.
+
+        All leg lengths and headings are sampled as ``(n_traces,
+        n_walks)`` matrices — no per-walk Python loop.  The draw order
+        differs from ``n_traces`` scalar :meth:`generate` calls, so this
+        path is *not* stream-compatible with per-seed walks; use
+        :meth:`generate_batch_seeded` when the batch must reproduce
+        scalar runs bit-for-bit.
+        """
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "generate_batch() expects a numpy Generator; build one "
+                "with numpy.random.default_rng(seed)"
+            )
+        if n_traces < 1:
+            raise ValueError(f"n_traces must be >= 1, got {n_traces}")
+        shape = (n_traces, self.n_walks)
+        d = self._draw_steps(rng, shape)
+        if self.angle_law == "uniform":
+            theta = rng.uniform(0.0, 2.0 * math.pi, shape)
+        else:
+            # Gaussian persistence: θ_k = θ_{k-1} + σ·ε is a cumulative
+            # sum of innovations around a random initial heading.
+            theta = np.empty(shape)
+            theta[:, 0] = rng.uniform(0.0, 2.0 * math.pi, n_traces)
+            if self.n_walks > 1:
+                steps = rng.normal(
+                    0.0, self.angle_sigma_rad, (n_traces, self.n_walks - 1)
+                )
+                theta[:, 1:] = theta[:, :1] + np.cumsum(steps, axis=1)
+        deltas = np.stack([d * np.cos(theta), d * np.sin(theta)], axis=2)
+        start = np.asarray(self.start, dtype=float)
+        pos = np.empty((n_traces, self.n_walks + 1, 2))
+        pos[:, 0] = start
+        np.cumsum(deltas, axis=1, out=pos[:, 1:])
+        pos[:, 1:] += start
+        return TraceBatch(
+            pos, np.full(n_traces, self.n_walks + 1, dtype=np.intp)
+        )
+
+    def generate_batch_seeded(self, seeds: Sequence[int]) -> TraceBatch:
+        """One walk per integer seed, each bit-identical to
+        :meth:`generate_seeded` of that seed — the batch engine's
+        equivalence-preserving entry point."""
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("generate_batch_seeded needs at least one seed")
+        return TraceBatch.from_traces(
+            self.generate_seeded(int(s)) for s in seeds
+        )
 
     def __repr__(self) -> str:
         return (

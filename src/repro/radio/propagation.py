@@ -125,6 +125,36 @@ class PropagationModel:
         dist_km = np.sqrt((diff * diff).sum(axis=2))
         return np.asarray(self.received_power_dbw(dist_km))
 
+    def power_from_sites_batch(
+        self, bs_positions_km: np.ndarray, points_km: np.ndarray
+    ) -> np.ndarray:
+        """Received power for a whole fleet of traces in one kernel.
+
+        Parameters
+        ----------
+        bs_positions_km:
+            ``(n_bs, 2)`` BS coordinates.
+        points_km:
+            ``(n_ues, n_epochs, 2)`` MS coordinates — one row of epochs
+            per UE, as produced by the batch mobility path.
+
+        Returns
+        -------
+        ``(n_ues, n_epochs, n_bs)`` received powers in dBW.  Every
+        (UE, epoch) entry is computed with exactly the same elementwise
+        chain as :meth:`power_from_sites`, so batched and per-trace
+        measurements agree bit-for-bit.
+        """
+        pts = np.asarray(points_km, dtype=float)
+        if pts.ndim != 3 or pts.shape[2] != 2:
+            raise ValueError(
+                f"points must have shape (n_ues, n_epochs, 2), got {pts.shape}"
+            )
+        flat = self.power_from_sites(
+            bs_positions_km, pts.reshape(-1, 2)
+        )
+        return flat.reshape(pts.shape[0], pts.shape[1], -1)
+
     def crossover_distance_km(
         self, other: "PropagationModel", spacing_km: float, resolution: int = 4097
     ) -> float:

@@ -1,16 +1,24 @@
 """Simulation engine (S7).
 
 Table-2 configuration, measurement sampling, the step-driven handover
-simulator, quality metrics (ping-pong detection) and serial/parallel
-sweep runners.
+simulator, the vectorised multi-UE batch engine, quality metrics
+(ping-pong detection, fleet aggregates) and serial/parallel sweep
+runners.
 """
 
 from .config import PAPER_SPEEDS_KMH, SimulationParameters
-from .measurement import MeasurementSampler, MeasurementSeries
+from .measurement import (
+    BatchMeasurementSeries,
+    MeasurementSampler,
+    MeasurementSeries,
+)
 from .engine import HandoverEvent, SimulationResult, Simulator
+from .batch import BatchSimulationResult, BatchSimulator
 from .metrics import (
     DEFAULT_WINDOW_KM,
+    FleetMetrics,
     HandoverMetrics,
+    compute_fleet_metrics,
     compute_metrics,
     count_ping_pongs,
     mean_dwell_epochs,
@@ -41,11 +49,16 @@ __all__ = [
     "PAPER_SPEEDS_KMH",
     "MeasurementSampler",
     "MeasurementSeries",
+    "BatchMeasurementSeries",
     "Simulator",
     "SimulationResult",
     "HandoverEvent",
+    "BatchSimulator",
+    "BatchSimulationResult",
     "HandoverMetrics",
+    "FleetMetrics",
     "compute_metrics",
+    "compute_fleet_metrics",
     "count_ping_pongs",
     "ping_pong_events",
     "necessary_handovers",

@@ -1,0 +1,423 @@
+"""The vectorised multi-UE batch simulation engine.
+
+:class:`BatchSimulator` advances N UEs in lockstep over a
+:class:`~repro.sim.measurement.BatchMeasurementSeries`: per epoch it
+applies the full POTLC → FLC → PRTLC pipeline of
+:class:`~repro.core.system.FuzzyHandoverSystem` *across the whole
+fleet* — masked NumPy stage gates, one batched FLC call for every UE
+that reaches the controller, vectorised serving-cell bookkeeping.
+
+The per-UE semantics are exactly the scalar
+:class:`~repro.sim.engine.Simulator` driving a fresh
+``FuzzyHandoverSystem``: same stage sequence, same FLC outputs (the
+controller's batch path is elementwise, so subset evaluation is
+bit-identical to one-sample evaluation), same tie-breaking on the
+target-cell argmax, same CSSP-lag history window.  The equivalence test
+suite pins this step-for-step; it is what lets the fleet path replace N
+scalar runs wholesale.
+
+Results come back as a :class:`BatchSimulationResult` holding the
+fleet's logs as arrays; :meth:`BatchSimulationResult.ue_result`
+materialises any single UE as a scalar-compatible
+:class:`~repro.sim.engine.SimulationResult` on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from ..core.inputs import HandoverInputs
+from ..core.system import Decision, FuzzyHandoverSystem, Stage
+from ..geometry.layout import CellLayout
+from ..radio.fading import speed_penalty_db
+from .engine import HandoverEvent, SimulationResult
+from .measurement import BatchMeasurementSeries
+
+__all__ = ["BatchSimulator", "BatchSimulationResult"]
+
+Cell = tuple[int, int]
+
+# Stage codes of the (n_ues, n_epochs) stage log; -1 marks padded epochs.
+_STAGE_CODES: tuple[str, ...] = (
+    Stage.WARMUP,
+    Stage.NO_NEIGHBOR,
+    Stage.POTLC_PASS,
+    Stage.FLC_REJECT,
+    Stage.PRTLC_REJECT,
+    Stage.HANDOVER,
+)
+_WARMUP, _NO_NEIGHBOR, _POTLC_PASS, _FLC_REJECT, _PRTLC_REJECT, _HANDOVER = (
+    range(6)
+)
+
+
+def _neighbor_table(
+    layout: CellLayout,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Padded adjacency of the layout.
+
+    Returns ``(indices, mask, degree)`` where ``indices`` is
+    ``(n_cells, max_degree)`` BS indices in :meth:`CellLayout.neighbors_of`
+    order (the order the scalar path's argmax tie-breaks on), ``mask``
+    flags real entries and ``degree`` counts them.
+    """
+    lists = [
+        [layout.index_of(c) for c in layout.neighbors_of(cell)]
+        for cell in layout.cells
+    ]
+    degree = np.array([len(l) for l in lists], dtype=np.intp)
+    width = max(1, int(degree.max(initial=0)))
+    indices = np.zeros((layout.n_cells, width), dtype=np.intp)
+    mask = np.zeros((layout.n_cells, width), dtype=bool)
+    for k, l in enumerate(lists):
+        indices[k, : len(l)] = l
+        mask[k, : len(l)] = True
+    return indices, mask, degree
+
+
+@dataclass(frozen=True)
+class BatchSimulationResult:
+    """Fleet-wide simulation log in array form.
+
+    Attributes
+    ----------
+    series:
+        The batch measurement series that was simulated.
+    speeds_kmh:
+        ``(n_ues,)`` per-UE speed.
+    serving_history:
+        ``(n_ues, n_epochs)`` serving-BS index per epoch (after that
+        epoch's decision); ``-1`` on padded epochs.
+    stages:
+        ``(n_ues, n_epochs)`` pipeline-stage code per epoch (see
+        :data:`Stage`); ``-1`` on padded epochs.
+    outputs:
+        ``(n_ues, n_epochs)`` FLC output (NaN where the FLC did not run).
+    cssp_db, ssn_db, dmb:
+        ``(n_ues, n_epochs)`` crisp FLC inputs (NaN where the FLC did
+        not run).
+    event_ue, event_step, event_source, event_target, event_output:
+        Flat, step-ordered arrays of every executed handover across the
+        fleet (``event_ue[k]`` names the UE).
+    """
+
+    series: BatchMeasurementSeries
+    speeds_kmh: np.ndarray
+    serving_history: np.ndarray
+    stages: np.ndarray
+    outputs: np.ndarray
+    cssp_db: np.ndarray
+    ssn_db: np.ndarray
+    dmb: np.ndarray
+    event_ue: np.ndarray
+    event_step: np.ndarray
+    event_source: np.ndarray
+    event_target: np.ndarray
+    event_output: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ues(self) -> int:
+        return self.serving_history.shape[0]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.series.lengths
+
+    @property
+    def n_handovers(self) -> int:
+        """Total executed handovers across the fleet."""
+        return int(self.event_ue.shape[0])
+
+    def handovers_per_ue(self) -> np.ndarray:
+        """``(n_ues,)`` executed-handover count per UE."""
+        return np.bincount(self.event_ue, minlength=self.n_ues)
+
+    # ------------------------------------------------------------------
+    def ue_result(self, i: int) -> SimulationResult:
+        """UE ``i``'s log as a scalar-compatible
+        :class:`SimulationResult` (decision objects, events, serving
+        history — field-for-field what the scalar simulator returns)."""
+        if not (0 <= i < self.n_ues):
+            raise IndexError(f"UE index {i} out of range [0, {self.n_ues})")
+        layout = self.series.layout
+        t = int(self.lengths[i])
+        mine = self.event_ue == i
+        by_step: dict[int, tuple[int, float]] = {
+            int(s): (int(tgt), float(out))
+            for s, tgt, out in zip(
+                self.event_step[mine],
+                self.event_target[mine],
+                self.event_output[mine],
+            )
+        }
+        decisions: list[Decision] = []
+        events: list[HandoverEvent] = []
+        for k in range(t):
+            code = int(self.stages[i, k])
+            if code in (_FLC_REJECT, _PRTLC_REJECT, _HANDOVER):
+                output: Optional[float] = float(self.outputs[i, k])
+                inputs: Optional[HandoverInputs] = HandoverInputs(
+                    cssp_db=float(self.cssp_db[i, k]),
+                    ssn_db=float(self.ssn_db[i, k]),
+                    dmb=float(self.dmb[i, k]),
+                )
+            else:
+                output = None
+                inputs = None
+            if code == _HANDOVER:
+                target_idx, _ = by_step[k]
+                # the first epoch is always warm-up, so a handover can
+                # never occur at k == 0
+                assert k > 0, "handover at the warm-up epoch"
+                source = layout.cells[int(self.serving_history[i, k - 1])]
+                target = layout.cells[target_idx]
+                decisions.append(
+                    Decision(
+                        handover=True,
+                        target=target,
+                        output=output,
+                        stage=Stage.HANDOVER,
+                        inputs=inputs,
+                    )
+                )
+                events.append(
+                    HandoverEvent(
+                        step=k,
+                        source=source,
+                        target=target,
+                        position_km=self.series.positions_km[i, k].copy(),
+                        distance_km=float(self.series.distance_km[i, k]),
+                        output=output,
+                        stage=Stage.HANDOVER,
+                    )
+                )
+            else:
+                decisions.append(
+                    Decision(
+                        handover=False,
+                        output=output,
+                        stage=_STAGE_CODES[code],
+                        inputs=inputs,
+                    )
+                )
+        return SimulationResult(
+            serving_history=tuple(
+                layout.cells[int(c)] for c in self.serving_history[i, :t]
+            ),
+            decisions=tuple(decisions),
+            events=tuple(events),
+            outputs=self.outputs[i, :t].copy(),
+            series=self.series.ue_series(i),
+            speed_kmh=float(self.speeds_kmh[i]),
+        )
+
+    def ue_results(self) -> Iterator[SimulationResult]:
+        """Every UE's scalar-compatible result, in UE order."""
+        for i in range(self.n_ues):
+            yield self.ue_result(i)
+
+    def fleet_metrics(self, window_km: Optional[float] = None):
+        """Aggregate fleet quality metrics (see
+        :func:`repro.sim.metrics.compute_fleet_metrics`)."""
+        from .metrics import DEFAULT_WINDOW_KM, compute_fleet_metrics
+
+        return compute_fleet_metrics(
+            self, DEFAULT_WINDOW_KM if window_km is None else window_km
+        )
+
+
+class BatchSimulator:
+    """Drives the fuzzy handover pipeline over a whole fleet at once.
+
+    Parameters
+    ----------
+    system:
+        The fuzzy handover system whose configuration (threshold, POTLC
+        gate, PRTLC switch, CSSP lag, cell radius) and FLC are applied
+        per UE; defaults to the paper configuration.  The system object
+        itself is never mutated — all per-UE state lives in the batch.
+        (Baselines and measurement-filter wrappers are scalar-only; use
+        :class:`~repro.sim.engine.Simulator` for those.)
+    speed_kmh:
+        MS speed — a scalar for a homogeneous fleet or an ``(n_ues,)``
+        array for mixed-speed scenarios.
+    initial_cell:
+        Serving cell of every UE at its first epoch; defaults to the
+        per-UE strongest BS at the starting position.
+    """
+
+    def __init__(
+        self,
+        system: Optional[FuzzyHandoverSystem] = None,
+        speed_kmh: Union[float, np.ndarray] = 0.0,
+        initial_cell: Optional[Cell] = None,
+    ) -> None:
+        self.system = system if system is not None else FuzzyHandoverSystem()
+        speeds = np.atleast_1d(np.asarray(speed_kmh, dtype=float))
+        if speeds.ndim != 1:
+            raise ValueError(
+                f"speed_kmh must be a scalar or 1-D, got shape {speeds.shape}"
+            )
+        if (speeds < 0).any():
+            raise ValueError("speed_kmh must be >= 0")
+        self._speeds = speeds
+        self.initial_cell = tuple(initial_cell) if initial_cell else None
+
+    # ------------------------------------------------------------------
+    def run(self, series: BatchMeasurementSeries) -> BatchSimulationResult:
+        """Simulate the whole fleet, one vectorised epoch at a time."""
+        n, t_max = series.n_ues, series.max_epochs
+        if t_max == 0:
+            raise ValueError("cannot simulate an empty measurement series")
+        layout = series.layout
+        sys = self.system
+        if self._speeds.shape[0] == 1:
+            speeds = np.full(n, self._speeds[0])
+        elif self._speeds.shape[0] == n:
+            speeds = self._speeds
+        else:
+            raise ValueError(
+                f"{n} UEs but {self._speeds.shape[0]} speeds"
+            )
+        penalty = np.asarray(speed_penalty_db(speeds), dtype=float)
+
+        nbr_idx, nbr_mask, nbr_deg = _neighbor_table(layout)
+        bs = layout.bs_positions
+        lengths = series.lengths
+        lag = sys.cssp_lag
+
+        if self.initial_cell is not None:
+            serving = np.full(n, layout.index_of(self.initial_cell), np.intp)
+        else:
+            serving = series.power_dbw[:, 0, :].argmax(axis=1).astype(np.intp)
+
+        # per-UE serving-power history window (scalar system's _history):
+        # oldest sample first, `hist_len` valid entries, cleared on
+        # handover exactly like the scalar pipeline.
+        hist = np.zeros((n, lag))
+        hist_len = np.zeros(n, dtype=np.intp)
+
+        serving_hist = np.full((n, t_max), -1, dtype=np.intp)
+        stages = np.full((n, t_max), -1, dtype=np.int8)
+        outputs = np.full((n, t_max), np.nan)
+        cssp_a = np.full((n, t_max), np.nan)
+        ssn_a = np.full((n, t_max), np.nan)
+        dmb_a = np.full((n, t_max), np.nan)
+        ev_ue: list[np.ndarray] = []
+        ev_step: list[np.ndarray] = []
+        ev_src: list[np.ndarray] = []
+        ev_tgt: list[np.ndarray] = []
+        ev_out: list[np.ndarray] = []
+
+        arange = np.arange(n)
+        for k in range(t_max):
+            active = k < lengths
+            power_k = series.power_dbw[:, k, :]
+            p_serv = power_k[arange, serving]
+
+            warm = active & (hist_len == 0)
+            considered = active & ~warm
+            no_nbr = considered & (nbr_deg[serving] == 0)
+            considered &= ~no_nbr
+            gated = considered & (p_serv >= sys.potlc_gate_dbw)
+            flc_mask = considered & ~gated
+
+            stages[warm, k] = _WARMUP
+            stages[no_nbr, k] = _NO_NEIGHBOR
+            stages[gated, k] = _POTLC_PASS
+
+            remembered = active.copy()
+            if flc_mask.any():
+                idx = np.nonzero(flc_mask)[0]
+                m = idx.shape[0]
+                reference = hist[idx, 0]
+                previous = hist[idx, hist_len[idx] - 1]
+                srv = serving[idx]
+                nb = nbr_idx[srv]                       # (m, max_degree)
+                nb_p = np.where(
+                    nbr_mask[srv], power_k[idx[:, None], nb], -np.inf
+                )
+                best_col = nb_p.argmax(axis=1)          # first max: the
+                best_idx = nb[np.arange(m), best_col]   # scalar tie-break
+                best_p = nb_p[np.arange(m), best_col]
+                delta = series.positions_km[idx, k] - bs[srv]
+                d_serv = np.hypot(delta[:, 0], delta[:, 1])
+
+                cssp = p_serv[idx] - reference
+                ssn = best_p - penalty[idx]
+                dmb = d_serv / sys.cell_radius_km
+                out = sys.flc.evaluate_batch(
+                    {"CSSP": cssp, "SSN": ssn, "DMB": dmb}
+                )
+                outputs[idx, k] = out
+                cssp_a[idx, k] = cssp
+                ssn_a[idx, k] = ssn
+                dmb_a[idx, k] = dmb
+
+                rej_flc = out <= sys.threshold
+                rej_prtlc = ~rej_flc
+                if sys.prtlc_enabled:
+                    rej_prtlc &= p_serv[idx] >= previous
+                else:
+                    rej_prtlc &= False
+                handed = ~rej_flc & ~rej_prtlc
+                stages[idx[rej_flc], k] = _FLC_REJECT
+                stages[idx[rej_prtlc], k] = _PRTLC_REJECT
+
+                if handed.any():
+                    ho = idx[handed]
+                    targets = best_idx[handed]
+                    stages[ho, k] = _HANDOVER
+                    ev_ue.append(ho)
+                    ev_step.append(np.full(ho.shape[0], k, dtype=np.intp))
+                    ev_src.append(serving[ho].copy())
+                    ev_tgt.append(targets)
+                    ev_out.append(out[handed])
+                    serving[ho] = targets
+                    hist_len[ho] = 0        # history restarts, and the
+                    remembered[ho] = False  # handover epoch is not kept
+
+            # _remember() for every non-handover active UE: slide the
+            # lag window (full rows shift, short rows append).
+            full = remembered & (hist_len == lag)
+            if full.any():
+                hist[full, :-1] = hist[full, 1:]
+                hist[full, -1] = p_serv[full]
+            short = remembered & (hist_len < lag)
+            if short.any():
+                rows = np.nonzero(short)[0]
+                hist[rows, hist_len[rows]] = p_serv[rows]
+                hist_len[rows] += 1
+
+            serving_hist[active, k] = serving[active]
+
+        def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            if parts:
+                return np.concatenate(parts)
+            return np.zeros(0, dtype=dtype)
+
+        return BatchSimulationResult(
+            series=series,
+            speeds_kmh=speeds,
+            serving_history=serving_hist,
+            stages=stages,
+            outputs=outputs,
+            cssp_db=cssp_a,
+            ssn_db=ssn_a,
+            dmb=dmb_a,
+            event_ue=_cat(ev_ue, np.intp),
+            event_step=_cat(ev_step, np.intp),
+            event_source=_cat(ev_src, np.intp),
+            event_target=_cat(ev_tgt, np.intp),
+            event_output=_cat(ev_out, float),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSimulator(system={self.system!r}, "
+            f"initial_cell={self.initial_cell})"
+        )

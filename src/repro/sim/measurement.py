@@ -15,12 +15,14 @@ from typing import Optional
 
 import numpy as np
 
+from typing import Sequence, Union
+
 from ..geometry.layout import CellLayout
-from ..mobility.base import Trace
+from ..mobility.base import Trace, TraceBatch
 from ..radio.fading import ShadowFading
 from ..radio.propagation import PropagationModel
 
-__all__ = ["MeasurementSeries", "MeasurementSampler"]
+__all__ = ["MeasurementSeries", "BatchMeasurementSeries", "MeasurementSampler"]
 
 Cell = tuple[int, int]
 
@@ -95,6 +97,81 @@ class MeasurementSeries:
         )
 
 
+@dataclass(frozen=True)
+class BatchMeasurementSeries:
+    """Per-epoch measurements for a whole fleet, in padded lockstep form.
+
+    Attributes
+    ----------
+    positions_km:
+        ``(n_ues, n_epochs, 2)`` MS position per UE per epoch.  Rows past
+        a UE's ``lengths`` entry repeat its final position (see
+        :class:`~repro.mobility.base.TraceBatch`).
+    distance_km:
+        ``(n_ues, n_epochs)`` cumulative walked distance per UE.
+    power_dbw:
+        ``(n_ues, n_epochs, n_cells)`` received power from every BS.
+    lengths:
+        ``(n_ues,)`` number of valid epochs per UE; consumers mask by it.
+    layout:
+        The layout the power columns refer to.
+    """
+
+    positions_km: np.ndarray
+    distance_km: np.ndarray
+    power_dbw: np.ndarray
+    lengths: np.ndarray
+    layout: CellLayout
+
+    def __post_init__(self) -> None:
+        n, t = self.positions_km.shape[:2]
+        if self.positions_km.shape != (n, t, 2):
+            raise ValueError(
+                f"positions_km must be (n, t, 2), got {self.positions_km.shape}"
+            )
+        if self.distance_km.shape != (n, t):
+            raise ValueError(
+                f"distance_km must be ({n}, {t}), got {self.distance_km.shape}"
+            )
+        if self.power_dbw.shape != (n, t, self.layout.n_cells):
+            raise ValueError(
+                f"power_dbw must be ({n}, {t}, {self.layout.n_cells}), "
+                f"got {self.power_dbw.shape}"
+            )
+        if self.lengths.shape != (n,):
+            raise ValueError(
+                f"lengths must be ({n},), got {self.lengths.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ues(self) -> int:
+        return self.positions_km.shape[0]
+
+    @property
+    def max_epochs(self) -> int:
+        return self.positions_km.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_ues
+
+    def ue_series(self, i: int) -> MeasurementSeries:
+        """UE ``i``'s measurements as a scalar series (padding stripped,
+        bit-identical to measuring that UE's trace alone)."""
+        t = int(self.lengths[i])
+        return MeasurementSeries(
+            positions_km=self.positions_km[i, :t].copy(),
+            distance_km=self.distance_km[i, :t].copy(),
+            power_dbw=self.power_dbw[i, :t].copy(),
+            layout=self.layout,
+        )
+
+    def strongest_cell_indices(self) -> np.ndarray:
+        """``(n_ues, n_epochs)`` index of the strongest BS per epoch
+        (padded epochs carry the repeated final position's argmax)."""
+        return self.power_dbw.argmax(axis=2)
+
+
 class MeasurementSampler:
     """Builds :class:`MeasurementSeries` from traces.
 
@@ -142,6 +219,70 @@ class MeasurementSampler:
             positions_km=positions,
             distance_km=distance,
             power_dbw=power,
+            layout=self.layout,
+        )
+
+    def measure_batch(
+        self,
+        batch: TraceBatch,
+        fading_rngs: Optional[
+            Sequence[Union[int, np.random.Generator, None]]
+        ] = None,
+    ) -> BatchMeasurementSeries:
+        """Sample a whole fleet of traces in one vectorised pass.
+
+        Densification happens per trace (exactly the scalar float ops),
+        then *all* UEs' positions go through a single propagation kernel.
+
+        Parameters
+        ----------
+        batch:
+            The fleet's traces.
+        fading_rngs:
+            Optional per-UE fading seeds/generators.  When this sampler
+            carries a fading process and per-UE rngs are given, each UE
+            gets an independent :class:`ShadowFading` with the same
+            ``sigma``/decorrelation — UE ``i``'s measurements are then
+            bit-identical to a scalar :meth:`measure` with that rng.
+            Without per-UE rngs the sampler's shared process is drawn
+            from sequentially, UE by UE.
+        """
+        dense = batch.densify(self.spacing_km)
+        if fading_rngs is not None:
+            # fail loudly rather than silently measuring noise-free
+            if self.fading is None or self.fading.sigma_db == 0.0:
+                raise ValueError(
+                    "fading_rngs given but this sampler has no fading "
+                    "process to consume them"
+                )
+            if len(fading_rngs) != dense.n_traces:
+                raise ValueError(
+                    f"{dense.n_traces} traces but {len(fading_rngs)} "
+                    "fading rngs"
+                )
+        power = self.propagation.power_from_sites_batch(
+            self.layout.bs_positions, dense.positions
+        )
+        distance = dense.cumulative_distances()
+        if self.fading is not None and self.fading.sigma_db > 0.0:
+            for i in range(dense.n_traces):
+                if fading_rngs is None:
+                    process = self.fading
+                else:
+                    process = ShadowFading(
+                        sigma_db=self.fading.sigma_db,
+                        decorrelation_km=self.fading.decorrelation_km,
+                        rng=fading_rngs[i],
+                    )
+                t = int(dense.lengths[i])
+                power[i, :t] += process.sample_along(
+                    distance[i, :t], n_sources=self.layout.n_cells
+                )
+        return BatchMeasurementSeries(
+            positions_km=dense.positions,
+            distance_km=distance,
+            power_dbw=power,
+            lengths=dense.lengths,
             layout=self.layout,
         )
 

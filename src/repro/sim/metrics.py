@@ -22,12 +22,15 @@ Definitions used here (standard in the handover literature):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from .engine import HandoverEvent, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from .batch import BatchSimulationResult
 
 __all__ = [
     "count_ping_pongs",
@@ -37,6 +40,8 @@ __all__ = [
     "mean_dwell_epochs",
     "HandoverMetrics",
     "compute_metrics",
+    "FleetMetrics",
+    "compute_fleet_metrics",
 ]
 
 Cell = tuple[int, int]
@@ -161,4 +166,151 @@ def compute_metrics(
         mean_dwell_epochs=mean_dwell_epochs(result),
         mean_output=float(finite.mean()) if finite.size else float("nan"),
         max_output=float(finite.max()) if finite.size else float("nan"),
+    )
+
+
+# ----------------------------------------------------------------------
+# fleet-level metrics (batch simulation engine)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Aggregate quality metrics of one fleet simulation.
+
+    The scalar definitions apply per UE (a ping-pong is a bounce within
+    one UE's event stream, never across UEs); the fleet numbers are the
+    per-UE counts summed, with :attr:`wrong_cell_fraction` weighted by
+    epochs so every measurement counts once regardless of which UE it
+    belongs to.
+    """
+
+    n_ues: int
+    n_epochs_total: int
+    n_handovers: int
+    n_ping_pongs: int
+    n_necessary: int
+    wrong_cell_fraction: float
+    mean_dwell_epochs: float
+    mean_output: float
+    max_output: float
+    # compare=False: ndarray equality is elementwise and would make the
+    # dataclass __eq__ raise; the scalar fields above already determine
+    # equality of the aggregates
+    handovers_per_ue: np.ndarray = field(repr=False, compare=False)
+    ping_pongs_per_ue: np.ndarray = field(repr=False, compare=False)
+    necessary_per_ue: np.ndarray = field(repr=False, compare=False)
+
+    @property
+    def ping_pong_rate(self) -> float:
+        """Fleet ping-pongs per executed handover (0 if none)."""
+        if self.n_handovers == 0:
+            return 0.0
+        return self.n_ping_pongs / self.n_handovers
+
+    @property
+    def excess_handovers(self) -> int:
+        """Fleet handovers beyond the geometric necessity."""
+        return self.n_handovers - self.n_necessary
+
+    @property
+    def mean_handovers_per_ue(self) -> float:
+        return self.n_handovers / self.n_ues
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_ues": float(self.n_ues),
+            "n_epochs_total": float(self.n_epochs_total),
+            "n_handovers": float(self.n_handovers),
+            "n_ping_pongs": float(self.n_ping_pongs),
+            "n_necessary": float(self.n_necessary),
+            "ping_pong_rate": self.ping_pong_rate,
+            "wrong_cell_fraction": self.wrong_cell_fraction,
+            "mean_dwell_epochs": self.mean_dwell_epochs,
+            "mean_handovers_per_ue": self.mean_handovers_per_ue,
+            "mean_output": self.mean_output,
+            "max_output": self.max_output,
+        }
+
+
+def compute_fleet_metrics(
+    result: "BatchSimulationResult", window_km: float = DEFAULT_WINDOW_KM
+) -> FleetMetrics:
+    """All quality metrics of one fleet run, computed from the batch
+    arrays (no per-UE materialisation).
+
+    Per UE the numbers equal :func:`compute_metrics` over
+    :meth:`~repro.sim.batch.BatchSimulationResult.ue_result` — the
+    equivalence tests pin this.
+    """
+    if window_km <= 0:
+        raise ValueError(f"window_km must be positive, got {window_km}")
+    n = result.n_ues
+    lengths = result.lengths
+    t_max = result.serving_history.shape[1]
+    epoch_valid = np.arange(t_max)[None, :] < lengths[:, None]
+
+    # per-UE event streams: the flat arrays are epoch-major, so a stable
+    # sort by UE keeps each UE's events step-ordered
+    order = np.argsort(result.event_ue, kind="stable")
+    ue = result.event_ue[order]
+    step = result.event_step[order]
+    src = result.event_source[order]
+    tgt = result.event_target[order]
+    handovers_per_ue = np.bincount(ue, minlength=n)
+
+    # ping-pongs: consecutive A->B, B->A pairs of the same UE within the
+    # walked-distance window (pairs never straddle UEs)
+    if ue.shape[0] >= 2:
+        dist = result.series.distance_km[ue, step]
+        pair = (
+            (ue[1:] == ue[:-1])
+            & (tgt[1:] == src[:-1])
+            & (src[1:] == tgt[:-1])
+            & ((dist[1:] - dist[:-1]) <= window_km)
+        )
+        ping_pongs_per_ue = np.bincount(ue[1:][pair], minlength=n)
+    else:
+        ping_pongs_per_ue = np.zeros(n, dtype=np.intp)
+
+    # necessary handovers: strongest-BS changes within each UE's valid
+    # epochs
+    strongest = result.series.strongest_cell_indices()
+    changes = strongest[:, 1:] != strongest[:, :-1]
+    necessary_per_ue = (changes & epoch_valid[:, 1:]).sum(axis=1)
+
+    # wrong-cell fraction, weighted by epochs across the whole fleet
+    wrong = (result.serving_history != strongest) & epoch_valid
+    n_epochs_total = int(lengths.sum())
+    wrong_fraction = float(wrong.sum() / n_epochs_total)
+
+    # mean dwell: every gap between consecutive events of one UE, plus
+    # the head segment [0, first event) and the tail (last event, t_i]
+    bounds = np.searchsorted(ue, np.arange(n + 1))
+    dwell_sum = 0.0
+    dwell_count = 0
+    for i in range(n):
+        steps_i = step[bounds[i] : bounds[i + 1]]
+        dwells = np.diff([0, *steps_i, int(lengths[i])])
+        dwells = dwells[dwells > 0]
+        if dwells.size == 0:
+            dwell_sum += float(lengths[i])
+            dwell_count += 1
+        else:
+            dwell_sum += float(dwells.sum())
+            dwell_count += int(dwells.size)
+    mean_dwell = dwell_sum / dwell_count if dwell_count else float("nan")
+
+    finite = result.outputs[np.isfinite(result.outputs)]
+    return FleetMetrics(
+        n_ues=n,
+        n_epochs_total=n_epochs_total,
+        n_handovers=int(handovers_per_ue.sum()),
+        n_ping_pongs=int(ping_pongs_per_ue.sum()),
+        n_necessary=int(necessary_per_ue.sum()),
+        wrong_cell_fraction=wrong_fraction,
+        mean_dwell_epochs=mean_dwell,
+        mean_output=float(finite.mean()) if finite.size else float("nan"),
+        max_output=float(finite.max()) if finite.size else float("nan"),
+        handovers_per_ue=handovers_per_ue,
+        ping_pongs_per_ue=ping_pongs_per_ue,
+        necessary_per_ue=necessary_per_ue,
     )

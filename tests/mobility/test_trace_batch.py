@@ -1,0 +1,126 @@
+"""TraceBatch: padded lockstep form of many walks."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import RandomWalk, RandomWaypoint, Trace, TraceBatch
+
+
+def ragged_traces(n=5, base_seed=10):
+    walk = RandomWalk(mean_step_km=0.6, step_sigma_km=0.2)
+    out = []
+    for i in range(n):
+        w = RandomWalk(
+            n_walks=3 + i, mean_step_km=walk.mean_step_km,
+            step_sigma_km=walk.step_sigma_km,
+        )
+        out.append(w.generate_seeded(base_seed + i))
+    return out
+
+
+class TestFromTraces:
+    def test_round_trip_is_bit_identical(self):
+        traces = ragged_traces()
+        batch = TraceBatch.from_traces(traces)
+        assert batch.n_traces == len(traces)
+        assert batch.max_points == max(t.n_points for t in traces)
+        for i, t in enumerate(traces):
+            np.testing.assert_array_equal(
+                batch.trace(i).positions, t.positions
+            )
+
+    def test_padding_repeats_final_position(self):
+        traces = ragged_traces()
+        batch = TraceBatch.from_traces(traces)
+        for i, t in enumerate(traces):
+            tail = batch.positions[i, t.n_points:]
+            np.testing.assert_array_equal(
+                tail, np.broadcast_to(t.positions[-1], tail.shape)
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBatch.from_traces([])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TraceBatch(np.zeros((2, 3, 3)), np.array([3, 3]))
+        with pytest.raises(ValueError):
+            TraceBatch(np.zeros((2, 3, 2)), np.array([3]))
+        with pytest.raises(ValueError):
+            TraceBatch(np.zeros((2, 3, 2)), np.array([3, 4]))
+
+
+class TestDerivedQuantities:
+    def test_cumulative_distances_match_scalar(self):
+        traces = ragged_traces()
+        batch = TraceBatch.from_traces(traces)
+        dist = batch.cumulative_distances()
+        for i, t in enumerate(traces):
+            np.testing.assert_array_equal(
+                dist[i, : t.n_points], t.cumulative_distance()
+            )
+            # padded tail stays flat at the total length
+            assert (dist[i, t.n_points:] == dist[i, t.n_points - 1]).all()
+
+    def test_densify_matches_scalar(self):
+        traces = ragged_traces()
+        dense = TraceBatch.from_traces(traces).densify(0.1)
+        for i, t in enumerate(traces):
+            np.testing.assert_array_equal(
+                dense.trace(i).positions, t.densify(0.1).positions
+            )
+
+
+class TestGeneration:
+    def test_batch_seeded_equals_scalar_walks(self):
+        walk = RandomWalk(n_walks=6)
+        batch = walk.generate_batch_seeded([5, 9, 11])
+        for i, seed in enumerate([5, 9, 11]):
+            np.testing.assert_array_equal(
+                batch.trace(i).positions,
+                walk.generate_seeded(seed).positions,
+            )
+
+    def test_generate_batch_shapes_and_start(self):
+        walk = RandomWalk(n_walks=8, start=(1.0, -2.0))
+        batch = walk.generate_batch(np.random.default_rng(3), 10)
+        assert batch.positions.shape == (10, 9, 2)
+        assert (batch.lengths == 9).all()
+        np.testing.assert_array_equal(
+            batch.positions[:, 0], np.tile([1.0, -2.0], (10, 1))
+        )
+
+    def test_generate_batch_reproducible(self):
+        walk = RandomWalk(n_walks=5)
+        a = walk.generate_batch(np.random.default_rng(42), 4)
+        b = walk.generate_batch(np.random.default_rng(42), 4)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_generate_batch_step_law(self):
+        walk = RandomWalk(n_walks=50, mean_step_km=0.6, step_sigma_km=0.2)
+        batch = walk.generate_batch(np.random.default_rng(0), 20)
+        for i in range(batch.n_traces):
+            steps = batch.trace(i).step_lengths()
+            assert (steps >= walk.min_step_km).all()
+
+    def test_generate_batch_validation(self):
+        walk = RandomWalk()
+        with pytest.raises(TypeError):
+            walk.generate_batch(123, 4)  # seed instead of Generator
+        with pytest.raises(ValueError):
+            walk.generate_batch(np.random.default_rng(0), 0)
+
+    def test_from_model_native_path(self):
+        walk = RandomWalk(n_walks=4)
+        batch = TraceBatch.from_model(walk, np.random.default_rng(7), 6)
+        assert batch.n_traces == 6
+        assert (batch.lengths == 5).all()
+
+    def test_from_model_fallback_spawns_children(self):
+        model = RandomWaypoint(n_waypoints=4)
+        batch = TraceBatch.from_model(model, np.random.default_rng(7), 3)
+        assert batch.n_traces == 3
+        # reproducible from the parent generator alone
+        again = TraceBatch.from_model(model, np.random.default_rng(7), 3)
+        np.testing.assert_array_equal(batch.positions, again.positions)

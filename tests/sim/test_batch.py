@@ -1,0 +1,279 @@
+"""Batch/scalar equivalence of the fleet simulation engine.
+
+The contract of :class:`repro.sim.batch.BatchSimulator` is that a fleet
+run is *indistinguishable* from N independent scalar
+:class:`~repro.sim.engine.Simulator` runs over the same walks: same
+decision log, same serving-cell history, same handover events, same FLC
+outputs — bit for bit, not approximately.  These tests pin that
+property for mixed walk lengths, mixed speeds and every pipeline
+configuration knob the batch path supports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FuzzyHandoverSystem
+from repro.mobility import TraceBatch
+from repro.sim import (
+    BatchSimulator,
+    MeasurementSampler,
+    SimulationParameters,
+    Simulator,
+    compute_fleet_metrics,
+    compute_metrics,
+)
+
+FAST = SimulationParameters(measurement_spacing_km=0.2)
+
+
+def make_traces(params, n_ues, base_seed=100):
+    """N reproducible walks with deliberately ragged lengths."""
+    return [
+        params.make_walk(4 + (i % 5)).generate_seeded(base_seed + i)
+        for i in range(n_ues)
+    ]
+
+
+def make_sampler(params):
+    return MeasurementSampler(
+        params.make_layout(),
+        params.make_propagation(),
+        spacing_km=params.measurement_spacing_km,
+    )
+
+
+def run_both(params, traces, speeds, **system_kwargs):
+    """The same fleet through the scalar and the batch path."""
+    sampler = make_sampler(params)
+    speeds = np.broadcast_to(
+        np.atleast_1d(np.asarray(speeds, dtype=float)), (len(traces),)
+    )
+    scalar = []
+    for trace, speed in zip(traces, speeds):
+        system = FuzzyHandoverSystem(
+            cell_radius_km=params.cell_radius_km, **system_kwargs
+        )
+        scalar.append(
+            Simulator(system, speed_kmh=float(speed)).run(
+                sampler.measure(trace)
+            )
+        )
+    batch_series = sampler.measure_batch(TraceBatch.from_traces(traces))
+    batch = BatchSimulator(
+        FuzzyHandoverSystem(
+            cell_radius_km=params.cell_radius_km, **system_kwargs
+        ),
+        speed_kmh=speeds,
+    ).run(batch_series)
+    return scalar, batch
+
+
+def assert_ue_equivalent(scalar, batch, i):
+    """UE ``i`` of the batch result must replay the scalar run exactly."""
+    b = batch.ue_result(i)
+    assert b.serving_history == scalar.serving_history
+    assert b.speed_kmh == scalar.speed_kmh
+    np.testing.assert_array_equal(b.outputs, scalar.outputs)
+    np.testing.assert_array_equal(
+        b.series.positions_km, scalar.series.positions_km
+    )
+    np.testing.assert_array_equal(
+        b.series.distance_km, scalar.series.distance_km
+    )
+    np.testing.assert_array_equal(b.series.power_dbw, scalar.series.power_dbw)
+
+    assert len(b.decisions) == len(scalar.decisions)
+    for db, ds in zip(b.decisions, scalar.decisions):
+        assert db.stage == ds.stage
+        assert db.handover == ds.handover
+        assert db.target == ds.target
+        assert db.output == ds.output
+        if ds.inputs is None:
+            assert db.inputs is None
+        else:
+            assert db.inputs == ds.inputs
+
+    assert len(b.events) == len(scalar.events)
+    for eb, es in zip(b.events, scalar.events):
+        assert eb.step == es.step
+        assert eb.source == es.source
+        assert eb.target == es.target
+        assert eb.output == es.output
+        assert eb.distance_km == es.distance_km
+        np.testing.assert_array_equal(eb.position_km, es.position_km)
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("n_ues", [1, 7, 32])
+    def test_decision_log_matches_step_for_step(self, n_ues):
+        traces = make_traces(FAST, n_ues)
+        speeds = [10.0 * (i % 6) for i in range(n_ues)]
+        scalar, batch = run_both(FAST, traces, speeds)
+        assert batch.n_ues == n_ues
+        for i in range(n_ues):
+            assert_ue_equivalent(scalar[i], batch, i)
+
+    def test_homogeneous_speed_broadcast(self):
+        traces = make_traces(FAST, 5)
+        scalar, batch = run_both(FAST, traces, 30.0)
+        for i in range(5):
+            assert_ue_equivalent(scalar[i], batch, i)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prtlc_enabled": False},
+            {"cssp_lag": 3},
+            {"potlc_gate_dbw": -1000.0},  # FLC runs on every epoch
+            {"threshold": 0.3},
+        ],
+    )
+    def test_pipeline_knobs(self, kwargs):
+        traces = make_traces(FAST, 6, base_seed=300)
+        scalar, batch = run_both(FAST, traces, 20.0, **kwargs)
+        for i in range(6):
+            assert_ue_equivalent(scalar[i], batch, i)
+
+    def test_explicit_initial_cell(self):
+        traces = make_traces(FAST, 3)
+        sampler = make_sampler(FAST)
+        start_cell = sampler.layout.cells[1]
+        scalar = []
+        for trace in traces:
+            system = FuzzyHandoverSystem(cell_radius_km=FAST.cell_radius_km)
+            scalar.append(
+                Simulator(system, initial_cell=start_cell).run(
+                    sampler.measure(trace)
+                )
+            )
+        series = sampler.measure_batch(TraceBatch.from_traces(traces))
+        batch = BatchSimulator(
+            FuzzyHandoverSystem(cell_radius_km=FAST.cell_radius_km),
+            initial_cell=start_cell,
+        ).run(series)
+        for i in range(3):
+            assert_ue_equivalent(scalar[i], batch, i)
+
+    def test_event_arrays_consistent_with_ue_results(self):
+        traces = make_traces(FAST, 8, base_seed=700)
+        _, batch = run_both(FAST, traces, 40.0)
+        per_ue = batch.handovers_per_ue()
+        assert per_ue.sum() == batch.n_handovers
+        for i, res in enumerate(batch.ue_results()):
+            assert res.n_handovers == per_ue[i]
+        # flat events are epoch-major and step-sorted
+        assert (np.diff(batch.event_step) >= 0).all()
+
+
+class TestFleetMetrics:
+    def test_fleet_equals_summed_scalar_metrics(self):
+        traces = make_traces(FAST, 9, base_seed=40)
+        scalar, batch = run_both(
+            FAST, traces, [0.0, 50.0, 20.0] * 3, potlc_gate_dbw=-1000.0
+        )
+        fleet = compute_fleet_metrics(batch)
+        per_ue = [compute_metrics(r) for r in scalar]
+        assert fleet.n_ues == 9
+        assert fleet.n_handovers == sum(m.n_handovers for m in per_ue)
+        assert fleet.n_ping_pongs == sum(m.n_ping_pongs for m in per_ue)
+        assert fleet.n_necessary == sum(m.n_necessary for m in per_ue)
+        np.testing.assert_array_equal(
+            fleet.handovers_per_ue, [m.n_handovers for m in per_ue]
+        )
+        np.testing.assert_array_equal(
+            fleet.ping_pongs_per_ue, [m.n_ping_pongs for m in per_ue]
+        )
+        np.testing.assert_array_equal(
+            fleet.necessary_per_ue, [m.n_necessary for m in per_ue]
+        )
+        # epoch-weighted wrong-cell fraction
+        total_epochs = sum(r.n_epochs for r in scalar)
+        assert fleet.n_epochs_total == total_epochs
+        wrong = sum(m.wrong_cell_fraction * r.n_epochs
+                    for m, r in zip(per_ue, scalar))
+        assert fleet.wrong_cell_fraction == pytest.approx(
+            wrong / total_epochs
+        )
+        assert fleet.ping_pong_rate <= 1.0
+        assert fleet.mean_handovers_per_ue == fleet.n_handovers / 9
+
+    def test_result_convenience_method(self):
+        traces = make_traces(FAST, 4)
+        _, batch = run_both(FAST, traces, 0.0)
+        fleet = batch.fleet_metrics()
+        assert fleet.n_ues == 4
+        assert set(fleet.as_dict()) >= {
+            "n_handovers", "ping_pong_rate", "wrong_cell_fraction"
+        }
+
+
+class TestBatchMeasurementFading:
+    def test_per_ue_fading_rngs_match_scalar(self):
+        params = FAST.with_(shadow_sigma_db=4.0, shadow_decorrelation_km=0.1)
+        traces = make_traces(params, 3)
+        layout = params.make_layout()
+        batch_sampler = MeasurementSampler(
+            layout,
+            params.make_propagation(),
+            spacing_km=params.measurement_spacing_km,
+            fading=params.make_fading(rng=999),
+        )
+        series = batch_sampler.measure_batch(
+            TraceBatch.from_traces(traces), fading_rngs=[11, 12, 13]
+        )
+        for i, trace in enumerate(traces):
+            scalar_sampler = MeasurementSampler(
+                layout,
+                params.make_propagation(),
+                spacing_km=params.measurement_spacing_km,
+                fading=params.make_fading(rng=11 + i),
+            )
+            np.testing.assert_array_equal(
+                series.ue_series(i).power_dbw,
+                scalar_sampler.measure(trace).power_dbw,
+            )
+
+    def test_fading_rngs_without_fading_rejected(self):
+        traces = make_traces(FAST, 2)
+        with pytest.raises(ValueError, match="no fading"):
+            make_sampler(FAST).measure_batch(
+                TraceBatch.from_traces(traces), fading_rngs=[1, 2]
+            )
+
+    def test_fading_rngs_length_mismatch_rejected(self):
+        params = FAST.with_(shadow_sigma_db=4.0)
+        traces = make_traces(params, 3)
+        sampler = MeasurementSampler(
+            params.make_layout(),
+            params.make_propagation(),
+            spacing_km=params.measurement_spacing_km,
+            fading=params.make_fading(rng=0),
+        )
+        with pytest.raises(ValueError, match="fading rngs"):
+            sampler.measure_batch(
+                TraceBatch.from_traces(traces), fading_rngs=[1]
+            )
+
+
+class TestBatchValidation:
+    def test_bad_speed_shape(self):
+        with pytest.raises(ValueError):
+            BatchSimulator(speed_kmh=np.zeros((2, 2)))
+
+    def test_negative_speed(self):
+        with pytest.raises(ValueError):
+            BatchSimulator(speed_kmh=-1.0)
+
+    def test_speed_count_mismatch(self):
+        traces = make_traces(FAST, 3)
+        series = make_sampler(FAST).measure_batch(
+            TraceBatch.from_traces(traces)
+        )
+        with pytest.raises(ValueError, match="speeds"):
+            BatchSimulator(speed_kmh=np.zeros(5)).run(series)
+
+    def test_ue_result_index_range(self):
+        traces = make_traces(FAST, 2)
+        _, batch = run_both(FAST, traces, 0.0)
+        with pytest.raises(IndexError):
+            batch.ue_result(2)

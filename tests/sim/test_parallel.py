@@ -77,4 +77,37 @@ class TestParallelExecution:
             run_grid_parallel(FAST, ("strongest", {}), [1], max_workers=0)
 
 
+class TestDeterminism:
+    """The parallel runner must be *byte-identical* to the serial one
+    under a fixed seed — not just approximately equal."""
+
+    SEEDS = [11, 12, 13]
+    SPEEDS = [0.0, 30.0]
+    SPEC = ("fuzzy", {})  # fuzzy outputs are finite -> exact equality
+
+    def test_grid_byte_identical_to_serial(self):
+        import pickle
+
+        serial = run_grid(FAST, self.SPEC, self.SEEDS, self.SPEEDS)
+        parallel = run_grid_parallel(
+            FAST, self.SPEC, self.SEEDS, self.SPEEDS, max_workers=2
+        )
+        assert serial == parallel
+        # byte-identical per outcome (whole-list pickles differ only by
+        # cross-outcome object sharing, which carries no information)
+        for s, p in zip(serial, parallel):
+            assert pickle.dumps(s) == pickle.dumps(p)
+
+    def test_max_workers_one_edge_case(self):
+        import pickle
+
+        serial = run_grid(FAST, self.SPEC, self.SEEDS, self.SPEEDS)
+        inproc = run_grid_parallel(
+            FAST, self.SPEC, self.SEEDS, self.SPEEDS, max_workers=1
+        )
+        assert serial == inproc
+        for s, p in zip(serial, inproc):
+            assert pickle.dumps(s) == pickle.dumps(p)
+
+
 import numpy as np  # noqa: E402  (used by TestExpandGrid)

@@ -59,6 +59,20 @@ class TestCommands:
         assert "handovers: 3" in out
         assert "(-2, 1)" in out
 
+    def test_fleet(self, capsys):
+        assert main(["fleet", "--ues", "8", "--walks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "8 UEs" in out
+        assert "UE-epochs/s" in out
+        assert "ping-pong" in out
+
+    def test_fleet_custom_speeds(self, capsys):
+        assert main(
+            ["fleet", "--ues", "4", "--walks", "3", "--speeds", "0", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 UEs" in out
+
     def test_simulate_with_speed(self, capsys):
         assert main(["simulate", "crossing", "--speed", "10"]) == 0
         out = capsys.readouterr().out
