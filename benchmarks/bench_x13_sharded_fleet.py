@@ -1,0 +1,95 @@
+"""X13 — sharded fleet execution vs the single-shard batch engine.
+
+The same fleet spec (independent seeded walks, paper physics, streaming
+metrics) through ``run_fleet`` with one shard in-process and with
+``X13_SHARDS`` shards over ``X13_WORKERS`` pool workers.  Sharding is
+bit-identical by construction (the tier-1 suite pins per-UE logs and
+merged metrics); the point here is wall-clock scaling on top of PR 1's
+X12 vectorisation.
+
+``test_x13_speedup_sharded`` is the ISSUE-2 acceptance check: at
+N = 2000 UEs with 4 workers the sharded path must be at least 2× faster
+end-to-end than the unsharded batch engine.  The assertion only runs
+where it can physically hold (enough cores and the full fleet size);
+smaller runs — e.g. the CI smoke at tiny N — still verify that the
+sharded metrics merge to exactly the unsharded result.
+
+Environment knobs: ``X13_FLEET_SIZE`` (default 2000), ``X13_SHARDS``
+(default 4), ``X13_WORKERS`` (default 4).
+"""
+
+import os
+import time
+
+import pytest
+from conftest import run_once
+
+from repro.sim import FleetSpec, SimulationParameters, run_fleet
+
+N = int(os.environ.get("X13_FLEET_SIZE", "2000"))
+SHARDS = int(os.environ.get("X13_SHARDS", "4"))
+WORKERS = int(os.environ.get("X13_WORKERS", "4"))
+N_ACCEPT = 2000     # the acceptance-criterion fleet size
+
+PARAMS = SimulationParameters(n_walks=8)
+SPEC = FleetSpec(
+    n_ues=N,
+    n_walks=8,
+    base_seed=3000,
+    params=PARAMS,
+)
+
+
+def run_unsharded():
+    return run_fleet(SPEC, n_shards=1)
+
+
+def run_sharded():
+    return run_fleet(SPEC, n_shards=SHARDS, max_workers=WORKERS)
+
+
+@pytest.mark.benchmark(group="x13-sharded-fleet")
+def test_x13_unsharded_fleet(benchmark):
+    fleet = run_once(benchmark, run_unsharded)
+    assert fleet.n_ues == N
+
+
+@pytest.mark.benchmark(group="x13-sharded-fleet")
+def test_x13_sharded_fleet(benchmark):
+    fleet = run_once(benchmark, run_sharded)
+    assert fleet.n_ues == N
+
+
+def test_x13_speedup_sharded():
+    """ISSUE-2 acceptance: >= 2x over the unsharded batch engine at
+    N = 2000 with 4 workers (asserted where the hardware allows)."""
+    t0 = time.perf_counter()
+    sharded = run_sharded()
+    t_sharded = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    unsharded = run_unsharded()
+    t_unsharded = time.perf_counter() - t0
+
+    # sharding must never change the physics, whatever the fleet size
+    assert sharded == unsharded
+
+    speedup = t_unsharded / t_sharded
+    print(
+        f"\nx13: unsharded {t_unsharded:.2f} s, "
+        f"{SHARDS} shards x {WORKERS} workers {t_sharded:.2f} s "
+        f"-> {speedup:.2f}x over {N} UEs"
+    )
+    cores = os.cpu_count() or 1
+    if N < N_ACCEPT:
+        pytest.skip(
+            f"speedup asserted at N={N_ACCEPT}, ran N={N} (smoke mode)"
+        )
+    if cores < WORKERS:
+        pytest.skip(
+            f"speedup needs >= {WORKERS} cores, host has {cores}"
+        )
+    assert speedup >= 2.0, (
+        f"sharded fleet only {speedup:.2f}x faster than the unsharded "
+        f"batch engine (target 2x at N={N}, {WORKERS} workers)"
+    )

@@ -12,9 +12,11 @@ Commands
     One controller evaluation with the rule-level explanation.
 ``simulate {pingpong,crossing} [--speed V]``
     Run the full pipeline on a frozen paper scenario.
-``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]``
-    Run a whole UE population through the vectorised batch engine and
-    print the fleet-level quality metrics.
+``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
+[--shards N] [--workers W]``
+    Run a whole UE population through the vectorised batch engine —
+    optionally partitioned into shards over a process pool — and print
+    the fleet-level quality metrics (identical for any shard count).
 """
 
 from __future__ import annotations
@@ -35,7 +37,6 @@ from .experiments import (
 from .sim import (
     PAPER_SPEEDS_KMH,
     SimulationParameters,
-    compute_fleet_metrics,
     run_trace,
 )
 
@@ -85,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="V",
                          help="speeds in km/h, cycled over the fleet "
                               "(default: the paper's 0..50 sweep)")
+    p_fleet.add_argument("--shards", type=int, default=1,
+                         help="partition the fleet into N shards "
+                              "(default 1; metrics are identical for "
+                              "any shard count)")
+    p_fleet.add_argument("--workers", type=int, default=None,
+                         help="process workers for sharded execution "
+                              "(default: auto, CPUs-1 capped at the "
+                              "shard count)")
     return parser
 
 
@@ -149,16 +158,23 @@ def main(argv: list[str] | None = None) -> int:
                 tuple(args.speeds) if args.speeds else PAPER_SPEEDS_KMH
             ),
         )
+        from .sim import partition_fleet
+
+        n_shards = len(partition_fleet(args.ues, args.shards))
         t0 = time.perf_counter()
-        result = scenario.run(SimulationParameters())
+        fleet = scenario.run_sharded(
+            SimulationParameters(),
+            n_shards=args.shards,
+            max_workers=args.workers,
+        )
         elapsed = time.perf_counter() - t0
-        fleet = compute_fleet_metrics(result)
         epochs = fleet.n_epochs_total
         print(f"scenario : {scenario.name} (seeds {args.seed}.."
               f"{args.seed + args.ues - 1}, {args.walks} legs/UE)")
         print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
         print(f"wall     : {elapsed:.3f} s "
-              f"({epochs / elapsed:,.0f} UE-epochs/s)")
+              f"({epochs / elapsed:,.0f} UE-epochs/s, "
+              f"{n_shards} shard{'s' if n_shards != 1 else ''})")
         print(f"handovers: {fleet.n_handovers} "
               f"({fleet.mean_handovers_per_ue:.2f}/UE, "
               f"necessary {fleet.n_necessary})")

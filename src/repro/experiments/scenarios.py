@@ -26,7 +26,7 @@ import numpy as np
 from ..mobility.base import Trace, TraceBatch
 from ..mobility.seedsearch import cell_sequence_of
 from ..sim.config import PAPER_SPEEDS_KMH, SimulationParameters
-from ..sim.measurement import MeasurementSampler, MeasurementSeries
+from ..sim.measurement import MeasurementSeries
 
 __all__ = [
     "WalkScenario",
@@ -100,7 +100,9 @@ class FleetScenario:
     the scalar pipeline bit-for-bit) with speeds cycled over
     :attr:`speeds_kmh`.  :meth:`run` takes the whole fleet through
     measurement and the :class:`~repro.sim.batch.BatchSimulator` in one
-    vectorised pass.
+    vectorised pass; :meth:`run_sharded` partitions the same fleet over
+    the :mod:`repro.sim.fleet` execution layer and merges the metrics —
+    bit-identical to the unsharded run by construction.
     """
 
     name: str
@@ -119,6 +121,19 @@ class FleetScenario:
             raise ValueError("speeds_kmh must be non-empty")
 
     # ------------------------------------------------------------------
+    def to_spec(self, params: SimulationParameters | None = None):
+        """This scenario as a picklable :class:`repro.sim.FleetSpec`
+        (the sharded execution layer's currency)."""
+        from ..sim.fleet import FleetSpec
+
+        return FleetSpec(
+            n_ues=self.n_ues,
+            n_walks=self.n_walks,
+            base_seed=self.base_seed,
+            speeds_kmh=tuple(self.speeds_kmh),
+            params=params if params is not None else SimulationParameters(),
+        )
+
     def walk_seeds(self) -> list[int]:
         """One deterministic walk seed per UE."""
         return list(range(self.base_seed, self.base_seed + self.n_ues))
@@ -145,22 +160,31 @@ class FleetScenario:
         a custom :class:`~repro.core.system.FuzzyHandoverSystem` to run
         a non-default pipeline configuration.
         """
-        from ..core.system import FuzzyHandoverSystem
-        from ..sim.batch import BatchSimulator
+        return self.to_spec(params).shard(1)[0].run(system=system)
 
-        if params is None:
-            params = SimulationParameters()
-        sampler = MeasurementSampler(
-            params.make_layout(),
-            params.make_propagation(),
-            spacing_km=params.measurement_spacing_km,
+    def run_sharded(
+        self,
+        params: SimulationParameters | None = None,
+        n_shards: int = 1,
+        max_workers: int | None = None,
+        window_km: float | None = None,
+    ):
+        """Partition the fleet into shards, run them (in-process or over
+        a worker pool) and merge the streaming per-shard metrics.
+
+        Returns a :class:`~repro.sim.metrics.FleetMetrics` identical to
+        ``compute_fleet_metrics(self.run(params))`` for every shard and
+        worker count.
+        """
+        from ..sim.fleet import run_fleet
+        from ..sim.metrics import DEFAULT_WINDOW_KM
+
+        return run_fleet(
+            self.to_spec(params),
+            n_shards=n_shards,
+            max_workers=max_workers,
+            window_km=DEFAULT_WINDOW_KM if window_km is None else window_km,
         )
-        series = sampler.measure_batch(self.make_batch(params))
-        if system is None:
-            system = FuzzyHandoverSystem(
-                cell_radius_km=params.cell_radius_km
-            )
-        return BatchSimulator(system, speed_kmh=self.ue_speeds()).run(series)
 
 
 #: Default fleet workload: 100 UEs, 10-leg walks, the paper's speed

@@ -2,8 +2,9 @@
 
 Table-2 configuration, measurement sampling, the step-driven handover
 simulator, the vectorised multi-UE batch engine, quality metrics
-(ping-pong detection, fleet aggregates) and serial/parallel sweep
-runners.
+(ping-pong detection, mergeable fleet aggregates, streaming
+accumulation), the pluggable serial/process execution layer, and the
+sweep and sharded-fleet runners built on it.
 """
 
 from .config import PAPER_SPEEDS_KMH, SimulationParameters
@@ -17,15 +18,25 @@ from .batch import BatchSimulationResult, BatchSimulator
 from .metrics import (
     DEFAULT_WINDOW_KM,
     FleetMetrics,
+    FleetMetricsAccumulator,
     HandoverMetrics,
     compute_fleet_metrics,
     compute_metrics,
     count_ping_pongs,
     mean_dwell_epochs,
+    merge_fleet_metrics,
     necessary_handovers,
     ping_pong_events,
     wrong_cell_fraction,
 )
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_workers,
+    make_executor,
+)
+from .fleet import FleetShard, FleetSpec, partition_fleet, run_fleet
 from .runner import (
     PolicySpec,
     RunOutcome,
@@ -36,7 +47,7 @@ from .runner import (
     run_trace,
     summarize_outcomes,
 )
-from .parallel import default_workers, expand_grid, run_grid_parallel
+from .parallel import expand_grid, run_grid_parallel
 from .session import (
     DEFAULT_HANDOVER_COST,
     DEFAULT_SENSITIVITY_DBW,
@@ -76,6 +87,16 @@ __all__ = [
     "run_grid_parallel",
     "expand_grid",
     "default_workers",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "FleetSpec",
+    "FleetShard",
+    "partition_fleet",
+    "run_fleet",
+    "FleetMetricsAccumulator",
+    "merge_fleet_metrics",
     "SessionMetrics",
     "evaluate_session",
     "DEFAULT_SENSITIVITY_DBW",

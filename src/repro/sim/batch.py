@@ -230,6 +230,103 @@ class BatchSimulationResult:
         )
 
 
+class _FleetLogRecorder:
+    """The full-log consumer: materialises every ``(n_ues, n_epochs)``
+    array of a :class:`BatchSimulationResult`.
+
+    Consumers receive the epoch loop's masked slices through ``begin`` /
+    ``on_stage_masks`` / ``on_flc`` / ``on_handover`` / ``end_epoch`` /
+    ``finalize`` — the streaming
+    :class:`~repro.sim.metrics.FleetMetricsAccumulator` implements the
+    same interface with O(n_ues) counters instead of full histories.
+    """
+
+    def begin(
+        self, series: BatchMeasurementSeries, speeds: np.ndarray
+    ) -> None:
+        n, t_max = series.n_ues, series.max_epochs
+        self._series = series
+        self._speeds = speeds
+        self._serving_hist = np.full((n, t_max), -1, dtype=np.intp)
+        self._stages = np.full((n, t_max), -1, dtype=np.int8)
+        self._outputs = np.full((n, t_max), np.nan)
+        self._cssp = np.full((n, t_max), np.nan)
+        self._ssn = np.full((n, t_max), np.nan)
+        self._dmb = np.full((n, t_max), np.nan)
+        self._ev_ue: list[np.ndarray] = []
+        self._ev_step: list[np.ndarray] = []
+        self._ev_src: list[np.ndarray] = []
+        self._ev_tgt: list[np.ndarray] = []
+        self._ev_out: list[np.ndarray] = []
+
+    def on_stage_masks(
+        self, k: int, warm: np.ndarray, no_nbr: np.ndarray, gated: np.ndarray
+    ) -> None:
+        self._stages[warm, k] = _WARMUP
+        self._stages[no_nbr, k] = _NO_NEIGHBOR
+        self._stages[gated, k] = _POTLC_PASS
+
+    def on_flc(
+        self,
+        k: int,
+        idx: np.ndarray,
+        cssp: np.ndarray,
+        ssn: np.ndarray,
+        dmb: np.ndarray,
+        out: np.ndarray,
+        rej_flc: np.ndarray,
+        rej_prtlc: np.ndarray,
+    ) -> None:
+        self._outputs[idx, k] = out
+        self._cssp[idx, k] = cssp
+        self._ssn[idx, k] = ssn
+        self._dmb[idx, k] = dmb
+        self._stages[idx[rej_flc], k] = _FLC_REJECT
+        self._stages[idx[rej_prtlc], k] = _PRTLC_REJECT
+
+    def on_handover(
+        self,
+        k: int,
+        ues: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        outputs: np.ndarray,
+    ) -> None:
+        self._stages[ues, k] = _HANDOVER
+        self._ev_ue.append(ues)
+        self._ev_step.append(np.full(ues.shape[0], k, dtype=np.intp))
+        self._ev_src.append(sources)
+        self._ev_tgt.append(targets)
+        self._ev_out.append(outputs)
+
+    def end_epoch(
+        self, k: int, active: np.ndarray, serving: np.ndarray
+    ) -> None:
+        self._serving_hist[active, k] = serving[active]
+
+    def finalize(self) -> BatchSimulationResult:
+        def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+            if parts:
+                return np.concatenate(parts)
+            return np.zeros(0, dtype=dtype)
+
+        return BatchSimulationResult(
+            series=self._series,
+            speeds_kmh=self._speeds,
+            serving_history=self._serving_hist,
+            stages=self._stages,
+            outputs=self._outputs,
+            cssp_db=self._cssp,
+            ssn_db=self._ssn,
+            dmb=self._dmb,
+            event_ue=_cat(self._ev_ue, np.intp),
+            event_step=_cat(self._ev_step, np.intp),
+            event_source=_cat(self._ev_src, np.intp),
+            event_target=_cat(self._ev_tgt, np.intp),
+            event_output=_cat(self._ev_out, float),
+        )
+
+
 class BatchSimulator:
     """Drives the fuzzy handover pipeline over a whole fleet at once.
 
@@ -270,6 +367,32 @@ class BatchSimulator:
     # ------------------------------------------------------------------
     def run(self, series: BatchMeasurementSeries) -> BatchSimulationResult:
         """Simulate the whole fleet, one vectorised epoch at a time."""
+        return self._drive(series, _FleetLogRecorder())
+
+    def run_metrics(
+        self,
+        series: BatchMeasurementSeries,
+        window_km: Optional[float] = None,
+    ):
+        """Simulate the fleet and return only its
+        :class:`~repro.sim.metrics.FleetMetrics` — streaming per-epoch
+        counters, O(n_ues) memory, no ``(n_ues, n_epochs)`` histories.
+
+        Bit-identical to ``compute_fleet_metrics(self.run(series))``;
+        this is the path shard workers take, so a sharded fleet merges
+        to exactly the unsharded metrics.
+        """
+        from .metrics import DEFAULT_WINDOW_KM, FleetMetricsAccumulator
+
+        return self._drive(
+            series,
+            FleetMetricsAccumulator(
+                DEFAULT_WINDOW_KM if window_km is None else window_km
+            ),
+        )
+
+    def _drive(self, series: BatchMeasurementSeries, consumer):
+        """The vectorised epoch loop, feeding a log/metrics consumer."""
         n, t_max = series.n_ues, series.max_epochs
         if t_max == 0:
             raise ValueError("cannot simulate an empty measurement series")
@@ -301,17 +424,7 @@ class BatchSimulator:
         hist = np.zeros((n, lag))
         hist_len = np.zeros(n, dtype=np.intp)
 
-        serving_hist = np.full((n, t_max), -1, dtype=np.intp)
-        stages = np.full((n, t_max), -1, dtype=np.int8)
-        outputs = np.full((n, t_max), np.nan)
-        cssp_a = np.full((n, t_max), np.nan)
-        ssn_a = np.full((n, t_max), np.nan)
-        dmb_a = np.full((n, t_max), np.nan)
-        ev_ue: list[np.ndarray] = []
-        ev_step: list[np.ndarray] = []
-        ev_src: list[np.ndarray] = []
-        ev_tgt: list[np.ndarray] = []
-        ev_out: list[np.ndarray] = []
+        consumer.begin(series, speeds)
 
         arange = np.arange(n)
         for k in range(t_max):
@@ -326,9 +439,7 @@ class BatchSimulator:
             gated = considered & (p_serv >= sys.potlc_gate_dbw)
             flc_mask = considered & ~gated
 
-            stages[warm, k] = _WARMUP
-            stages[no_nbr, k] = _NO_NEIGHBOR
-            stages[gated, k] = _POTLC_PASS
+            consumer.on_stage_masks(k, warm, no_nbr, gated)
 
             remembered = active.copy()
             if flc_mask.any():
@@ -353,10 +464,6 @@ class BatchSimulator:
                 out = sys.flc.evaluate_batch(
                     {"CSSP": cssp, "SSN": ssn, "DMB": dmb}
                 )
-                outputs[idx, k] = out
-                cssp_a[idx, k] = cssp
-                ssn_a[idx, k] = ssn
-                dmb_a[idx, k] = dmb
 
                 rej_flc = out <= sys.threshold
                 rej_prtlc = ~rej_flc
@@ -365,18 +472,17 @@ class BatchSimulator:
                 else:
                     rej_prtlc &= False
                 handed = ~rej_flc & ~rej_prtlc
-                stages[idx[rej_flc], k] = _FLC_REJECT
-                stages[idx[rej_prtlc], k] = _PRTLC_REJECT
+
+                consumer.on_flc(
+                    k, idx, cssp, ssn, dmb, out, rej_flc, rej_prtlc
+                )
 
                 if handed.any():
                     ho = idx[handed]
                     targets = best_idx[handed]
-                    stages[ho, k] = _HANDOVER
-                    ev_ue.append(ho)
-                    ev_step.append(np.full(ho.shape[0], k, dtype=np.intp))
-                    ev_src.append(serving[ho].copy())
-                    ev_tgt.append(targets)
-                    ev_out.append(out[handed])
+                    consumer.on_handover(
+                        k, ho, serving[ho].copy(), targets, out[handed]
+                    )
                     serving[ho] = targets
                     hist_len[ho] = 0        # history restarts, and the
                     remembered[ho] = False  # handover epoch is not kept
@@ -393,28 +499,9 @@ class BatchSimulator:
                 hist[rows, hist_len[rows]] = p_serv[rows]
                 hist_len[rows] += 1
 
-            serving_hist[active, k] = serving[active]
+            consumer.end_epoch(k, active, serving)
 
-        def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
-            if parts:
-                return np.concatenate(parts)
-            return np.zeros(0, dtype=dtype)
-
-        return BatchSimulationResult(
-            series=series,
-            speeds_kmh=speeds,
-            serving_history=serving_hist,
-            stages=stages,
-            outputs=outputs,
-            cssp_db=cssp_a,
-            ssn_db=ssn_a,
-            dmb=dmb_a,
-            event_ue=_cat(ev_ue, np.intp),
-            event_step=_cat(ev_step, np.intp),
-            event_source=_cat(ev_src, np.intp),
-            event_target=_cat(ev_tgt, np.intp),
-            event_output=_cat(ev_out, float),
-        )
+        return consumer.finalize()
 
     def __repr__(self) -> str:
         return (

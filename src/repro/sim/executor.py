@@ -1,0 +1,123 @@
+"""Pluggable task execution backends.
+
+The sweep runner (:mod:`repro.sim.parallel`) and the sharded fleet
+runner (:mod:`repro.sim.fleet`) distribute the same shape of work:
+independent, picklable tasks mapped over a picklable top-level function,
+with results required in task order.  :class:`Executor` abstracts that
+contract so callers choose *where* work runs (in-process or across a
+process pool) without changing *what* runs.
+
+Backends
+--------
+:class:`SerialExecutor`
+    Runs tasks in the calling process, in order.  The right choice for
+    one task or one worker — spawning a pool costs more than it saves.
+:class:`ProcessExecutor`
+    Fans tasks out over a ``ProcessPoolExecutor``; results come back in
+    task order regardless of worker scheduling.
+
+:func:`make_executor` picks between them from a worker count and a task
+count, so every call site shares one policy (and one
+:func:`default_workers` default).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "default_workers",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A sane worker count: physical parallelism minus one, min 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class Executor(ABC):
+    """Maps a picklable function over tasks, preserving task order."""
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        chunksize: int = 1,
+    ) -> list[R]:
+        """Apply ``fn`` to every task; results in task order."""
+
+
+class SerialExecutor(Executor):
+    """In-process execution — no pool, no pickling, no spawn cost."""
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        chunksize: int = 1,
+    ) -> list[R]:
+        return [fn(t) for t in tasks]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution over picklable tasks.
+
+    ``fn`` must be a module-level function and every task picklable.
+    With a single task the work runs in-process — a pool for one task
+    costs more than it saves.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        workers = default_workers() if max_workers is None else int(max_workers)
+        if workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = workers
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        chunksize: int = 1,
+    ) -> list[R]:
+        items: Sequence[T] = list(tasks)
+        if self.max_workers == 1 or len(items) <= 1:
+            return [fn(t) for t in items]
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items, chunksize=max(1, chunksize)))
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+def make_executor(
+    max_workers: Optional[int] = None, n_tasks: Optional[int] = None
+) -> Executor:
+    """The shared backend-selection policy.
+
+    ``max_workers=None`` means :func:`default_workers`.  When the task
+    count is known the worker count is capped by it (idle pool workers
+    buy nothing); one effective worker selects the serial backend,
+    anything else a process pool.
+    """
+    workers = default_workers() if max_workers is None else int(max_workers)
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if n_tasks is not None:
+        workers = min(workers, n_tasks)
+    if workers <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

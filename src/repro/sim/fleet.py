@@ -1,0 +1,242 @@
+"""Sharded fleet execution.
+
+One :class:`~repro.sim.batch.BatchSimulator` steps a whole in-process
+fleet; this module is the next scale-out lever: it splits an N-UE fleet
+into contiguous per-worker shards, runs each shard through its own
+batch engine (streaming metrics, O(shard) memory), and merges the
+per-shard :class:`~repro.sim.metrics.FleetMetrics` back into exactly
+the numbers the unsharded engine produces.
+
+Sharding is *deterministic by construction*:
+
+* every UE owns its walk seed (``base_seed + global_index``), its speed
+  (the speed cycle indexed by global position) and, when shadowing is
+  enabled, its fading stream (``fading_base_seed + global_index``) — so
+  a UE's measurements do not depend on which shard it lands in;
+* trace densification and the propagation kernel are per-UE element-wise,
+  so shard padding never leaks into valid epochs;
+* the batch FLC path is element-wise per UE, so per-UE decision logs are
+  bit-identical to the unsharded run;
+* :class:`~repro.sim.metrics.FleetMetrics` aggregates are associative
+  per-UE reductions, so the merge is exact.
+
+Work is distributed over the shared
+:class:`~repro.sim.executor.Executor` layer — the same picklable-spec
+pattern as the sweep runner in :mod:`repro.sim.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.system import FuzzyHandoverSystem
+from .batch import BatchSimulationResult, BatchSimulator
+from .config import PAPER_SPEEDS_KMH, SimulationParameters
+from .executor import Executor, make_executor
+from .measurement import BatchMeasurementSeries, MeasurementSampler
+from .metrics import DEFAULT_WINDOW_KM, FleetMetrics, merge_fleet_metrics
+
+__all__ = ["FleetSpec", "FleetShard", "partition_fleet", "run_fleet"]
+
+
+def partition_fleet(n_ues: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` UE ranges.
+
+    Shard sizes differ by at most one (the remainder goes to the
+    leading shards); more shards than UEs collapses to one UE per
+    shard.  Concatenating the ranges in order reproduces ``range(0,
+    n_ues)`` — the invariant the exact metrics merge relies on.
+    """
+    if n_ues < 1:
+        raise ValueError(f"n_ues must be >= 1, got {n_ues}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    shards = min(n_shards, n_ues)
+    base, rem = divmod(n_ues, shards)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A picklable description of a whole fleet workload.
+
+    The fleet analogue of the sweep runner's ``("fuzzy", {...})`` policy
+    specs: everything a worker process needs to rebuild and run its
+    shard — walk seeds, the speed cycle, physics parameters — travels as
+    one small frozen dataclass instead of live simulator objects.
+
+    UE ``i`` walks seed ``base_seed + i`` at speed ``speeds_kmh[i %
+    len(speeds_kmh)]``; with ``params.shadow_sigma_db > 0`` it also owns
+    the fading stream ``fading_base_seed + i``.  All three are functions
+    of the *global* UE index, which is what makes any sharding of the
+    fleet bit-identical to the unsharded run.
+    """
+
+    n_ues: int = 100
+    n_walks: int = 10
+    base_seed: int = 1000
+    speeds_kmh: tuple[float, ...] = PAPER_SPEEDS_KMH
+    params: SimulationParameters = field(default_factory=SimulationParameters)
+    fading_base_seed: int = 424_243
+
+    def __post_init__(self) -> None:
+        if self.n_ues < 1:
+            raise ValueError(f"n_ues must be >= 1, got {self.n_ues}")
+        if self.n_walks < 1:
+            raise ValueError(f"n_walks must be >= 1, got {self.n_walks}")
+        if not self.speeds_kmh:
+            raise ValueError("speeds_kmh must be non-empty")
+
+    # ------------------------------------------------------------------
+    def walk_seeds(self, lo: int = 0, hi: Optional[int] = None) -> list[int]:
+        """Walk seeds of UEs ``[lo, hi)`` (defaults: the whole fleet)."""
+        hi = self.n_ues if hi is None else hi
+        return list(range(self.base_seed + lo, self.base_seed + hi))
+
+    def ue_speeds(self, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """Speeds of UEs ``[lo, hi)``, cycled by *global* UE index."""
+        hi = self.n_ues if hi is None else hi
+        speeds = np.asarray(self.speeds_kmh, dtype=float)
+        return speeds[np.arange(lo, hi) % speeds.shape[0]]
+
+    def make_sampler(self) -> MeasurementSampler:
+        """The measurement stack under this spec's physics."""
+        params = self.params
+        fading = (
+            params.make_fading() if params.shadow_sigma_db > 0.0 else None
+        )
+        return MeasurementSampler(
+            params.make_layout(),
+            params.make_propagation(),
+            spacing_km=params.measurement_spacing_km,
+            fading=fading,
+        )
+
+    def make_system(self) -> FuzzyHandoverSystem:
+        """The default pipeline configuration for this spec."""
+        return FuzzyHandoverSystem(cell_radius_km=self.params.cell_radius_km)
+
+    def shard(self, n_shards: int = 1) -> tuple["FleetShard", ...]:
+        """Split the fleet into contiguous per-worker shards."""
+        return tuple(
+            FleetShard(spec=self, lo=lo, hi=hi)
+            for lo, hi in partition_fleet(self.n_ues, n_shards)
+        )
+
+
+@dataclass(frozen=True)
+class FleetShard:
+    """UEs ``[lo, hi)`` of a :class:`FleetSpec` — a self-contained,
+    picklable unit of fleet work.
+
+    ``spec.shard(1)[0]`` is the whole (unsharded) fleet; any other
+    partition produces per-UE results bit-identical to it.
+    """
+
+    spec: FleetSpec
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.lo < self.hi <= self.spec.n_ues):
+            raise ValueError(
+                f"shard [{self.lo}, {self.hi}) out of range for "
+                f"{self.spec.n_ues} UEs"
+            )
+
+    @property
+    def n_ues(self) -> int:
+        return self.hi - self.lo
+
+    def walk_seeds(self) -> list[int]:
+        return self.spec.walk_seeds(self.lo, self.hi)
+
+    def ue_speeds(self) -> np.ndarray:
+        return self.spec.ue_speeds(self.lo, self.hi)
+
+    # ------------------------------------------------------------------
+    def measure(self) -> BatchMeasurementSeries:
+        """Generate and measure this shard's walks.
+
+        Per-UE measurements are bit-identical to the unsharded fleet's:
+        walks and (optional) fading streams are seeded by global UE
+        index, and the propagation kernel is element-wise per UE.
+        """
+        spec = self.spec
+        batch = spec.params.make_walk(spec.n_walks).generate_batch_seeded(
+            self.walk_seeds()
+        )
+        sampler = spec.make_sampler()
+        if sampler.fading is not None:
+            rngs = [
+                spec.fading_base_seed + i for i in range(self.lo, self.hi)
+            ]
+            return sampler.measure_batch(batch, fading_rngs=rngs)
+        return sampler.measure_batch(batch)
+
+    def simulator(
+        self, system: Optional[FuzzyHandoverSystem] = None
+    ) -> BatchSimulator:
+        return BatchSimulator(
+            system if system is not None else self.spec.make_system(),
+            speed_kmh=self.ue_speeds(),
+        )
+
+    def run(
+        self, system: Optional[FuzzyHandoverSystem] = None
+    ) -> BatchSimulationResult:
+        """Full simulation log of this shard (measure + simulate)."""
+        return self.simulator(system).run(self.measure())
+
+    def metrics(
+        self,
+        window_km: float = DEFAULT_WINDOW_KM,
+        system: Optional[FuzzyHandoverSystem] = None,
+    ) -> FleetMetrics:
+        """Streaming shard metrics — never materialises the full log."""
+        return self.simulator(system).run_metrics(
+            self.measure(), window_km=window_km
+        )
+
+
+def _shard_metrics(task: tuple[FleetShard, float]) -> FleetMetrics:
+    """Top-level worker (must be module-level to be picklable)."""
+    shard, window_km = task
+    return shard.metrics(window_km)
+
+
+def run_fleet(
+    spec: FleetSpec,
+    n_shards: int = 1,
+    max_workers: Optional[int] = None,
+    window_km: float = DEFAULT_WINDOW_KM,
+    executor: Optional[Executor] = None,
+) -> FleetMetrics:
+    """Run a fleet in ``n_shards`` partitions and merge the metrics.
+
+    Each shard streams its metrics (O(shard) memory) in a worker
+    selected by the shared :func:`~repro.sim.executor.make_executor`
+    policy: serial in-process for one shard or one worker, a process
+    pool otherwise (``max_workers=None`` means
+    :func:`~repro.sim.executor.default_workers`, capped at the shard
+    count).  The merged result is bit-identical to the unsharded
+    ``n_shards=1`` run — sharding changes wall-clock, never physics.
+    Pass ``executor`` to supply a pre-built backend instead of a worker
+    count (the two are mutually exclusive).
+    """
+    shards = spec.shard(n_shards)
+    tasks = [(shard, float(window_km)) for shard in shards]
+    if executor is None:
+        executor = make_executor(max_workers, n_tasks=len(tasks))
+    elif max_workers is not None:
+        raise ValueError("pass either max_workers or executor, not both")
+    return merge_fleet_metrics(executor.map(_shard_metrics, tasks))

@@ -22,8 +22,9 @@ Definitions used here (standard in the handover literature):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from .engine import HandoverEvent, SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from .batch import BatchSimulationResult
+    from .measurement import BatchMeasurementSeries
 
 __all__ = [
     "count_ping_pongs",
@@ -41,7 +43,9 @@ __all__ = [
     "HandoverMetrics",
     "compute_metrics",
     "FleetMetrics",
+    "FleetMetricsAccumulator",
     "compute_fleet_metrics",
+    "merge_fleet_metrics",
 ]
 
 Cell = tuple[int, int]
@@ -181,6 +185,14 @@ class FleetMetrics:
     per-UE counts summed, with :attr:`wrong_cell_fraction` weighted by
     epochs so every measurement counts once regardless of which UE it
     belongs to.
+
+    A ``FleetMetrics`` is *mergeable*: every aggregate derives from the
+    per-UE reduction arrays it carries, so disjoint shards of one fleet
+    combine via :meth:`merge` into exactly the metrics the unsharded
+    fleet would produce.  The float aggregates are defined so the merge
+    is associative bit-for-bit: integer numerators where possible
+    (wrong-cell, dwell), an exact ``math.fsum`` over per-UE output sums,
+    and a max-of-maxes.  Build instances through :meth:`from_per_ue`.
     """
 
     n_ues: int
@@ -192,12 +204,101 @@ class FleetMetrics:
     mean_dwell_epochs: float
     mean_output: float
     max_output: float
+    #: the ping-pong window these metrics were computed with; recorded
+    #: so :func:`merge_fleet_metrics` can refuse to mix definitions
+    window_km: float
     # compare=False: ndarray equality is elementwise and would make the
     # dataclass __eq__ raise; the scalar fields above already determine
     # equality of the aggregates
     handovers_per_ue: np.ndarray = field(repr=False, compare=False)
     ping_pongs_per_ue: np.ndarray = field(repr=False, compare=False)
     necessary_per_ue: np.ndarray = field(repr=False, compare=False)
+    # per-UE reductions that make the aggregates re-derivable (and the
+    # merge exact): epoch counts, wrong-BS epoch counts, dwell segment
+    # sums/counts, FLC-output sums/counts/maxima
+    epochs_per_ue: np.ndarray = field(repr=False, compare=False)
+    wrong_epochs_per_ue: np.ndarray = field(repr=False, compare=False)
+    dwell_epochs_per_ue: np.ndarray = field(repr=False, compare=False)
+    dwell_count_per_ue: np.ndarray = field(repr=False, compare=False)
+    output_sum_per_ue: np.ndarray = field(repr=False, compare=False)
+    output_count_per_ue: np.ndarray = field(repr=False, compare=False)
+    output_max_per_ue: np.ndarray = field(repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_per_ue(
+        cls,
+        *,
+        window_km: float,
+        epochs: np.ndarray,
+        handovers: np.ndarray,
+        ping_pongs: np.ndarray,
+        necessary: np.ndarray,
+        wrong_epochs: np.ndarray,
+        dwell_epochs: np.ndarray,
+        dwell_counts: np.ndarray,
+        output_sums: np.ndarray,
+        output_counts: np.ndarray,
+        output_maxes: np.ndarray,
+    ) -> "FleetMetrics":
+        """Derive every aggregate from per-UE reductions.
+
+        This is the single construction path; because each aggregate is
+        a deterministic function of the per-UE arrays (integer sums, one
+        exact ``fsum``, one max), any partition of the arrays merges
+        back to identical aggregates.
+        """
+        epochs = np.asarray(epochs, dtype=np.intp)
+        n = epochs.shape[0]
+        if n == 0:
+            raise ValueError("FleetMetrics needs at least one UE")
+        n_epochs_total = int(epochs.sum())
+        dwell_count = int(np.asarray(dwell_counts).sum())
+        n_outputs = int(np.asarray(output_counts).sum())
+        evaluated = np.asarray(output_counts) > 0
+        return cls(
+            n_ues=n,
+            n_epochs_total=n_epochs_total,
+            n_handovers=int(np.asarray(handovers).sum()),
+            n_ping_pongs=int(np.asarray(ping_pongs).sum()),
+            n_necessary=int(np.asarray(necessary).sum()),
+            wrong_cell_fraction=int(np.asarray(wrong_epochs).sum())
+            / n_epochs_total,
+            mean_dwell_epochs=(
+                int(np.asarray(dwell_epochs).sum()) / dwell_count
+                if dwell_count
+                else float("nan")
+            ),
+            mean_output=(
+                math.fsum(np.asarray(output_sums)[evaluated]) / n_outputs
+                if n_outputs
+                else float("nan")
+            ),
+            max_output=(
+                float(np.asarray(output_maxes)[evaluated].max())
+                if n_outputs
+                else float("nan")
+            ),
+            window_km=float(window_km),
+            handovers_per_ue=np.asarray(handovers),
+            ping_pongs_per_ue=np.asarray(ping_pongs),
+            necessary_per_ue=np.asarray(necessary),
+            epochs_per_ue=epochs,
+            wrong_epochs_per_ue=np.asarray(wrong_epochs),
+            dwell_epochs_per_ue=np.asarray(dwell_epochs),
+            dwell_count_per_ue=np.asarray(dwell_counts),
+            output_sum_per_ue=np.asarray(output_sums, dtype=float),
+            output_count_per_ue=np.asarray(output_counts),
+            output_max_per_ue=np.asarray(output_maxes, dtype=float),
+        )
+
+    def merge(self, *others: "FleetMetrics") -> "FleetMetrics":
+        """Combine disjoint fleet shards (UE-order concatenation).
+
+        Associative and exact: merging any contiguous partition of a
+        fleet reproduces the unsharded metrics bit-for-bit.
+        """
+        return merge_fleet_metrics((self, *others))
 
     @property
     def ping_pong_rate(self) -> float:
@@ -231,6 +332,161 @@ class FleetMetrics:
         }
 
 
+def merge_fleet_metrics(parts: Iterable[FleetMetrics]) -> FleetMetrics:
+    """Fold shard metrics into one fleet, in shard (UE) order.
+
+    All parts must share one ping-pong window — mixing windows would
+    merge counts with two different definitions.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("no fleet metrics to merge")
+    windows = {p.window_km for p in parts}
+    if len(windows) > 1:
+        raise ValueError(
+            f"cannot merge fleet metrics computed with different "
+            f"ping-pong windows: {sorted(windows)}"
+        )
+    if len(parts) == 1:
+        return parts[0]
+
+    def cat(name: str) -> np.ndarray:
+        return np.concatenate([getattr(p, name) for p in parts])
+
+    return FleetMetrics.from_per_ue(
+        window_km=parts[0].window_km,
+        epochs=cat("epochs_per_ue"),
+        handovers=cat("handovers_per_ue"),
+        ping_pongs=cat("ping_pongs_per_ue"),
+        necessary=cat("necessary_per_ue"),
+        wrong_epochs=cat("wrong_epochs_per_ue"),
+        dwell_epochs=cat("dwell_epochs_per_ue"),
+        dwell_counts=cat("dwell_count_per_ue"),
+        output_sums=cat("output_sum_per_ue"),
+        output_counts=cat("output_count_per_ue"),
+        output_maxes=cat("output_max_per_ue"),
+    )
+
+
+class FleetMetricsAccumulator:
+    """Incremental fleet metrics — per-epoch counters, O(n_ues) memory.
+
+    A *consumer* for :meth:`repro.sim.batch.BatchSimulator.run_metrics`:
+    the epoch loop feeds it the same masked stage/FLC/handover slices it
+    would write into the full ``(n_ues, n_epochs)`` log, and the
+    accumulator folds them into per-UE counters on the fly — long
+    simulations never materialise full histories.  :meth:`finalize`
+    returns a :class:`FleetMetrics` bit-identical to the post-hoc
+    :func:`compute_fleet_metrics` over the full log (the per-UE float
+    accumulation happens in the same epoch order).
+    """
+
+    def __init__(self, window_km: float = DEFAULT_WINDOW_KM) -> None:
+        if window_km <= 0:
+            raise ValueError(f"window_km must be positive, got {window_km}")
+        self.window_km = float(window_km)
+
+    # -- consumer interface -------------------------------------------
+    def begin(
+        self, series: "BatchMeasurementSeries", speeds: np.ndarray
+    ) -> None:
+        n = series.n_ues
+        self._series = series
+        self._lengths = series.lengths
+        self._handovers = np.zeros(n, dtype=np.intp)
+        self._ping_pongs = np.zeros(n, dtype=np.intp)
+        self._necessary = np.zeros(n, dtype=np.intp)
+        self._wrong = np.zeros(n, dtype=np.intp)
+        self._dwell_sum = np.zeros(n, dtype=np.intp)
+        self._dwell_count = np.zeros(n, dtype=np.intp)
+        self._last_event_step = np.zeros(n, dtype=np.intp)
+        self._prev_src = np.full(n, -1, dtype=np.intp)
+        self._prev_tgt = np.full(n, -1, dtype=np.intp)
+        self._prev_dist = np.zeros(n)
+        self._out_sum = np.zeros(n)
+        self._out_count = np.zeros(n, dtype=np.intp)
+        self._out_max = np.full(n, -np.inf)
+        self._prev_strongest: Optional[np.ndarray] = None
+
+    def on_stage_masks(
+        self, k: int, warm: np.ndarray, no_nbr: np.ndarray, gated: np.ndarray
+    ) -> None:
+        pass  # stage occupancy is not part of the fleet aggregates
+
+    def on_flc(
+        self,
+        k: int,
+        idx: np.ndarray,
+        cssp: np.ndarray,
+        ssn: np.ndarray,
+        dmb: np.ndarray,
+        out: np.ndarray,
+        rej_flc: np.ndarray,
+        rej_prtlc: np.ndarray,
+    ) -> None:
+        finite = np.isfinite(out)
+        self._out_sum[idx] += np.where(finite, out, 0.0)
+        self._out_count[idx] += finite
+        self._out_max[idx] = np.maximum(
+            self._out_max[idx], np.where(finite, out, -np.inf)
+        )
+
+    def on_handover(
+        self,
+        k: int,
+        ues: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        outputs: np.ndarray,
+    ) -> None:
+        self._handovers[ues] += 1
+        dist = self._series.distance_km[ues, k]
+        # a bounce straight back: A->B then B->A within the window
+        # (prev_tgt == -1 rows can never match a real source index)
+        bounce = (
+            (self._prev_tgt[ues] == sources)
+            & (self._prev_src[ues] == targets)
+            & (dist - self._prev_dist[ues] <= self.window_km)
+        )
+        self._ping_pongs[ues] += bounce
+        self._prev_src[ues] = sources
+        self._prev_tgt[ues] = targets
+        self._prev_dist[ues] = dist
+        gap = k - self._last_event_step[ues]
+        positive = gap > 0
+        self._dwell_sum[ues] += np.where(positive, gap, 0)
+        self._dwell_count[ues] += positive
+        self._last_event_step[ues] = k
+
+    def end_epoch(
+        self, k: int, active: np.ndarray, serving: np.ndarray
+    ) -> None:
+        strongest = self._series.power_dbw[:, k, :].argmax(axis=1)
+        self._wrong += active & (serving != strongest)
+        if self._prev_strongest is not None:
+            self._necessary += active & (strongest != self._prev_strongest)
+        self._prev_strongest = strongest
+
+    def finalize(self) -> FleetMetrics:
+        tail = self._lengths - self._last_event_step
+        has_tail = tail > 0
+        self._dwell_sum[has_tail] += tail[has_tail]
+        self._dwell_count[has_tail] += 1
+        return FleetMetrics.from_per_ue(
+            window_km=self.window_km,
+            epochs=self._lengths,
+            handovers=self._handovers,
+            ping_pongs=self._ping_pongs,
+            necessary=self._necessary,
+            wrong_epochs=self._wrong,
+            dwell_epochs=self._dwell_sum,
+            dwell_counts=self._dwell_count,
+            output_sums=self._out_sum,
+            output_counts=self._out_count,
+            output_maxes=self._out_max,
+        )
+
+
 def compute_fleet_metrics(
     result: "BatchSimulationResult", window_km: float = DEFAULT_WINDOW_KM
 ) -> FleetMetrics:
@@ -239,7 +495,10 @@ def compute_fleet_metrics(
 
     Per UE the numbers equal :func:`compute_metrics` over
     :meth:`~repro.sim.batch.BatchSimulationResult.ue_result` — the
-    equivalence tests pin this.
+    equivalence tests pin this.  The result is bit-identical to the
+    streaming :class:`FleetMetricsAccumulator` over the same run, and
+    any contiguous sharding of the fleet merges back to it exactly (see
+    :func:`merge_fleet_metrics`).
     """
     if window_km <= 0:
         raise ValueError(f"window_km must be positive, got {window_km}")
@@ -277,40 +536,45 @@ def compute_fleet_metrics(
     changes = strongest[:, 1:] != strongest[:, :-1]
     necessary_per_ue = (changes & epoch_valid[:, 1:]).sum(axis=1)
 
-    # wrong-cell fraction, weighted by epochs across the whole fleet
+    # wrong-cell epochs per UE (the fleet fraction is epoch-weighted)
     wrong = (result.serving_history != strongest) & epoch_valid
-    n_epochs_total = int(lengths.sum())
-    wrong_fraction = float(wrong.sum() / n_epochs_total)
+    wrong_epochs_per_ue = wrong.sum(axis=1)
 
-    # mean dwell: every gap between consecutive events of one UE, plus
-    # the head segment [0, first event) and the tail (last event, t_i]
+    # dwell segments: every gap between consecutive events of one UE,
+    # plus the head segment [0, first event) and the tail (last, t_i]
     bounds = np.searchsorted(ue, np.arange(n + 1))
-    dwell_sum = 0.0
-    dwell_count = 0
+    dwell_epochs_per_ue = np.zeros(n, dtype=np.intp)
+    dwell_count_per_ue = np.zeros(n, dtype=np.intp)
     for i in range(n):
         steps_i = step[bounds[i] : bounds[i + 1]]
         dwells = np.diff([0, *steps_i, int(lengths[i])])
         dwells = dwells[dwells > 0]
         if dwells.size == 0:
-            dwell_sum += float(lengths[i])
-            dwell_count += 1
+            dwell_epochs_per_ue[i] = int(lengths[i])
+            dwell_count_per_ue[i] = 1
         else:
-            dwell_sum += float(dwells.sum())
-            dwell_count += int(dwells.size)
-    mean_dwell = dwell_sum / dwell_count if dwell_count else float("nan")
+            dwell_epochs_per_ue[i] = int(dwells.sum())
+            dwell_count_per_ue[i] = int(dwells.size)
 
-    finite = result.outputs[np.isfinite(result.outputs)]
-    return FleetMetrics(
-        n_ues=n,
-        n_epochs_total=n_epochs_total,
-        n_handovers=int(handovers_per_ue.sum()),
-        n_ping_pongs=int(ping_pongs_per_ue.sum()),
-        n_necessary=int(necessary_per_ue.sum()),
-        wrong_cell_fraction=wrong_fraction,
-        mean_dwell_epochs=mean_dwell,
-        mean_output=float(finite.mean()) if finite.size else float("nan"),
-        max_output=float(finite.max()) if finite.size else float("nan"),
-        handovers_per_ue=handovers_per_ue,
-        ping_pongs_per_ue=ping_pongs_per_ue,
-        necessary_per_ue=necessary_per_ue,
+    # FLC-output reductions per UE; cumsum accumulates each row in epoch
+    # order, the same float-addition sequence the streaming accumulator
+    # performs, so the two paths agree bit-for-bit
+    finite = np.isfinite(result.outputs)
+    masked = np.where(finite, result.outputs, 0.0)
+    output_sum_per_ue = masked.cumsum(axis=1)[:, -1]
+    output_count_per_ue = finite.sum(axis=1)
+    output_max_per_ue = np.where(finite, result.outputs, -np.inf).max(axis=1)
+
+    return FleetMetrics.from_per_ue(
+        window_km=window_km,
+        epochs=lengths,
+        handovers=handovers_per_ue,
+        ping_pongs=ping_pongs_per_ue,
+        necessary=necessary_per_ue,
+        wrong_epochs=wrong_epochs_per_ue,
+        dwell_epochs=dwell_epochs_per_ue,
+        dwell_counts=dwell_count_per_ue,
+        output_sums=output_sum_per_ue,
+        output_counts=output_count_per_ue,
+        output_maxes=output_max_per_ue,
     )

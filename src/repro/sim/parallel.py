@@ -4,8 +4,10 @@ Sweep cells (walk seed × speed × policy) are embarrassingly parallel:
 no shared state, small picklable inputs and outputs.  Following the
 hpc-parallel guidance — measure first, parallelise the outer loop, keep
 per-task payloads small — this module distributes
-:func:`repro.sim.runner.run_single` cells over a
-``ProcessPoolExecutor``.
+:func:`repro.sim.runner.run_single` cells over the shared
+:class:`~repro.sim.executor.Executor` layer (serial in-process or a
+``ProcessPoolExecutor`` backend, selected by
+:func:`~repro.sim.executor.make_executor`).
 
 The X6 benchmark compares this against the serial
 :func:`~repro.sim.runner.run_grid`; speed-ups are near-linear once each
@@ -15,22 +17,16 @@ default everywhere else because most paper experiments are single-cell.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Sequence
 
 from .config import SimulationParameters
+from .executor import Executor, default_workers, make_executor
 from .metrics import DEFAULT_WINDOW_KM
 from .runner import PolicySpec, RunOutcome, run_single
 
 __all__ = ["run_grid_parallel", "default_workers", "SweepCell", "expand_grid"]
 
 SweepCell = tuple[int, float]  # (walk_seed, speed_kmh)
-
-
-def default_workers() -> int:
-    """A sane worker count: physical parallelism minus one, min 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
 
 
 def expand_grid(
@@ -60,20 +56,21 @@ def run_grid_parallel(
     max_workers: Optional[int] = None,
     window_km: float = DEFAULT_WINDOW_KM,
     chunksize: int = 1,
+    executor: Optional[Executor] = None,
 ) -> list[RunOutcome]:
     """Parallel equivalent of :func:`repro.sim.runner.run_grid`.
 
     Results come back in deterministic (seed-major) grid order
     regardless of worker scheduling.  With ``max_workers=1``, or when
     the grid has a single cell, the work runs in-process — spawning a
-    pool for one task costs more than it saves.
+    pool for one task costs more than it saves.  Pass ``executor`` to
+    supply a pre-built backend instead of a worker count (the two are
+    mutually exclusive).
     """
     cells = expand_grid(walk_seeds, speeds_kmh)
     tasks = [(params, policy_spec, seed, speed, window_km) for seed, speed in cells]
-    workers = default_workers() if max_workers is None else int(max_workers)
-    if workers < 1:
-        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-    if workers == 1 or len(tasks) == 1:
-        return [_run_cell(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, tasks, chunksize=max(1, chunksize)))
+    if executor is None:
+        executor = make_executor(max_workers, n_tasks=len(tasks))
+    elif max_workers is not None:
+        raise ValueError("pass either max_workers or executor, not both")
+    return executor.map(_run_cell, tasks, chunksize=max(1, chunksize))

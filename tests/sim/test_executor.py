@@ -1,0 +1,111 @@
+"""Execution-layer tests: serial/process backends, selection policy."""
+
+import os
+
+import pytest
+
+from repro.sim import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_workers,
+    make_executor,
+)
+
+
+def square(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+def pid_of(_):
+    return os.getpid()
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(square, []) == []
+
+    def test_runs_in_calling_process(self):
+        assert SerialExecutor().map(pid_of, [None]) == [os.getpid()]
+
+    def test_is_executor(self):
+        assert isinstance(SerialExecutor(), Executor)
+
+
+class TestProcessExecutor:
+    def test_maps_in_order(self):
+        assert ProcessExecutor(max_workers=2).map(square, [4, 2, 3]) == [
+            16,
+            4,
+            9,
+        ]
+
+    def test_chunksize_path(self):
+        got = ProcessExecutor(max_workers=2).map(
+            square, list(range(10)), chunksize=3
+        )
+        assert got == [x * x for x in range(10)]
+
+    def test_single_task_runs_in_process(self):
+        # one task never pays the pool spawn cost
+        assert ProcessExecutor(max_workers=4).map(pid_of, [None]) == [
+            os.getpid()
+        ]
+
+    def test_single_worker_runs_in_process(self):
+        assert ProcessExecutor(max_workers=1).map(pid_of, [1, 2]) == [
+            os.getpid(),
+            os.getpid(),
+        ]
+
+    def test_multi_task_crosses_process_boundary(self):
+        pids = ProcessExecutor(max_workers=2).map(pid_of, [1, 2, 3])
+        assert all(p != os.getpid() for p in pids)
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_worker_validation(self, workers):
+        with pytest.raises(ValueError, match="max_workers"):
+            ProcessExecutor(max_workers=workers)
+
+    def test_default_worker_count(self):
+        assert ProcessExecutor().max_workers == default_workers()
+
+
+class TestMakeExecutor:
+    def test_one_worker_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_one_task_is_serial(self):
+        assert isinstance(make_executor(8, n_tasks=1), SerialExecutor)
+
+    def test_many_is_process(self):
+        ex = make_executor(3, n_tasks=5)
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.max_workers == 3
+
+    def test_workers_capped_at_task_count(self):
+        ex = make_executor(8, n_tasks=3)
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.max_workers == 3
+
+    def test_default_follows_default_workers(self):
+        ex = make_executor(n_tasks=10)
+        if default_workers() == 1:
+            assert isinstance(ex, SerialExecutor)
+        else:
+            assert isinstance(ex, ProcessExecutor)
+            assert ex.max_workers == default_workers()
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_validation(self, workers):
+        with pytest.raises(ValueError, match="max_workers"):
+            make_executor(workers)
+
+
+class TestDefaultWorkers:
+    def test_at_least_one(self):
+        assert default_workers() >= 1

@@ -1,0 +1,250 @@
+"""Sharded fleet execution tests.
+
+The contract of :mod:`repro.sim.fleet`: splitting an N-UE fleet into
+any number of shards changes *where* the work runs, never *what* it
+computes — per-UE decision logs are bit-identical to the unsharded
+:class:`~repro.sim.batch.BatchSimulator`, and the merged
+:class:`~repro.sim.metrics.FleetMetrics` equal the unsharded metrics
+exactly (integer counters and float aggregates alike).  The streaming
+accumulator is likewise pinned bit-for-bit against the post-hoc
+computation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    FleetSpec,
+    SerialExecutor,
+    SimulationParameters,
+    compute_fleet_metrics,
+    merge_fleet_metrics,
+    partition_fleet,
+    run_fleet,
+)
+
+FAST = SimulationParameters(measurement_spacing_km=0.2, n_walks=4)
+
+
+def make_spec(n_ues, **kwargs):
+    kwargs.setdefault("params", FAST)
+    kwargs.setdefault("speeds_kmh", (0.0, 20.0, 50.0))
+    # a low POTLC gate keeps the FLC busy so output aggregates are
+    # exercised, not NaN
+    return FleetSpec(n_ues=n_ues, n_walks=4, base_seed=500, **kwargs)
+
+
+def assert_metrics_identical(a, b):
+    """Exact equality, field by field (NaN-aware for the output stats)."""
+    for key, va in a.as_dict().items():
+        vb = b.as_dict()[key]
+        if math.isnan(va) or math.isnan(vb):
+            assert math.isnan(va) and math.isnan(vb), key
+        else:
+            assert va == vb, key
+    for name in (
+        "handovers_per_ue",
+        "ping_pongs_per_ue",
+        "necessary_per_ue",
+        "epochs_per_ue",
+        "wrong_epochs_per_ue",
+        "dwell_epochs_per_ue",
+        "dwell_count_per_ue",
+        "output_sum_per_ue",
+        "output_count_per_ue",
+        "output_max_per_ue",
+    ):
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name
+        )
+
+
+class TestPartition:
+    def test_contiguous_and_complete(self):
+        bounds = partition_fleet(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_balanced_sizes(self):
+        sizes = [hi - lo for lo, hi in partition_fleet(11, 4)]
+        assert sorted(sizes) == [2, 3, 3, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_ues_collapses(self):
+        assert partition_fleet(2, 5) == [(0, 1), (1, 2)]
+
+    def test_single_shard_is_whole_fleet(self):
+        assert partition_fleet(7, 1) == [(0, 7)]
+
+    @pytest.mark.parametrize("n_ues,n_shards", [(0, 1), (1, 0), (-2, 3)])
+    def test_validation(self, n_ues, n_shards):
+        with pytest.raises(ValueError):
+            partition_fleet(n_ues, n_shards)
+
+
+class TestSpec:
+    def test_seeds_and_speeds_are_global(self):
+        spec = make_spec(7)
+        shards = spec.shard(3)
+        seeds = [s for sh in shards for s in sh.walk_seeds()]
+        assert seeds == spec.walk_seeds()
+        speeds = np.concatenate([sh.ue_speeds() for sh in shards])
+        np.testing.assert_array_equal(speeds, spec.ue_speeds())
+
+    def test_shard_range_validation(self):
+        from repro.sim import FleetShard
+
+        with pytest.raises(ValueError, match="out of range"):
+            FleetShard(spec=make_spec(3), lo=1, hi=5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_ues": 0}, {"n_walks": 0}, {"speeds_kmh": ()}],
+    )
+    def test_spec_validation(self, kwargs):
+        full = {"n_ues": 5, "n_walks": 4, "params": FAST, **kwargs}
+        with pytest.raises(ValueError):
+            FleetSpec(**full)
+
+
+class TestShardEquivalence:
+    """ISSUE-2 acceptance: N ∈ {1, 7, 32} × shards ∈ {1, 2, 4}."""
+
+    @pytest.mark.parametrize("n_ues", [1, 7, 32])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_bit_identical_to_unsharded(self, n_ues, n_shards):
+        spec = make_spec(n_ues)
+        full = spec.shard(1)[0].run()
+        expected = compute_fleet_metrics(full)
+
+        shards = spec.shard(n_shards)
+        assert len(shards) == min(n_shards, n_ues)
+
+        # per-UE handover sequences (and full logs) are bit-identical
+        for shard in shards:
+            res = shard.run()
+            for j in range(shard.n_ues):
+                g = shard.lo + j
+                a, b = res.ue_result(j), full.ue_result(g)
+                assert a.serving_history == b.serving_history
+                np.testing.assert_array_equal(a.outputs, b.outputs)
+                assert [e.step for e in a.events] == [
+                    e.step for e in b.events
+                ]
+                assert [e.source for e in a.events] == [
+                    e.source for e in b.events
+                ]
+                assert [e.target for e in a.events] == [
+                    e.target for e in b.events
+                ]
+
+        # merged streaming metrics equal the unsharded post-hoc metrics
+        merged = merge_fleet_metrics([sh.metrics() for sh in shards])
+        assert merged == expected
+        assert_metrics_identical(merged, expected)
+
+    def test_run_fleet_process_pool_identical(self):
+        spec = make_spec(7)
+        expected = compute_fleet_metrics(spec.shard(1)[0].run())
+        pooled = run_fleet(spec, n_shards=3, max_workers=2)
+        assert pooled == expected
+        assert_metrics_identical(pooled, expected)
+
+    def test_run_fleet_repeated_runs_identical(self):
+        spec = make_spec(5)
+        assert_metrics_identical(
+            run_fleet(spec, n_shards=2), run_fleet(spec, n_shards=2)
+        )
+
+    def test_sharding_invariant_under_fading(self):
+        # per-UE fading streams are seeded by global index, so shadowed
+        # fleets shard bit-identically too
+        params = SimulationParameters(
+            measurement_spacing_km=0.2, n_walks=4, shadow_sigma_db=4.0
+        )
+        spec = make_spec(6, params=params)
+        unsharded = spec.shard(1)[0].metrics()
+        merged = merge_fleet_metrics([s.metrics() for s in spec.shard(3)])
+        assert_metrics_identical(merged, unsharded)
+
+
+class TestStreamingMetrics:
+    def test_streaming_equals_posthoc_bitwise(self):
+        spec = make_spec(9)
+        shard = spec.shard(1)[0]
+        series = shard.measure()
+        sim = shard.simulator()
+        assert_metrics_identical(
+            sim.run_metrics(series), compute_fleet_metrics(sim.run(series))
+        )
+
+    def test_streaming_respects_window(self):
+        spec = make_spec(9)
+        shard = spec.shard(1)[0]
+        series = shard.measure()
+        sim = shard.simulator()
+        assert_metrics_identical(
+            sim.run_metrics(series, window_km=2.5),
+            compute_fleet_metrics(sim.run(series), window_km=2.5),
+        )
+
+    def test_window_validation(self):
+        from repro.sim import FleetMetricsAccumulator
+
+        with pytest.raises(ValueError, match="window_km"):
+            FleetMetricsAccumulator(window_km=0.0)
+
+
+class TestMerge:
+    def test_merge_is_associative(self):
+        spec = make_spec(8)
+        parts = [s.metrics() for s in spec.shard(4)]
+        left = merge_fleet_metrics(
+            [merge_fleet_metrics(parts[:2]), merge_fleet_metrics(parts[2:])]
+        )
+        flat = merge_fleet_metrics(parts)
+        assert_metrics_identical(left, flat)
+
+    def test_merge_method(self):
+        spec = make_spec(4)
+        a, b = (s.metrics() for s in spec.shard(2))
+        assert_metrics_identical(
+            a.merge(b), merge_fleet_metrics([a, b])
+        )
+
+    def test_merge_single_is_identity(self):
+        m = make_spec(3).shard(1)[0].metrics()
+        assert merge_fleet_metrics([m]) is m
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError, match="no fleet metrics"):
+            merge_fleet_metrics([])
+
+    def test_merge_mixed_windows_rejected(self):
+        a, b = make_spec(4).shard(2)
+        with pytest.raises(ValueError, match="windows"):
+            merge_fleet_metrics(
+                [a.metrics(window_km=0.5), b.metrics(window_km=2.0)]
+            )
+
+
+class TestRunFleetValidation:
+    def test_worker_validation(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            run_fleet(make_spec(4), n_shards=2, max_workers=0)
+
+    def test_executor_and_workers_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_fleet(
+                make_spec(4),
+                n_shards=2,
+                max_workers=2,
+                executor=SerialExecutor(),
+            )
+
+    def test_custom_executor(self):
+        spec = make_spec(6)
+        expected = compute_fleet_metrics(spec.shard(1)[0].run())
+        got = run_fleet(spec, n_shards=3, executor=SerialExecutor())
+        assert_metrics_identical(got, expected)

@@ -72,9 +72,46 @@ class TestParallelExecution:
         )
         assert outs[0].policy_kind == "fuzzy"
 
-    def test_validation(self):
-        with pytest.raises(ValueError):
-            run_grid_parallel(FAST, ("strongest", {}), [1], max_workers=0)
+    def test_chunksize_gt_one_matches_serial(self):
+        seeds = [1, 2, 3, 4]
+        serial = run_grid(FAST, ("fuzzy", {}), seeds, [0.0, 20.0])
+        chunked = run_grid_parallel(
+            FAST, ("fuzzy", {}), seeds, [0.0, 20.0],
+            max_workers=2, chunksize=3,
+        )
+        assert chunked == serial
+
+    def test_chunksize_below_one_clamped(self):
+        outs = run_grid_parallel(
+            FAST, ("strongest", {}), [1, 2], [0.0],
+            max_workers=2, chunksize=0,
+        )
+        assert [o.walk_seed for o in outs] == [1, 2]
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_worker_count_validation(self, workers):
+        with pytest.raises(ValueError, match="max_workers"):
+            run_grid_parallel(
+                FAST, ("strongest", {}), [1, 2], max_workers=workers
+            )
+
+    def test_injected_executor(self):
+        from repro.sim import SerialExecutor
+
+        serial = run_grid(FAST, ("fuzzy", {}), [1, 2])
+        injected = run_grid_parallel(
+            FAST, ("fuzzy", {}), [1, 2], executor=SerialExecutor()
+        )
+        assert injected == serial
+
+    def test_executor_and_workers_mutually_exclusive(self):
+        from repro.sim import SerialExecutor
+
+        with pytest.raises(ValueError, match="not both"):
+            run_grid_parallel(
+                FAST, ("strongest", {}), [1, 2],
+                max_workers=2, executor=SerialExecutor(),
+            )
 
 
 class TestDeterminism:

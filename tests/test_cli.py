@@ -73,6 +73,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "4 UEs" in out
 
+    def test_fleet_sharded(self, capsys):
+        assert main(
+            ["fleet", "--ues", "6", "--walks", "3", "--shards", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "6 UEs" in out
+        assert "3 shards" in out
+
+    def test_fleet_sharded_with_workers(self, capsys):
+        assert main(
+            ["fleet", "--ues", "6", "--walks", "3",
+             "--shards", "2", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "6 UEs" in out
+
+    def test_fleet_rejects_bad_workers(self, capsys):
+        with pytest.raises(ValueError, match="max_workers"):
+            main(["fleet", "--ues", "4", "--walks", "3",
+                  "--shards", "2", "--workers", "0"])
+
+
+def fleet_metric_lines(capsys, *extra):
+    """The deterministic metric lines of one ``repro fleet`` run (the
+    wall-clock line is timing, not physics)."""
+    assert main(["fleet", "--ues", "12", "--walks", "4", *extra]) == 0
+    out = capsys.readouterr().out
+    return [l for l in out.splitlines() if not l.startswith("wall")]
+
+
+class TestFleetDeterminism:
+    """``repro fleet`` is reproducible: identical metrics across
+    repeated runs and across shard/worker counts."""
+
+    def test_repeated_runs_identical(self, capsys):
+        assert fleet_metric_lines(capsys) == fleet_metric_lines(capsys)
+
+    def test_shards_1_vs_4_identical(self, capsys):
+        assert (
+            fleet_metric_lines(capsys, "--shards", "1")
+            == fleet_metric_lines(capsys, "--shards", "4")
+        )
+
+    def test_sharded_repeated_runs_identical(self, capsys):
+        assert (
+            fleet_metric_lines(capsys, "--shards", "4", "--workers", "2")
+            == fleet_metric_lines(capsys, "--shards", "4", "--workers", "2")
+        )
+
     def test_simulate_with_speed(self, capsys):
         assert main(["simulate", "crossing", "--speed", "10"]) == 0
         out = capsys.readouterr().out
