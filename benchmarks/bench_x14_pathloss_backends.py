@@ -1,0 +1,99 @@
+"""X14 — pluggable pathloss kernel backends vs the seed reference chain.
+
+One fleet-sized site-matrix workload — N = 2000 UEs × ``X14_EPOCHS``
+epochs against the 7 sites of a rings-1 hexagonal layout — through
+every registered :mod:`repro.radio.backends` kernel.
+
+``test_x14_speedup_optimized_numpy`` is the ISSUE-3 acceptance check:
+the optimized NumPy kernel (fused dB conversion, preallocated scratch,
+in-place ufuncs) must be at least 1.5x faster than the extracted
+reference kernel at the N = 2000 × 7-site workload, while producing
+bit-identical output.  Optional accelerator backends (numba, jax) are
+*reported* when registered but never gated — their availability depends
+on the host, and their conformance is pinned separately by the tier-1
+matrix in ``tests/radio/test_backends.py``.
+
+Environment knobs: ``X14_FLEET_SIZE`` (default 2000), ``X14_EPOCHS``
+(default 64, the per-UE measurement epochs), ``X14_REPEATS``
+(default 5, best-of timing).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.radio import available_backends, get_backend
+from repro.sim import SimulationParameters
+
+N = int(os.environ.get("X14_FLEET_SIZE", "2000"))
+EPOCHS = int(os.environ.get("X14_EPOCHS", "64"))
+REPEATS = int(os.environ.get("X14_REPEATS", "5"))
+N_ACCEPT = 2000     # the acceptance-criterion fleet size
+
+PARAMS = SimulationParameters(rings=1)  # 7 sites: centre + first ring
+MODEL = PARAMS.make_propagation()
+SITES = PARAMS.make_layout().bs_positions
+KPARAMS = MODEL.kernel_params()
+
+rng = np.random.default_rng(42)
+POINTS = rng.uniform(-3.0, 3.0, size=(N * EPOCHS, 2))
+
+
+def time_kernel(name):
+    """Best-of-``REPEATS`` wall time of one kernel over the workload."""
+    kernel = get_backend(name)
+    # warm up on the *timed* shape: jax compiles per input shape, so a
+    # smaller warm-up array would leave compilation inside the timing
+    kernel(SITES, POINTS, KPARAMS)
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        kernel(SITES, POINTS, KPARAMS)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.backend
+@pytest.mark.benchmark(group="x14-pathloss-backends")
+@pytest.mark.parametrize("name", sorted(available_backends()))
+def test_x14_backend_timing(benchmark, name):
+    kernel = get_backend(name)
+    kernel(SITES, POINTS, KPARAMS)  # warm-up / JIT compile, timed shape
+    out = run_once(benchmark, kernel, SITES, POINTS, KPARAMS)
+    assert out.shape == (POINTS.shape[0], SITES.shape[0])
+
+
+@pytest.mark.backend
+def test_x14_speedup_optimized_numpy():
+    """ISSUE-3 acceptance: the optimized NumPy kernel >= 1.5x over the
+    reference at N = 2000 UEs x 7 sites, bit-identical output."""
+    expected = get_backend("reference")(SITES, POINTS, KPARAMS)
+    got = get_backend("numpy")(SITES, POINTS, KPARAMS)
+    np.testing.assert_array_equal(got, expected)
+
+    t_ref = time_kernel("reference")
+    t_opt = time_kernel("numpy")
+    speedup = t_ref / t_opt
+    lines = [
+        f"\nx14: {N} UEs x {EPOCHS} epochs x {SITES.shape[0]} sites "
+        f"({POINTS.shape[0] * SITES.shape[0]:,} point-site pairs)",
+        f"  reference {t_ref * 1e3:8.2f} ms",
+        f"  numpy     {t_opt * 1e3:8.2f} ms  ({speedup:.2f}x)",
+    ]
+    # report (never gate) whatever accelerator backends this host has
+    for name in sorted(set(available_backends()) - {"reference", "numpy"}):
+        t = time_kernel(name)
+        lines.append(f"  {name:<9} {t * 1e3:8.2f} ms  ({t_ref / t:.2f}x)")
+    print("\n".join(lines))
+
+    if N < N_ACCEPT:
+        pytest.skip(
+            f"speedup asserted at N={N_ACCEPT}, ran N={N} (smoke mode)"
+        )
+    assert speedup >= 1.5, (
+        f"optimized NumPy kernel only {speedup:.2f}x over the reference "
+        f"(target 1.5x at N={N} x {SITES.shape[0]} sites)"
+    )

@@ -13,10 +13,11 @@ Commands
 ``simulate {pingpong,crossing} [--speed V]``
     Run the full pipeline on a frozen paper scenario.
 ``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
-[--shards N] [--workers W]``
+[--shards N] [--workers W] [--backend B]``
     Run a whole UE population through the vectorised batch engine —
-    optionally partitioned into shards over a process pool — and print
-    the fleet-level quality metrics (identical for any shard count).
+    optionally partitioned into shards over a process pool, on a chosen
+    pathloss-kernel backend — and print the fleet-level quality metrics
+    (identical for any shard count).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ import sys
 import time
 
 from .core import FuzzyHandoverSystem, build_handover_flc
+from .radio import BACKEND_ENV_VAR, DEFAULT_BACKEND, resolve_backend
 from .experiments import (
     EXPERIMENTS,
     SCENARIO_CROSSING,
@@ -94,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process workers for sharded execution "
                               "(default: auto, CPUs-1 capped at the "
                               "shard count)")
+    p_fleet.add_argument("--backend", default=None,
+                         help="pathloss kernel backend: reference, "
+                              "numpy, or numba/jax where installed "
+                              f"(default: the {BACKEND_ENV_VAR} env "
+                              f"var, then '{DEFAULT_BACKEND}'; "
+                              "NumPy-family backends are "
+                              "bit-identical).  Validated at first "
+                              "use so the parser never probes the "
+                              "optional accelerator imports")
     return parser
 
 
@@ -166,11 +177,13 @@ def main(argv: list[str] | None = None) -> int:
             SimulationParameters(),
             n_shards=args.shards,
             max_workers=args.workers,
+            backend=args.backend,
         )
         elapsed = time.perf_counter() - t0
         epochs = fleet.n_epochs_total
         print(f"scenario : {scenario.name} (seeds {args.seed}.."
               f"{args.seed + args.ues - 1}, {args.walks} legs/UE)")
+        print(f"backend  : {resolve_backend(args.backend)} pathloss kernel")
         print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
         print(f"wall     : {elapsed:.3f} s "
               f"({epochs / elapsed:,.0f} UE-epochs/s, "

@@ -168,13 +168,15 @@ class FleetScenario:
         n_shards: int = 1,
         max_workers: int | None = None,
         window_km: float | None = None,
+        backend: str | None = None,
     ):
         """Partition the fleet into shards, run them (in-process or over
         a worker pool) and merge the streaming per-shard metrics.
 
         Returns a :class:`~repro.sim.metrics.FleetMetrics` identical to
         ``compute_fleet_metrics(self.run(params))`` for every shard and
-        worker count.
+        worker count; ``backend`` pins the pathloss kernel
+        (:mod:`repro.radio.backends` name) the measurement passes use.
         """
         from ..sim.fleet import run_fleet
         from ..sim.metrics import DEFAULT_WINDOW_KM
@@ -184,6 +186,7 @@ class FleetScenario:
             n_shards=n_shards,
             max_workers=max_workers,
             window_km=DEFAULT_WINDOW_KM if window_km is None else window_km,
+            backend=backend,
         )
 
 

@@ -2,7 +2,9 @@
 
 Dipole-antenna field model (paper Eqs. 3–4), received power through the
 MS effective aperture, log-normal shadow fading and the paper's
-2 dB / 10 km/h speed penalty, plus dB unit helpers.
+2 dB / 10 km/h speed penalty, plus dB unit helpers and the pluggable
+pathloss-kernel backend registry (NumPy / Numba / JAX) behind the
+site-matrix paths.
 """
 
 from .units import (
@@ -21,6 +23,18 @@ from .units import (
     wavelength_m,
 )
 from .antenna import DipoleAntenna
+from .backends import (
+    ACCELERATOR_CONFORMANCE_RTOL,
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    NUMPY_CONFORMANCE_RTOL,
+    KernelParams,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
 from .propagation import PropagationModel
 from .pathloss import (
     Cost231HataModel,
@@ -38,6 +52,16 @@ from .fading import (
 __all__ = [
     "DipoleAntenna",
     "PropagationModel",
+    "KernelParams",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
+    "resolve_backend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "NUMPY_CONFORMANCE_RTOL",
+    "ACCELERATOR_CONFORMANCE_RTOL",
     "PathLossModel",
     "FreeSpaceModel",
     "LogDistanceModel",

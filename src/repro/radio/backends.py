@@ -1,0 +1,421 @@
+"""Pluggable pathloss kernel backends.
+
+The physics kernel behind
+:meth:`~repro.radio.propagation.PropagationModel.power_from_sites` /
+``power_from_sites_batch`` dominates the batch/fleet profile, so it is
+factored out here behind one narrow contract and a registry of
+interchangeable implementations:
+
+``kernel(bs_positions_km, points_km, params) -> power_dbw``
+    * ``bs_positions_km`` — ``(n_bs, 2)`` float64 BS coordinates;
+    * ``points_km`` — ``(n_pts, 2)`` float64 MS coordinates (callers
+      flatten any leading batch axes and reshape the result);
+    * ``params`` — a :class:`KernelParams` bundle of the scalar physics
+      (heights, tilt, field amplitude, exponent, aperture);
+    * returns ``(n_pts, n_bs)`` float64 received power in dBW, entry
+      ``[p, b]`` the power point ``p`` receives from site ``b``.
+
+Kernels must be *pure* and *elementwise per (point, site) pair* — no
+cross-point coupling — which is what lets sharded fleets split a
+workload anywhere without changing any value.
+
+Built-in backends
+-----------------
+``reference``
+    The seed chain of :class:`~repro.radio.propagation.PropagationModel`
+    extracted verbatim (same NumPy ops, same order).  This is the
+    conformance oracle every other backend is tested against.
+``numpy`` (the default)
+    An optimized NumPy kernel: three preallocated scratch buffers, every
+    ufunc applied in place via ``out=``, no ``(n_pts, n_bs, 2)``
+    broadcast temporary, and the ``dbw_from_watts`` where-guards fused
+    into one direct ``log10`` pass.  It performs *exactly the seed's
+    elementwise operations in the seed's order*, so its output is
+    bit-identical to ``reference`` — the speedup comes purely from
+    removed allocations and array passes (X14 pins it at >= 1.5x).
+``numba`` / ``jax`` (optional)
+    Probed lazily — the first time a lookup misses the registry or
+    :func:`available_backends` is queried — and registered only when
+    their imports succeed, so missing packages never break import and
+    the pure-NumPy default never pays an accelerator import.  ``numba``
+    runs the same scalar chain as an ``@njit(parallel=True)`` loop;
+    ``jax`` builds the chain with ``jit``/``vmap`` (enabling
+    ``jax_enable_x64`` on first *use* of the jax kernel — the
+    conformance contract is float64 — never as an import side effect).
+
+Conformance-tolerance contract
+------------------------------
+Every registered backend must agree with ``reference`` over the
+conformance matrix in ``tests/radio/test_backends.py``:
+
+* NumPy-family kernels (``reference``, ``numpy``): bit-identical in
+  practice, pinned at ``rtol = NUMPY_CONFORMANCE_RTOL`` (1e-12);
+* accelerator kernels (``numba``, ``jax``): the same op order through a
+  different libm/XLA may differ in the last ulps of the transcendental
+  chain (``atan2``/``sin``/``pow``/``log10``), pinned at
+  ``rtol = atol = ACCELERATOR_CONFORMANCE_RTOL`` (1e-9 — around 8
+  decimal digits of a dB value, far tighter than any physical effect).
+
+Backend selection policy lives in one place, mirroring
+:func:`repro.sim.executor.make_executor`: an explicit name beats the
+``REPRO_PATHLOSS_BACKEND`` environment variable beats
+:data:`DEFAULT_BACKEND`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from .units import FREE_SPACE_IMPEDANCE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .propagation import PropagationModel
+
+__all__ = [
+    "KernelParams",
+    "PathlossKernel",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "reference_kernel",
+    "optimized_numpy_kernel",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "NUMPY_CONFORMANCE_RTOL",
+    "ACCELERATOR_CONFORMANCE_RTOL",
+]
+
+#: The policy default when neither an explicit name nor the environment
+#: variable picks a backend.
+DEFAULT_BACKEND = "numpy"
+
+#: Environment variable consulted by :func:`resolve_backend`.
+BACKEND_ENV_VAR = "REPRO_PATHLOSS_BACKEND"
+
+#: Conformance bound for NumPy-family kernels (bit-identical in practice).
+NUMPY_CONFORMANCE_RTOL = 1e-12
+
+#: Conformance bound for accelerator kernels (libm/XLA ulp drift).
+ACCELERATOR_CONFORMANCE_RTOL = 1e-9
+
+#: ``kernel(bs (n_bs, 2), pts (n_pts, 2), params) -> (n_pts, n_bs)`` dBW.
+PathlossKernel = Callable[[np.ndarray, np.ndarray, "KernelParams"], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """The scalar physics a pathloss kernel needs, pre-derived.
+
+    Every field is a plain float so the bundle is hashable (JAX caches
+    one compiled kernel per distinct params) and cheap to pickle along
+    with a :class:`~repro.sim.fleet.FleetShard`.
+
+    Attributes
+    ----------
+    height_delta_m:
+        ``rx_height − tx_height`` (negative for a receiver below the
+        mast; the sign drives the polar angle).
+    tilt_rad:
+        Downward beam tilt ``φ`` in radians.
+    field_amp:
+        ``sqrt(45·W/1.5·G)`` — the RMS field amplitude at 1 m.
+    path_loss_exponent:
+        Field exponent ``n`` in ``1/r^n``.
+    effective_aperture_m2:
+        MS effective aperture ``A_e = G_r·λ²/(4π)``.
+    """
+
+    height_delta_m: float
+    tilt_rad: float
+    field_amp: float
+    path_loss_exponent: float
+    effective_aperture_m2: float
+
+    @classmethod
+    def from_model(cls, model: "PropagationModel") -> "KernelParams":
+        """Derive the kernel scalars from a propagation model, using the
+        exact float expressions of the seed chain (bit-compatibility)."""
+        antenna = model.antenna
+        return cls(
+            height_delta_m=float(model.rx_height_m) - antenna.height_m,
+            tilt_rad=math.radians(antenna.tilt_deg),
+            field_amp=math.sqrt(45.0 * antenna.power_w / 1.5 * antenna.gain),
+            path_loss_exponent=antenna.path_loss_exponent,
+            effective_aperture_m2=model.effective_aperture_m2,
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, PathlossKernel] = {}
+
+
+def register_backend(
+    name: str, kernel: PathlossKernel, overwrite: bool = False
+) -> None:
+    """Register a kernel under ``name``.
+
+    Re-registering an existing name raises unless ``overwrite=True`` —
+    silently shadowing the default kernels is how conformance drifts in
+    unnoticed.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(kernel):
+        raise ValueError(f"kernel for {name!r} must be callable")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"backend {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[name] = kernel
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered kernel (KeyError if absent)."""
+    del _REGISTRY[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (probes the optional
+    accelerator packages on first call)."""
+    _probe_optional_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """The shared selection policy: explicit name > ``REPRO_PATHLOSS_BACKEND``
+    environment variable > :data:`DEFAULT_BACKEND`."""
+    if name is not None:
+        return name
+    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+
+
+def get_backend(name: Optional[str] = None) -> PathlossKernel:
+    """Resolve a backend name (:func:`resolve_backend` policy) to its
+    kernel; unknown names fail with the available choices listed.
+
+    The optional accelerator packages are probed only when the resolved
+    name is not already registered, so the default NumPy path never
+    pays a numba/jax import.
+    """
+    resolved = resolve_backend(name)
+    kernel = _REGISTRY.get(resolved)
+    if kernel is None:
+        _probe_optional_backends()
+        kernel = _REGISTRY.get(resolved)
+    if kernel is None:
+        raise ValueError(
+            f"unknown pathloss backend {resolved!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# reference kernel — the seed chain, extracted verbatim
+# ----------------------------------------------------------------------
+def reference_kernel(
+    bs: np.ndarray, pts: np.ndarray, params: KernelParams
+) -> np.ndarray:
+    """Pure-NumPy reference: the seed ``PropagationModel`` chain.
+
+    Same ops, same order as the original ``power_from_sites`` →
+    ``received_power_dbw`` → ``DipoleAntenna.field_rms`` composition;
+    this is the oracle the conformance matrix compares against.
+    """
+    diff = pts[:, None, :] - bs[None, :, :]
+    dist_km = np.sqrt((diff * diff).sum(axis=2))
+    rho = dist_km * 1000.0
+    dz = params.height_delta_m
+    r = np.sqrt(rho * rho + dz * dz)
+    theta = np.arctan2(rho, dz)
+    r = np.maximum(r, 1.0)  # clamp inside the antenna near-field
+    e = (
+        params.field_amp
+        * np.abs(np.sin(theta - params.tilt_rad))
+        / r**params.path_loss_exponent
+    )
+    density = e * e / FREE_SPACE_IMPEDANCE
+    p = density * params.effective_aperture_m2
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(
+            p > 0.0, 10.0 * np.log10(np.where(p > 0, p, 1.0)), -np.inf
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# optimized NumPy kernel — same elementwise chain, no waste
+# ----------------------------------------------------------------------
+def optimized_numpy_kernel(
+    bs: np.ndarray, pts: np.ndarray, params: KernelParams
+) -> np.ndarray:
+    """Fused in-place variant of :func:`reference_kernel`.
+
+    Exactly the reference's elementwise float operations in the
+    reference's order — hence bit-identical output — but through three
+    preallocated ``(n_pts, n_bs)`` scratch buffers with every ufunc
+    writing in place: no ``(n_pts, n_bs, 2)`` broadcast temporary, no
+    per-op allocations, and the two ``np.where`` passes of
+    ``dbw_from_watts`` collapsed into one direct ``log10`` (for
+    ``p > 0`` the guarded and direct forms are the same float; for the
+    only other reachable value, ``p == 0`` at an exact pattern null,
+    both give ``-inf``).
+    """
+    dz = params.height_delta_m
+    rho = np.empty((pts.shape[0], bs.shape[0]))
+    tmp = np.empty_like(rho)
+    # squared ground distance, one axis at a time (a 2-term sum reduces
+    # in the same order as the reference's .sum(axis=2))
+    np.subtract(pts[:, 0, None], bs[None, :, 0], out=rho)
+    np.multiply(rho, rho, out=rho)
+    np.subtract(pts[:, 1, None], bs[None, :, 1], out=tmp)
+    np.multiply(tmp, tmp, out=tmp)
+    np.add(rho, tmp, out=rho)
+    np.sqrt(rho, out=rho)
+    np.multiply(rho, 1000.0, out=rho)  # rho: ground distance, metres
+    np.multiply(rho, rho, out=tmp)
+    np.add(tmp, dz * dz, out=tmp)
+    np.sqrt(tmp, out=tmp)  # tmp: slant range r
+    np.maximum(tmp, 1.0, out=tmp)
+    np.power(tmp, params.path_loss_exponent, out=tmp)  # tmp: r**n
+    np.arctan2(rho, dz, out=rho)  # rho: polar angle θ
+    np.subtract(rho, params.tilt_rad, out=rho)
+    np.sin(rho, out=rho)
+    np.abs(rho, out=rho)
+    np.multiply(rho, params.field_amp, out=rho)
+    np.divide(rho, tmp, out=rho)  # rho: RMS field e
+    np.multiply(rho, rho, out=rho)
+    np.divide(rho, FREE_SPACE_IMPEDANCE, out=rho)
+    np.multiply(rho, params.effective_aperture_m2, out=rho)  # rho: watts
+    with np.errstate(divide="ignore"):
+        np.log10(rho, out=rho)
+    np.multiply(rho, 10.0, out=rho)
+    return rho
+
+
+register_backend("reference", reference_kernel)
+register_backend("numpy", optimized_numpy_kernel)
+
+
+# ----------------------------------------------------------------------
+# optional accelerator backends — registered only if importable, and
+# probed lazily so the pure-NumPy default never pays a numba/jax import
+# ----------------------------------------------------------------------
+_optional_probed = False
+
+
+def _probe_optional_backends() -> None:
+    """Attempt the optional registrations, once per process."""
+    global _optional_probed
+    if _optional_probed:
+        return
+    _optional_probed = True
+    _register_numba()
+    _register_jax()
+
+
+def _register_numba() -> None:
+    if "numba" in _REGISTRY:  # pragma: no cover - user pre-registered
+        return
+    try:
+        from numba import njit, prange
+    except Exception:  # pragma: no cover - exercised only sans numba
+        return
+
+    eta = FREE_SPACE_IMPEDANCE
+    neg_inf = float("-inf")
+
+    @njit(parallel=True, fastmath=False)
+    def _core(bs, pts, dz, tilt, amp, exponent, aperture):  # pragma: no cover
+        n_pts = pts.shape[0]
+        n_bs = bs.shape[0]
+        out = np.empty((n_pts, n_bs), dtype=np.float64)
+        for i in prange(n_pts):
+            for j in range(n_bs):
+                dx = pts[i, 0] - bs[j, 0]
+                dy = pts[i, 1] - bs[j, 1]
+                rho = math.sqrt(dx * dx + dy * dy) * 1000.0
+                r = math.sqrt(rho * rho + dz * dz)
+                if r < 1.0:
+                    r = 1.0
+                theta = math.atan2(rho, dz)
+                e = amp * abs(math.sin(theta - tilt)) / r**exponent
+                p = e * e / eta * aperture
+                out[i, j] = 10.0 * math.log10(p) if p > 0.0 else neg_inf
+        return out
+
+    def numba_kernel(
+        bs: np.ndarray, pts: np.ndarray, params: KernelParams
+    ) -> np.ndarray:  # pragma: no cover - exercised in the optional CI leg
+        return _core(
+            np.ascontiguousarray(bs),
+            np.ascontiguousarray(pts),
+            params.height_delta_m,
+            params.tilt_rad,
+            params.field_amp,
+            params.path_loss_exponent,
+            params.effective_aperture_m2,
+        )
+
+    register_backend("numba", numba_kernel)
+
+
+def _register_jax() -> None:
+    if "jax" in _REGISTRY:  # pragma: no cover - user pre-registered
+        return
+    try:
+        import jax
+        import jax.numpy as jnp
+    except Exception:  # pragma: no cover - exercised only sans jax
+        return
+
+    from functools import lru_cache
+
+    @lru_cache(maxsize=16)
+    def _compiled(params: KernelParams):  # pragma: no cover
+        def one_point(pt, bs):
+            diff = pt[None, :] - bs
+            rho = jnp.sqrt(jnp.sum(diff * diff, axis=1)) * 1000.0
+            dz = params.height_delta_m
+            r = jnp.sqrt(rho * rho + dz * dz)
+            theta = jnp.arctan2(rho, dz)
+            r = jnp.maximum(r, 1.0)
+            e = (
+                params.field_amp
+                * jnp.abs(jnp.sin(theta - params.tilt_rad))
+                / r**params.path_loss_exponent
+            )
+            p = e * e / FREE_SPACE_IMPEDANCE * params.effective_aperture_m2
+            return jnp.where(
+                p > 0.0, 10.0 * jnp.log10(jnp.where(p > 0.0, p, 1.0)), -jnp.inf
+            )
+
+        return jax.jit(jax.vmap(one_point, in_axes=(0, None)))
+
+    def jax_kernel(
+        bs: np.ndarray, pts: np.ndarray, params: KernelParams
+    ) -> np.ndarray:  # pragma: no cover - exercised in the optional CI leg
+        # the conformance contract is float64; JAX defaults to float32.
+        # Flipping x64 is a process-wide setting, so it happens only
+        # here — when the jax backend is actually *used* — never as an
+        # import side effect on applications that merely import repro.
+        if not jax.config.jax_enable_x64:
+            jax.config.update("jax_enable_x64", True)
+            _compiled.cache_clear()  # anything traced under x32 is stale
+        out = _compiled(params)(
+            jnp.asarray(pts, dtype=jnp.float64),
+            jnp.asarray(bs, dtype=jnp.float64),
+        )
+        return np.asarray(out, dtype=np.float64)
+
+    register_backend("jax", jax_kernel)

@@ -15,17 +15,23 @@ With the paper's parameters (10 W, 2000 MHz, n = 1.1, heights 40 m /
 1.5 m) this lands in the −60…−140 dBW band over 0.1–7 km — the same
 band as the paper's Figs. 9–13 and the FLC's SSN universe
 (−120…−80 dB).
+
+The site-matrix paths (:meth:`PropagationModel.power_from_sites` and
+``power_from_sites_batch``) run on a pluggable kernel from
+:mod:`repro.radio.backends`; the :attr:`PropagationModel.backend` field
+(default ``None`` = the shared selection policy) picks which one.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Union
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
 import numpy as np
 
 from .antenna import DipoleAntenna
+from .backends import KernelParams, get_backend
 from .units import FREE_SPACE_IMPEDANCE, dbw_from_watts, wavelength_m
 
 __all__ = ["PropagationModel"]
@@ -47,12 +53,19 @@ class PropagationModel:
         MS antenna height (paper: 1.5 m).
     rx_gain:
         MS antenna directivity used in the effective aperture.
+    backend:
+        Pathloss-kernel name for the site-matrix paths (``None`` defers
+        to the :func:`repro.radio.backends.resolve_backend` policy:
+        ``REPRO_PATHLOSS_BACKEND`` env var, then the optimized NumPy
+        default).  Unknown names fail at first use, listing the
+        backends registered on *this* host.
     """
 
     antenna: DipoleAntenna = field(default_factory=DipoleAntenna)
     frequency_hz: float = 2.0e9
     rx_height_m: float = 1.5
     rx_gain: float = 1.5
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.frequency_hz <= 0 or not math.isfinite(self.frequency_hz):
@@ -65,6 +78,13 @@ class PropagationModel:
             )
         if self.rx_gain <= 0:
             raise ValueError(f"rx_gain must be positive, got {self.rx_gain}")
+        if self.backend is not None and (
+            not isinstance(self.backend, str) or not self.backend
+        ):
+            raise ValueError(
+                f"backend must be None or a non-empty string, got "
+                f"{self.backend!r}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -77,6 +97,16 @@ class PropagationModel:
         """MS effective aperture ``A_e = G_r λ² / 4π``."""
         lam = self.wavelength
         return self.rx_gain * lam * lam / (4.0 * math.pi)
+
+    # ------------------------------------------------------------------
+    def kernel_params(self) -> KernelParams:
+        """This model's scalar physics as a pathloss-kernel bundle."""
+        return KernelParams.from_model(self)
+
+    def with_backend(self, backend: Optional[str]) -> "PropagationModel":
+        """A copy of this model pinned to a pathloss backend
+        (``None`` restores the shared selection policy)."""
+        return replace(self, backend=backend)
 
     # ------------------------------------------------------------------
     def received_power_w(self, horizontal_km: ArrayLike) -> np.ndarray:
@@ -114,6 +144,12 @@ class PropagationModel:
         ``(n_pts, n_bs)`` matrix of received powers in dBW; entry
         ``[p, b]`` is the power the MS at point ``p`` receives from BS
         ``b``.
+
+        Runs on the selected :mod:`repro.radio.backends` kernel; every
+        registered kernel computes the same elementwise chain as
+        :meth:`received_power_dbw` (bit-identical for the NumPy-family
+        backends, within the documented conformance tolerance for the
+        accelerator ones).
         """
         bs = np.atleast_2d(np.asarray(bs_positions_km, dtype=float))
         pts = np.atleast_2d(np.asarray(points_km, dtype=float))
@@ -121,9 +157,8 @@ class PropagationModel:
             raise ValueError(
                 f"positions must be (n, 2); got {bs.shape} and {pts.shape}"
             )
-        diff = pts[:, None, :] - bs[None, :, :]
-        dist_km = np.sqrt((diff * diff).sum(axis=2))
-        return np.asarray(self.received_power_dbw(dist_km))
+        kernel = get_backend(self.backend)
+        return kernel(bs, pts, self.kernel_params())
 
     def power_from_sites_batch(
         self, bs_positions_km: np.ndarray, points_km: np.ndarray
@@ -142,8 +177,9 @@ class PropagationModel:
         -------
         ``(n_ues, n_epochs, n_bs)`` received powers in dBW.  Every
         (UE, epoch) entry is computed with exactly the same elementwise
-        chain as :meth:`power_from_sites`, so batched and per-trace
-        measurements agree bit-for-bit.
+        chain as :meth:`power_from_sites` (the fleet axes flatten into
+        the kernel's point axis), so batched and per-trace measurements
+        agree bit-for-bit on any given backend.
         """
         pts = np.asarray(points_km, dtype=float)
         if pts.ndim != 3 or pts.shape[2] != 2:
@@ -184,8 +220,9 @@ class PropagationModel:
         return float(x0 - y0 * (x1 - x0) / (y1 - y0))
 
     def __repr__(self) -> str:
+        suffix = "" if self.backend is None else f", backend={self.backend!r}"
         return (
             f"PropagationModel({self.antenna!r}, "
             f"frequency_hz={self.frequency_hz:g}, "
-            f"rx_height_m={self.rx_height_m:g})"
+            f"rx_height_m={self.rx_height_m:g}{suffix})"
         )

@@ -67,6 +67,11 @@ class SimulationParameters:
         averages over repetitions).
     n_repetitions:
         Monte-Carlo repetitions to average (paper: 10).
+    pathloss_backend:
+        Pathloss-kernel backend for the propagation model (``None`` =
+        the :func:`repro.radio.backends.resolve_backend` policy).  A
+        name unknown on the executing host fails at first kernel use,
+        which is what lets a pickled spec choose per-host backends.
     """
 
     distribution_law: Literal["gaussian"] = "gaussian"
@@ -85,6 +90,7 @@ class SimulationParameters:
     shadow_sigma_db: float = 0.0
     shadow_decorrelation_km: float = 0.1
     n_repetitions: int = 10
+    pathloss_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.distribution_law != "gaussian":
@@ -117,6 +123,14 @@ class SimulationParameters:
             raise ValueError(
                 f"shadow_sigma_db must be >= 0, got {self.shadow_sigma_db}"
             )
+        if self.pathloss_backend is not None and (
+            not isinstance(self.pathloss_backend, str)
+            or not self.pathloss_backend
+        ):
+            raise ValueError(
+                "pathloss_backend must be None or a non-empty string, got "
+                f"{self.pathloss_backend!r}"
+            )
 
     # ------------------------------------------------------------------
     # factories
@@ -138,6 +152,7 @@ class SimulationParameters:
             antenna=self.make_antenna(),
             frequency_hz=self.frequency_mhz * 1e6,
             rx_height_m=self.rx_height_m,
+            backend=self.pathloss_backend,
         )
 
     def make_walk(self, n_walks: int | None = None) -> RandomWalk:

@@ -23,11 +23,19 @@ Sharding is *deterministic by construction*:
 Work is distributed over the shared
 :class:`~repro.sim.executor.Executor` layer — the same picklable-spec
 pattern as the sweep runner in :mod:`repro.sim.parallel`.
+
+The measurement pass runs on a pluggable pathloss kernel
+(:mod:`repro.radio.backends`); ``run_fleet(..., backend=...)`` or
+``spec.with_backend(...)`` pins one.  Backend names resolve on the
+*executing* host, so a future distributed executor can ship the same
+spec to heterogeneous workers and let each shard run its fastest
+locally-registered kernel (exact for the NumPy family, within the
+documented conformance tolerance for accelerators).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -107,6 +115,18 @@ class FleetSpec:
         hi = self.n_ues if hi is None else hi
         speeds = np.asarray(self.speeds_kmh, dtype=float)
         return speeds[np.arange(lo, hi) % speeds.shape[0]]
+
+    def with_backend(self, backend: Optional[str]) -> "FleetSpec":
+        """A copy of this spec pinned to a pathloss-kernel backend.
+
+        The NumPy-family backends are bit-identical, so pinning one
+        never changes the physics; per-host accelerator backends
+        (numba/jax) agree within the conformance tolerance documented
+        in :mod:`repro.radio.backends`.
+        """
+        return replace(
+            self, params=self.params.with_(pathloss_backend=backend)
+        )
 
     def make_sampler(self) -> MeasurementSampler:
         """The measurement stack under this spec's physics."""
@@ -220,6 +240,7 @@ def run_fleet(
     max_workers: Optional[int] = None,
     window_km: float = DEFAULT_WINDOW_KM,
     executor: Optional[Executor] = None,
+    backend: Optional[str] = None,
 ) -> FleetMetrics:
     """Run a fleet in ``n_shards`` partitions and merge the metrics.
 
@@ -231,8 +252,12 @@ def run_fleet(
     count).  The merged result is bit-identical to the unsharded
     ``n_shards=1`` run — sharding changes wall-clock, never physics.
     Pass ``executor`` to supply a pre-built backend instead of a worker
-    count (the two are mutually exclusive).
+    count (the two are mutually exclusive), and ``backend`` to pin the
+    pathloss kernel (:mod:`repro.radio.backends` name) the shards'
+    measurement passes run on.
     """
+    if backend is not None:
+        spec = spec.with_backend(backend)
     shards = spec.shard(n_shards)
     tasks = [(shard, float(window_km)) for shard in shards]
     if executor is None:

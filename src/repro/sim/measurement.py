@@ -187,6 +187,13 @@ class MeasurementSampler:
     fading:
         Optional shadowing process; one independent correlated process
         per BS.  ``None`` gives noise-free measurements.
+    backend:
+        Optional pathloss-kernel override (a
+        :mod:`repro.radio.backends` name).  When given, the propagation
+        model is re-pinned to that backend for every measurement this
+        sampler produces; requires a model with ``with_backend`` (i.e.
+        :class:`~repro.radio.propagation.PropagationModel`, not the X9
+        empirical alternatives).
     """
 
     def __init__(
@@ -195,9 +202,17 @@ class MeasurementSampler:
         propagation: PropagationModel,
         spacing_km: float = 0.05,
         fading: Optional[ShadowFading] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if spacing_km <= 0:
             raise ValueError(f"spacing_km must be positive, got {spacing_km}")
+        if backend is not None:
+            if not hasattr(propagation, "with_backend"):
+                raise ValueError(
+                    f"backend={backend!r} given but {type(propagation).__name__} "
+                    "has no pluggable pathloss kernel"
+                )
+            propagation = propagation.with_backend(backend)
         self.layout = layout
         self.propagation = propagation
         self.spacing_km = float(spacing_km)

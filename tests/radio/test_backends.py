@@ -1,0 +1,359 @@
+"""Pathloss-backend conformance matrix and registry contract.
+
+Every registered kernel must reproduce the ``reference`` kernel (the
+seed ``PropagationModel`` chain, extracted verbatim) over a grid of
+shapes, dtypes and edge geometries, within the tolerance contract
+documented in :mod:`repro.radio.backends`:
+
+* NumPy-family kernels (``reference``, ``numpy``): ``rtol = 1e-12``
+  (`NUMPY_CONFORMANCE_RTOL`) — bit-identical in practice, additionally
+  pinned exactly;
+* accelerator kernels (``numba``, ``jax``): ``rtol = atol = 1e-9``
+  (`ACCELERATOR_CONFORMANCE_RTOL`) — the same op order through a
+  different libm/XLA.
+
+Optional backends skip (via ``pytest.importorskip``) rather than fail
+when their package is absent, so tier-1 stays dependency-light; the
+optional-deps CI leg installs numba and runs this module via
+``-m backend``.
+
+The Hypothesis section pins the two batch laws every backend must obey:
+a stacked batch equals row-wise evaluation (no cross-point coupling),
+and permuting points permutes outputs (no positional leakage).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.radio import (
+    ACCELERATOR_CONFORMANCE_RTOL,
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    NUMPY_CONFORMANCE_RTOL,
+    DipoleAntenna,
+    KernelParams,
+    PropagationModel,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.radio.backends import optimized_numpy_kernel, reference_kernel
+
+pytestmark = pytest.mark.backend
+
+#: NumPy-family backends ship with the package and are exact.
+EXACT_BACKENDS = ("reference", "numpy")
+
+#: Optional accelerator backends: (name, import target for skipping).
+OPTIONAL_BACKENDS = (("numba", "numba"), ("jax", "jax"))
+
+ALL_BACKENDS = EXACT_BACKENDS + tuple(name for name, _ in OPTIONAL_BACKENDS)
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    """Every conformance backend; optional ones skip when their package
+    is missing, but *fail* when the package imports and the kernel still
+    did not register — that is what the optional-deps CI leg exists to
+    catch."""
+    name = request.param
+    if name not in available_backends():
+        modules = dict(OPTIONAL_BACKENDS)
+        pytest.importorskip(modules[name])
+        pytest.fail(
+            f"{modules[name]} imports but backend {name!r} failed to "
+            "register"
+        )
+    return name
+
+
+def tolerance_of(name):
+    """The documented conformance bound for a backend name."""
+    if name in EXACT_BACKENDS:
+        return dict(rtol=NUMPY_CONFORMANCE_RTOL, atol=0.0)
+    return dict(
+        rtol=ACCELERATOR_CONFORMANCE_RTOL, atol=ACCELERATOR_CONFORMANCE_RTOL
+    )
+
+
+def assert_law_holds(backend, got, expected):
+    """Batch-law agreement: exact for the NumPy family; accelerator
+    kernels may recompile per shape (jax) or vectorise differently per
+    lane (SIMD remainder loops), so they get their documented bound."""
+    if backend in EXACT_BACKENDS:
+        np.testing.assert_array_equal(got, expected)
+    else:
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+
+
+def paper_params() -> KernelParams:
+    return PropagationModel().kernel_params()
+
+
+def site_grid(n_sites, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-2.0, 2.0, size=(n_sites, 2))
+
+
+def point_grid(n_pts, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-7.0, 7.0, size=(n_pts, 2))
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self):
+        assert set(EXACT_BACKENDS) <= set(available_backends())
+
+    def test_get_backend_resolves_builtins(self):
+        assert get_backend("reference") is reference_kernel
+        assert get_backend("numpy") is optimized_numpy_kernel
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="available: "):
+            get_backend("no-such-kernel")
+
+    def test_policy_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_policy_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert resolve_backend(None) == "reference"
+
+    def test_policy_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == DEFAULT_BACKEND == "numpy"
+
+    def test_env_var_selects_kernel_end_to_end(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert get_backend(None) is reference_kernel
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", optimized_numpy_kernel)
+
+    def test_register_unregister_roundtrip(self):
+        register_backend("tmp-kernel", reference_kernel)
+        try:
+            assert get_backend("tmp-kernel") is reference_kernel
+        finally:
+            unregister_backend("tmp-kernel")
+        assert "tmp-kernel" not in available_backends()
+
+    @pytest.mark.parametrize("bad", ["", None, 7])
+    def test_register_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            register_backend(bad, reference_kernel)
+
+    def test_register_rejects_noncallable(self):
+        with pytest.raises(ValueError, match="callable"):
+            register_backend("tmp-kernel", object())
+
+
+class TestKernelParams:
+    def test_from_model_matches_seed_expressions(self):
+        model = PropagationModel()
+        p = model.kernel_params()
+        a = model.antenna
+        assert p.height_delta_m == model.rx_height_m - a.height_m
+        assert p.tilt_rad == math.radians(a.tilt_deg)
+        assert p.field_amp == math.sqrt(45.0 * a.power_w / 1.5 * a.gain)
+        assert p.path_loss_exponent == a.path_loss_exponent
+        assert p.effective_aperture_m2 == model.effective_aperture_m2
+
+    def test_hashable_for_jit_caches(self):
+        assert hash(paper_params()) == hash(paper_params())
+
+
+class TestConformanceMatrix:
+    """Every backend vs the reference oracle over shapes/dtypes/edges."""
+
+    @pytest.mark.parametrize("n_pts", [1, 7, 256])
+    @pytest.mark.parametrize("n_sites", [1, 7])
+    def test_shape_grid(self, backend, n_pts, n_sites):
+        kernel = get_backend(backend)
+        params = paper_params()
+        sites = site_grid(n_sites)
+        pts = point_grid(n_pts)
+        expected = reference_kernel(sites, pts, params)
+        got = kernel(sites, pts, params)
+        assert got.shape == (n_pts, n_sites)
+        assert got.dtype == np.float64
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64])
+    def test_dtype_coercion_through_model(self, backend, dtype):
+        # the model layer converts inputs to float64 before any kernel
+        model = PropagationModel(backend=backend)
+        sites = np.array([[0, 0], [1, 1]], dtype=dtype)
+        pts = np.array([[1, 0], [2, 3], [5, 5]], dtype=dtype)
+        expected = PropagationModel(backend="reference").power_from_sites(
+            sites, pts
+        )
+        got = model.power_from_sites(sites, pts)
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+
+    def test_near_field_clamp(self, backend):
+        # receiver 0.1 m below the mast top: slant range 0.1 m at the
+        # mast foot, clamped to 1 m inside every kernel
+        model = PropagationModel(rx_height_m=39.9, backend=backend)
+        sites = np.zeros((1, 2))
+        pts = np.array([[0.0, 0.0], [1e-5, 0.0]])
+        expected = PropagationModel(
+            rx_height_m=39.9, backend="reference"
+        ).power_from_sites(sites, pts)
+        got = model.power_from_sites(sites, pts)
+        assert np.all(np.isfinite(got))
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+
+    def test_pattern_null_gives_minus_inf(self, backend):
+        # θ = φ exactly: untilted dipole, receiver directly above the
+        # mast → sin(0) = 0 → zero power → -inf dBW on every backend
+        model = PropagationModel(
+            antenna=DipoleAntenna(tilt_deg=0.0), rx_height_m=50.0,
+            backend=backend,
+        )
+        out = model.power_from_sites(np.zeros((1, 2)), np.zeros((1, 2)))
+        assert out.shape == (1, 1)
+        assert np.isneginf(out[0, 0])
+
+    def test_far_field_7km(self, backend):
+        kernel = get_backend(backend)
+        params = paper_params()
+        sites = np.zeros((1, 2))
+        pts = np.array([[7.0, 0.0], [0.0, -7.0], [7.0 / np.sqrt(2)] * 2])
+        expected = reference_kernel(sites, pts, params)
+        got = kernel(sites, pts, params)
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+        # the paper's band: still above -140 dBW at the 7 km edge
+        assert np.all(got > -140.0) and np.all(got < -60.0)
+
+    def test_nondefault_physics(self, backend):
+        # 20 W / 2 km-class geometry exercises every params field
+        model = PropagationModel(
+            antenna=DipoleAntenna(
+                power_w=20.0, height_m=60.0, tilt_deg=7.0,
+                path_loss_exponent=1.4,
+            ),
+            rx_height_m=2.5,
+            backend=backend,
+        )
+        sites = site_grid(3, seed=5)
+        pts = point_grid(40, seed=6)
+        expected = reference_kernel(sites, pts, model.kernel_params())
+        got = model.power_from_sites(sites, pts)
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+
+    def test_numpy_family_bit_identical(self):
+        """Stronger than the rtol pin: the optimized kernel performs the
+        reference's elementwise ops in the reference's order, so its
+        output is byte-for-byte the reference's."""
+        params = paper_params()
+        sites = site_grid(7)
+        pts = point_grid(512)
+        np.testing.assert_array_equal(
+            optimized_numpy_kernel(sites, pts, params),
+            reference_kernel(sites, pts, params),
+        )
+
+
+class TestModelIntegration:
+    def test_with_backend_roundtrip(self):
+        model = PropagationModel()
+        assert model.backend is None
+        pinned = model.with_backend("reference")
+        assert pinned.backend == "reference"
+        assert pinned.with_backend(None).backend is None
+        assert "backend='reference'" in repr(pinned)
+
+    def test_unknown_backend_fails_at_use_not_construction(self):
+        model = PropagationModel(backend="not-a-kernel")
+        with pytest.raises(ValueError, match="unknown pathloss backend"):
+            model.power_from_sites(np.zeros((1, 2)), np.ones((1, 2)))
+
+    def test_invalid_backend_field_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            PropagationModel(backend="")
+
+    def test_batch_path_uses_selected_kernel(self, backend):
+        model = PropagationModel(backend=backend)
+        sites = site_grid(4)
+        pts = point_grid(24).reshape(4, 6, 2)
+        expected = PropagationModel(
+            backend="reference"
+        ).power_from_sites_batch(sites, pts)
+        got = model.power_from_sites_batch(sites, pts)
+        assert got.shape == (4, 6, 4)
+        np.testing.assert_allclose(got, expected, **tolerance_of(backend))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties — the laws any backend must obey
+# ----------------------------------------------------------------------
+coords = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+def points_strategy(max_rows=8):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_rows), st.just(2)),
+        elements=coords,
+    )
+
+
+class TestBackendProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(pts=points_strategy(), sites=points_strategy(7))
+    def test_batch_equals_rowwise(self, backend, pts, sites):
+        """A stacked batch is exactly the rows evaluated one at a time:
+        kernels are elementwise per point, with no cross-point coupling."""
+        model = PropagationModel(backend=backend)
+        batched = model.power_from_sites(sites, pts)
+        rowwise = np.vstack(
+            [model.power_from_sites(sites, pts[i : i + 1]) for i in
+             range(pts.shape[0])]
+        )
+        assert_law_holds(backend, batched, rowwise)
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        pts=points_strategy(),
+        sites=points_strategy(7),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_permuting_points_permutes_outputs(self, backend, pts, sites,
+                                               seed):
+        """No positional leakage: shuffling the UEs shuffles the power
+        matrix rows and changes nothing else."""
+        model = PropagationModel(backend=backend)
+        perm = np.random.default_rng(seed).permutation(pts.shape[0])
+        assert_law_holds(
+            backend,
+            model.power_from_sites(sites, pts[perm]),
+            model.power_from_sites(sites, pts)[perm],
+        )
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(pts=points_strategy(), sites=points_strategy(7))
+    def test_stacked_batch_equals_power_from_sites(self, backend, pts,
+                                                   sites):
+        """`power_from_sites_batch` on a (1, n, 2) stack is exactly
+        `power_from_sites` on the flat (n, 2) rows."""
+        model = PropagationModel(backend=backend)
+        assert_law_holds(
+            backend,
+            model.power_from_sites_batch(sites, pts[None, :, :])[0],
+            model.power_from_sites(sites, pts),
+        )

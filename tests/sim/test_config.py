@@ -97,6 +97,19 @@ class TestFactories:
         with pytest.raises(Exception):
             p.tx_power_w = 99.0  # type: ignore[misc]
 
+    @pytest.mark.backend
+    def test_pathloss_backend_threads_into_propagation(self):
+        assert SimulationParameters().make_propagation().backend is None
+        p = SimulationParameters(pathloss_backend="reference")
+        assert p.make_propagation().backend == "reference"
+
+    @pytest.mark.backend
+    def test_pathloss_backend_validation(self):
+        with pytest.raises(ValueError, match="pathloss_backend"):
+            SimulationParameters(pathloss_backend="")
+        with pytest.raises(ValueError, match="pathloss_backend"):
+            SimulationParameters(pathloss_backend=3)  # type: ignore[arg-type]
+
 
 class TestDescribe:
     def test_contains_table_2_rows(self):

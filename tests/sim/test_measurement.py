@@ -55,6 +55,30 @@ class TestSampler:
         direct = prop.power_from_sites(layout.bs_positions, series.positions_km)
         np.testing.assert_allclose(series.power_dbw, direct)
 
+    @pytest.mark.backend
+    def test_backend_override_pins_propagation(self, stack):
+        _, layout, prop = stack
+        sampler = MeasurementSampler(
+            layout, prop, spacing_km=0.1, backend="reference"
+        )
+        assert sampler.propagation.backend == "reference"
+        # bit-identical measurements: the override never moves physics
+        default = MeasurementSampler(layout, prop, spacing_km=0.1)
+        np.testing.assert_array_equal(
+            sampler.measure(straight_trace()).power_dbw,
+            default.measure(straight_trace()).power_dbw,
+        )
+
+    @pytest.mark.backend
+    def test_backend_override_requires_pluggable_model(self, stack):
+        from repro.radio import FreeSpaceModel
+
+        _, layout, _ = stack
+        with pytest.raises(ValueError, match="no pluggable pathloss"):
+            MeasurementSampler(
+                layout, FreeSpaceModel(), spacing_km=0.1, backend="numpy"
+            )
+
     def test_power_of_and_distances(self, stack):
         _, layout, prop = stack
         sampler = MeasurementSampler(layout, prop, spacing_km=0.1)

@@ -126,3 +126,38 @@ class TestFleetDeterminism:
         assert main(["simulate", "crossing", "--speed", "10"]) == 0
         out = capsys.readouterr().out
         assert "10 km/h" in out
+
+
+@pytest.mark.backend
+class TestFleetBackends:
+    """``repro fleet --backend`` selects the pathloss kernel without
+    changing any metric (the NumPy family is bit-identical)."""
+
+    def test_backend_flag_reported(self, capsys):
+        assert main(
+            ["fleet", "--ues", "4", "--walks", "3",
+             "--backend", "reference"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reference pathloss kernel" in out
+
+    def test_default_backend_reported(self, capsys, monkeypatch):
+        from repro.radio import BACKEND_ENV_VAR
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert main(["fleet", "--ues", "4", "--walks", "3"]) == 0
+        assert "numpy pathloss kernel" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self):
+        # validated at first kernel use (the parser never probes the
+        # optional accelerator imports), with the choices listed
+        with pytest.raises(ValueError, match="unknown pathloss backend"):
+            main(["fleet", "--ues", "3", "--walks", "3",
+                  "--backend", "not-a-kernel"])
+
+    def test_reference_and_numpy_metrics_identical(self, capsys):
+        def metrics(backend):
+            lines = fleet_metric_lines(capsys, "--backend", backend)
+            return [l for l in lines if not l.startswith("backend")]
+
+        assert metrics("reference") == metrics("numpy")
