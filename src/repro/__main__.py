@@ -13,11 +13,14 @@ Commands
 ``simulate {pingpong,crossing} [--speed V]``
     Run the full pipeline on a frozen paper scenario.
 ``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
-[--shards N] [--workers W] [--backend B]``
+[--population MIX] [--shards N] [--workers W] [--backend B]``
     Run a whole UE population through the vectorised batch engine —
     optionally partitioned into shards over a process pool, on a chosen
     pathloss-kernel backend — and print the fleet-level quality metrics
-    (identical for any shard count).
+    (identical for any shard count).  ``--population`` selects a named
+    heterogeneous mix (pedestrians/vehicles/stationary cohorts, see
+    :data:`repro.sim.population.POPULATION_MIXES`) and adds a
+    per-cohort metrics breakdown.
 """
 
 from __future__ import annotations
@@ -27,7 +30,12 @@ import sys
 import time
 
 from .core import FuzzyHandoverSystem, build_handover_flc
-from .radio import BACKEND_ENV_VAR, DEFAULT_BACKEND, resolve_backend
+from .radio import (
+    AUTO_BACKEND,
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    resolve_backend,
+)
 from .experiments import (
     EXPERIMENTS,
     SCENARIO_CROSSING,
@@ -38,6 +46,7 @@ from .experiments import (
 )
 from .sim import (
     PAPER_SPEEDS_KMH,
+    POPULATION_MIXES,
     SimulationParameters,
     run_trace,
 )
@@ -80,14 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fleet.add_argument("--ues", type=int, default=100,
                          help="fleet size (default 100)")
-    p_fleet.add_argument("--walks", type=int, default=10,
-                         help="walk legs per UE (default 10)")
+    p_fleet.add_argument("--walks", type=int, default=None,
+                         help="walk legs per UE (default 10; homogeneous "
+                              "fleets only)")
     p_fleet.add_argument("--seed", type=int, default=1000,
                          help="base walk seed; UE i walks seed+i")
     p_fleet.add_argument("--speeds", type=float, nargs="+", default=None,
                          metavar="V",
                          help="speeds in km/h, cycled over the fleet "
-                              "(default: the paper's 0..50 sweep)")
+                              "(default: the paper's 0..50 sweep; "
+                              "homogeneous fleets only)")
+    p_fleet.add_argument("--population", default=None,
+                         choices=sorted(POPULATION_MIXES),
+                         help="run a named heterogeneous mix instead of "
+                              "the homogeneous random-walk fleet; each "
+                              "cohort brings its own mobility model and "
+                              "speed distribution, and the output adds "
+                              "a per-cohort breakdown")
     p_fleet.add_argument("--shards", type=int, default=1,
                          help="partition the fleet into N shards "
                               "(default 1; metrics are identical for "
@@ -110,7 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "list":
         width = max(len(k) for k in EXPERIMENTS)
@@ -160,15 +179,30 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "fleet":
-        scenario = FleetScenario(
-            name=f"fleet-{args.ues}",
-            n_ues=args.ues,
-            n_walks=args.walks,
-            base_seed=args.seed,
-            speeds_kmh=(
-                tuple(args.speeds) if args.speeds else PAPER_SPEEDS_KMH
-            ),
-        )
+        if args.population is not None and (
+            args.walks is not None or args.speeds is not None
+        ):
+            parser.error(
+                "--walks/--speeds configure the homogeneous fleet; a "
+                "--population mix defines mobility and speeds per cohort"
+            )
+        walks = 10 if args.walks is None else args.walks
+        if args.population is not None:
+            scenario = FleetScenario.from_mix(
+                args.population, n_ues=args.ues, base_seed=args.seed
+            )
+            legs = f"{args.population} mix"
+        else:
+            scenario = FleetScenario(
+                name=f"fleet-{args.ues}",
+                n_ues=args.ues,
+                n_walks=walks,
+                base_seed=args.seed,
+                speeds_kmh=(
+                    tuple(args.speeds) if args.speeds else PAPER_SPEEDS_KMH
+                ),
+            )
+            legs = f"{walks} legs/UE"
         from .sim import partition_fleet
 
         n_shards = len(partition_fleet(args.ues, args.shards))
@@ -181,9 +215,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         elapsed = time.perf_counter() - t0
         epochs = fleet.n_epochs_total
+        # display-only name resolution: never run the "auto" timing
+        # probe in the parent (the shards resolve it on their own host)
+        requested = resolve_backend(args.backend, probe=False)
+        label = (
+            "auto (fastest kernel per executing host)"
+            if requested == AUTO_BACKEND
+            else requested
+        )
         print(f"scenario : {scenario.name} (seeds {args.seed}.."
-              f"{args.seed + args.ues - 1}, {args.walks} legs/UE)")
-        print(f"backend  : {resolve_backend(args.backend)} pathloss kernel")
+              f"{args.seed + args.ues - 1}, {legs})")
+        print(f"backend  : {label} pathloss kernel")
         print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
         print(f"wall     : {elapsed:.3f} s "
               f"({epochs / elapsed:,.0f} UE-epochs/s, "
@@ -194,6 +236,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"ping-pong: {fleet.n_ping_pongs} "
               f"(rate {fleet.ping_pong_rate:.3f})")
         print(f"wrong-BS : {fleet.wrong_cell_fraction:.4f} of epochs")
+        print(f"outage   : {fleet.outage_fraction:.4f} of epochs "
+              f"(below {fleet.outage_dbw:g} dBW)")
+        if args.population is not None and fleet.cohort_names is not None:
+            print("cohorts  :")
+            width = max(len(n) for n in fleet.cohort_names)
+            for cm in fleet.per_cohort():
+                print(f"  {cm.describe(width)}")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

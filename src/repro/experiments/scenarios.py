@@ -95,13 +95,18 @@ class FleetScenario:
     """A reproducible *population* of walks for the batch engine.
 
     Where :class:`WalkScenario` freezes one paper walk, a fleet scenario
-    describes N UEs — one seeded walk each (seeds ``base_seed …
+    describes N UEs.  It is built on the population layer
+    (:mod:`repro.sim.population`): :meth:`to_population` expands the
+    scenario into a :class:`~repro.sim.population.PopulationSpec` — by
+    default one homogeneous cohort reproducing the original fleet
+    semantics *exactly* (one seeded walk per UE, seeds ``base_seed …
     base_seed + n_ues - 1``, so any single UE can be replayed through
-    the scalar pipeline bit-for-bit) with speeds cycled over
-    :attr:`speeds_kmh`.  :meth:`run` takes the whole fleet through
-    measurement and the :class:`~repro.sim.batch.BatchSimulator` in one
-    vectorised pass; :meth:`run_sharded` partitions the same fleet over
-    the :mod:`repro.sim.fleet` execution layer and merges the metrics —
+    the scalar pipeline bit-for-bit, with speeds cycled over
+    :attr:`speeds_kmh`), or the mixed :attr:`cohorts` of a heterogeneous
+    scenario.  :meth:`run` takes the whole fleet through measurement and
+    the :class:`~repro.sim.batch.BatchSimulator` in one vectorised pass;
+    :meth:`run_sharded` partitions the same fleet over the
+    :mod:`repro.sim.fleet` execution layer and merges the metrics —
     bit-identical to the unsharded run by construction.
     """
 
@@ -111,6 +116,9 @@ class FleetScenario:
     base_seed: int = 1000
     speeds_kmh: tuple[float, ...] = PAPER_SPEEDS_KMH
     description: str = ""
+    #: optional heterogeneous mix; ``None`` means one homogeneous
+    #: random-walk cohort with the scenario's speed cycle
+    cohorts: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.n_ues < 1:
@@ -119,39 +127,77 @@ class FleetScenario:
             raise ValueError(f"n_walks must be >= 1, got {self.n_walks}")
         if not self.speeds_kmh:
             raise ValueError("speeds_kmh must be non-empty")
+        if self.cohorts is not None and not self.cohorts:
+            raise ValueError("cohorts must be None or non-empty")
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_mix(
+        cls,
+        mix: str,
+        n_ues: int = 100,
+        base_seed: int = 1000,
+        description: str = "",
+    ) -> "FleetScenario":
+        """A heterogeneous scenario from a registered named mix (see
+        :data:`repro.sim.population.POPULATION_MIXES`)."""
+        from ..sim.population import named_population
+
+        pop = named_population(mix, n_ues=n_ues, base_seed=base_seed)
+        return cls(
+            name=f"{mix}-{n_ues}",
+            n_ues=n_ues,
+            base_seed=base_seed,
+            cohorts=pop.cohorts,
+            description=description or f"named mix {mix!r} over {n_ues} UEs",
+        )
+
+    def to_population(self, params: SimulationParameters | None = None):
+        """This scenario as a declarative
+        :class:`~repro.sim.population.PopulationSpec`."""
+        from ..sim.population import PopulationSpec, UECohort
+
+        if params is None:
+            params = SimulationParameters()
+        cohorts = self.cohorts
+        if cohorts is None:
+            cohorts = (
+                UECohort(
+                    name="default",
+                    model=params.make_walk(self.n_walks),
+                    count=self.n_ues,
+                    speeds_kmh=tuple(self.speeds_kmh),
+                ),
+            )
+        return PopulationSpec(
+            n_ues=self.n_ues,
+            cohorts=tuple(cohorts),
+            params=params,
+            base_seed=self.base_seed,
+        )
+
     def to_spec(self, params: SimulationParameters | None = None):
         """This scenario as a picklable :class:`repro.sim.FleetSpec`
-        (the sharded execution layer's currency)."""
+        (the sharded execution layer's currency), built on the
+        population expansion — byte-identical to the pre-population
+        fleet path for homogeneous scenarios."""
         from ..sim.fleet import FleetSpec
 
-        return FleetSpec(
-            n_ues=self.n_ues,
-            n_walks=self.n_walks,
-            base_seed=self.base_seed,
-            speeds_kmh=tuple(self.speeds_kmh),
-            params=params if params is not None else SimulationParameters(),
-        )
+        return FleetSpec.from_population(self.to_population(params))
 
     def walk_seeds(self) -> list[int]:
         """One deterministic walk seed per UE."""
         return list(range(self.base_seed, self.base_seed + self.n_ues))
 
     def ue_speeds(self) -> np.ndarray:
-        """``(n_ues,)`` speeds, cycling through :attr:`speeds_kmh`."""
-        speeds = np.asarray(self.speeds_kmh, dtype=float)
-        return speeds[np.arange(self.n_ues) % speeds.shape[0]]
+        """``(n_ues,)`` per-UE speeds of the population expansion."""
+        return self.to_population().ue_speeds()
 
     def make_batch(
         self, params: SimulationParameters | None = None
     ) -> TraceBatch:
         """The fleet's walks under the given physical configuration."""
-        if params is None:
-            params = SimulationParameters()
-        return params.make_walk(self.n_walks).generate_batch_seeded(
-            self.walk_seeds()
-        )
+        return self.to_population(params).traces()
 
     def run(self, params: SimulationParameters | None = None, system=None):
         """Measure and simulate the whole fleet in one batched pass.

@@ -25,11 +25,13 @@ from .units import (
 from .antenna import DipoleAntenna
 from .backends import (
     ACCELERATOR_CONFORMANCE_RTOL,
+    AUTO_BACKEND,
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
     NUMPY_CONFORMANCE_RTOL,
     KernelParams,
     available_backends,
+    fastest_backend,
     get_backend,
     register_backend,
     resolve_backend,
@@ -58,6 +60,8 @@ __all__ = [
     "register_backend",
     "unregister_backend",
     "resolve_backend",
+    "fastest_backend",
+    "AUTO_BACKEND",
     "DEFAULT_BACKEND",
     "BACKEND_ENV_VAR",
     "NUMPY_CONFORMANCE_RTOL",

@@ -84,8 +84,10 @@ __all__ = [
     "available_backends",
     "get_backend",
     "resolve_backend",
+    "fastest_backend",
     "reference_kernel",
     "optimized_numpy_kernel",
+    "AUTO_BACKEND",
     "DEFAULT_BACKEND",
     "BACKEND_ENV_VAR",
     "NUMPY_CONFORMANCE_RTOL",
@@ -95,6 +97,12 @@ __all__ = [
 #: The policy default when neither an explicit name nor the environment
 #: variable picks a backend.
 DEFAULT_BACKEND = "numpy"
+
+#: Reserved pseudo-backend: resolves to the fastest *registered* kernel
+#: on the executing host (see :func:`fastest_backend`).  Because
+#: resolution happens at first kernel use, a pickled fleet spec pinned
+#: to ``"auto"`` lets every worker host run its own best kernel.
+AUTO_BACKEND = "auto"
 
 #: Environment variable consulted by :func:`resolve_backend`.
 BACKEND_ENV_VAR = "REPRO_PATHLOSS_BACKEND"
@@ -169,6 +177,11 @@ def register_backend(
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name == AUTO_BACKEND:
+        raise ValueError(
+            f"{AUTO_BACKEND!r} is the reserved fastest-kernel selector "
+            "and cannot name a concrete backend"
+        )
     if not callable(kernel):
         raise ValueError(f"kernel for {name!r} must be callable")
     if name in _REGISTRY and not overwrite:
@@ -177,11 +190,22 @@ def register_backend(
             "(pass overwrite=True to replace it)"
         )
     _REGISTRY[name] = kernel
+    # the field changed; let the next "auto" resolution re-probe
+    global _auto_choice
+    _auto_choice = None
 
 
 def unregister_backend(name: str) -> None:
-    """Remove a registered kernel (KeyError if absent)."""
+    """Remove a registered kernel (KeyError if absent).
+
+    Invalidates the cached :func:`fastest_backend` choice when it names
+    the removed kernel, so a later ``"auto"`` resolution re-probes
+    instead of returning a backend that no longer exists.
+    """
+    global _auto_choice
     del _REGISTRY[name]
+    if _auto_choice == name:
+        _auto_choice = None
 
 
 def available_backends() -> tuple[str, ...]:
@@ -191,12 +215,85 @@ def available_backends() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def resolve_backend(name: Optional[str] = None) -> str:
+def resolve_backend(name: Optional[str] = None, probe: bool = True) -> str:
     """The shared selection policy: explicit name > ``REPRO_PATHLOSS_BACKEND``
-    environment variable > :data:`DEFAULT_BACKEND`."""
-    if name is not None:
-        return name
-    return os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    environment variable > :data:`DEFAULT_BACKEND`.
+
+    The reserved name ``"auto"`` (from either source) resolves further
+    to :func:`fastest_backend` — the quickest kernel registered on *this*
+    host — so the returned name is always a concrete backend.  Pass
+    ``probe=False`` to apply only the precedence policy and keep
+    ``"auto"`` symbolic (display paths that must not pay the timing
+    probe of a host that never runs a kernel).
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    if name == AUTO_BACKEND and probe:
+        return fastest_backend()
+    return name
+
+
+# one probe per process; "auto" must not re-time kernels on every epoch
+_auto_choice: Optional[str] = None
+
+
+def fastest_backend(
+    refresh: bool = False,
+    candidates: Optional[tuple[str, ...]] = None,
+    n_points: int = 2048,
+    repeats: int = 3,
+) -> str:
+    """The fastest registered kernel on this host, by measurement.
+
+    Every candidate (default: all of :func:`available_backends`, so the
+    optional accelerators are probed first) runs one warm-up pass — JIT
+    backends compile there, not on the clock — then ``repeats`` timed
+    passes over a synthetic ``(n_points, 7)`` site matrix shaped like a
+    fleet measurement epoch; the best (minimum) time wins, with ties
+    broken towards :data:`DEFAULT_BACKEND` and then name order.  The
+    choice is cached per process (``refresh=True`` re-probes, e.g.
+    after registering a new kernel).
+    """
+    global _auto_choice
+    if candidates is None and not refresh and _auto_choice is not None:
+        return _auto_choice
+    names = available_backends() if candidates is None else tuple(candidates)
+    if not names:
+        raise ValueError("no pathloss backends registered to probe")
+    # deterministic synthetic workload: a 7-site ring and a point grid
+    # spanning the layout scale (values are irrelevant, shape is not)
+    angles = np.linspace(0.0, 2.0 * math.pi, 7, endpoint=False)
+    bs = np.column_stack([np.cos(angles), np.sin(angles)])
+    side = int(math.ceil(math.sqrt(n_points)))
+    grid = np.linspace(-2.0, 2.0, side)
+    pts = np.stack(
+        np.meshgrid(grid, grid), axis=-1
+    ).reshape(-1, 2)[:n_points]
+    params = KernelParams(
+        height_delta_m=-38.5,
+        tilt_rad=math.radians(3.0),
+        field_amp=math.sqrt(45.0 * 10.0 / 1.5 * 1.5),
+        path_loss_exponent=1.1,
+        effective_aperture_m2=0.0027,
+    )
+    # stable tie-break: the policy default first, then name order
+    ranked = sorted(names, key=lambda n: (n != DEFAULT_BACKEND, n))
+    best_name, best_time = ranked[0], math.inf
+    import time
+
+    for name in ranked:
+        kernel = get_backend(name)
+        kernel(bs, pts, params)  # warm-up (JIT compilation, caches)
+        elapsed = math.inf
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            kernel(bs, pts, params)
+            elapsed = min(elapsed, time.perf_counter() - t0)
+        if elapsed < best_time:
+            best_name, best_time = name, elapsed
+    if candidates is None:
+        _auto_choice = best_name
+    return best_name
 
 
 def get_backend(name: Optional[str] = None) -> PathlossKernel:

@@ -16,7 +16,9 @@ from .measurement import (
 from .engine import HandoverEvent, SimulationResult, Simulator
 from .batch import BatchSimulationResult, BatchSimulator
 from .metrics import (
+    DEFAULT_OUTAGE_DBW,
     DEFAULT_WINDOW_KM,
+    CohortMetrics,
     FleetMetrics,
     FleetMetricsAccumulator,
     HandoverMetrics,
@@ -37,6 +39,13 @@ from .executor import (
     make_executor,
 )
 from .fleet import FleetShard, FleetSpec, partition_fleet, run_fleet
+from .population import (
+    POPULATION_MIXES,
+    PolicyConfig,
+    PopulationSpec,
+    UECohort,
+    named_population,
+)
 from .runner import (
     PolicySpec,
     RunOutcome,
@@ -97,6 +106,13 @@ __all__ = [
     "run_fleet",
     "FleetMetricsAccumulator",
     "merge_fleet_metrics",
+    "CohortMetrics",
+    "DEFAULT_OUTAGE_DBW",
+    "PopulationSpec",
+    "UECohort",
+    "PolicyConfig",
+    "POPULATION_MIXES",
+    "named_population",
     "SessionMetrics",
     "evaluate_session",
     "DEFAULT_SENSITIVITY_DBW",

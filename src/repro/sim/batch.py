@@ -220,13 +220,23 @@ class BatchSimulationResult:
         for i in range(self.n_ues):
             yield self.ue_result(i)
 
-    def fleet_metrics(self, window_km: Optional[float] = None):
+    def fleet_metrics(
+        self,
+        window_km: Optional[float] = None,
+        outage_dbw: Optional[float] = None,
+    ):
         """Aggregate fleet quality metrics (see
         :func:`repro.sim.metrics.compute_fleet_metrics`)."""
-        from .metrics import DEFAULT_WINDOW_KM, compute_fleet_metrics
+        from .metrics import (
+            DEFAULT_OUTAGE_DBW,
+            DEFAULT_WINDOW_KM,
+            compute_fleet_metrics,
+        )
 
         return compute_fleet_metrics(
-            self, DEFAULT_WINDOW_KM if window_km is None else window_km
+            self,
+            DEFAULT_WINDOW_KM if window_km is None else window_km,
+            DEFAULT_OUTAGE_DBW if outage_dbw is None else outage_dbw,
         )
 
 
@@ -373,6 +383,7 @@ class BatchSimulator:
         self,
         series: BatchMeasurementSeries,
         window_km: Optional[float] = None,
+        outage_dbw: Optional[float] = None,
     ):
         """Simulate the fleet and return only its
         :class:`~repro.sim.metrics.FleetMetrics` — streaming per-epoch
@@ -380,14 +391,21 @@ class BatchSimulator:
 
         Bit-identical to ``compute_fleet_metrics(self.run(series))``;
         this is the path shard workers take, so a sharded fleet merges
-        to exactly the unsharded metrics.
+        to exactly the unsharded metrics.  ``outage_dbw`` sets the
+        serving-power sensitivity below which an epoch counts as outage
+        (default :data:`~repro.sim.metrics.DEFAULT_OUTAGE_DBW`).
         """
-        from .metrics import DEFAULT_WINDOW_KM, FleetMetricsAccumulator
+        from .metrics import (
+            DEFAULT_OUTAGE_DBW,
+            DEFAULT_WINDOW_KM,
+            FleetMetricsAccumulator,
+        )
 
         return self._drive(
             series,
             FleetMetricsAccumulator(
-                DEFAULT_WINDOW_KM if window_km is None else window_km
+                DEFAULT_WINDOW_KM if window_km is None else window_km,
+                DEFAULT_OUTAGE_DBW if outage_dbw is None else outage_dbw,
             ),
         )
 

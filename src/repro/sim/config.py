@@ -26,10 +26,24 @@ from ..radio.antenna import DipoleAntenna
 from ..radio.fading import ShadowFading
 from ..radio.propagation import PropagationModel
 
-__all__ = ["SimulationParameters", "PAPER_SPEEDS_KMH"]
+__all__ = [
+    "SimulationParameters",
+    "PAPER_SPEEDS_KMH",
+    "DEFAULT_BASE_SEED",
+    "DEFAULT_FADING_BASE_SEED",
+]
 
 #: The speed sweep of Tables 3/4, km/h.
 PAPER_SPEEDS_KMH: tuple[float, ...] = (0.0, 10.0, 20.0, 30.0, 40.0, 50.0)
+
+#: Default per-fleet seeding bases — UE ``i`` walks ``DEFAULT_BASE_SEED
+#: + i`` and (when shadowed) fades with ``DEFAULT_FADING_BASE_SEED +
+#: i``.  Shared by the homogeneous :class:`repro.sim.fleet.FleetSpec`
+#: and the cohort :class:`repro.sim.population.PopulationSpec`; the
+#: single-cohort byte-identity contract between the two depends on the
+#: defaults matching, so they live in one place.
+DEFAULT_BASE_SEED = 1000
+DEFAULT_FADING_BASE_SEED = 424_243
 
 
 @dataclass(frozen=True)
@@ -163,10 +177,25 @@ class SimulationParameters:
             step_sigma_km=self.step_sigma_km,
         )
 
-    def make_fading(self, rng=None) -> ShadowFading:
+    def make_fading(
+        self,
+        rng=None,
+        sigma_db: float | None = None,
+        decorrelation_km: float | None = None,
+    ) -> ShadowFading:
+        """A shadowing process under this configuration.
+
+        ``sigma_db`` / ``decorrelation_km`` override the configured
+        profile (the population layer's per-cohort fading hook); ``None``
+        inherits the Table-2 values of this parameter set.
+        """
         return ShadowFading(
-            sigma_db=self.shadow_sigma_db,
-            decorrelation_km=self.shadow_decorrelation_km,
+            sigma_db=self.shadow_sigma_db if sigma_db is None else sigma_db,
+            decorrelation_km=(
+                self.shadow_decorrelation_km
+                if decorrelation_km is None
+                else decorrelation_km
+            ),
             rng=rng,
         )
 

@@ -36,16 +36,29 @@ documented conformance tolerance for accelerators).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from .population import PopulationSpec
+
 from ..core.system import FuzzyHandoverSystem
 from .batch import BatchSimulationResult, BatchSimulator
-from .config import PAPER_SPEEDS_KMH, SimulationParameters
+from .config import (
+    DEFAULT_BASE_SEED,
+    DEFAULT_FADING_BASE_SEED,
+    PAPER_SPEEDS_KMH,
+    SimulationParameters,
+)
 from .executor import Executor, make_executor
 from .measurement import BatchMeasurementSeries, MeasurementSampler
-from .metrics import DEFAULT_WINDOW_KM, FleetMetrics, merge_fleet_metrics
+from .metrics import (
+    DEFAULT_OUTAGE_DBW,
+    DEFAULT_WINDOW_KM,
+    FleetMetrics,
+    merge_fleet_metrics,
+)
 
 __all__ = ["FleetSpec", "FleetShard", "partition_fleet", "run_fleet"]
 
@@ -54,14 +67,19 @@ def partition_fleet(n_ues: int, n_shards: int) -> list[tuple[int, int]]:
     """Contiguous, balanced ``[lo, hi)`` UE ranges.
 
     Shard sizes differ by at most one (the remainder goes to the
-    leading shards); more shards than UEs collapses to one UE per
-    shard.  Concatenating the ranges in order reproduces ``range(0,
-    n_ues)`` — the invariant the exact metrics merge relies on.
+    leading shards).  Degenerate inputs degrade gracefully instead of
+    producing invalid ranges: more shards than UEs collapses to one UE
+    per shard (surplus shards are dropped, never emitted empty), and an
+    empty fleet partitions into no shards at all.  Concatenating the
+    ranges in order reproduces ``range(0, n_ues)`` — the invariant the
+    exact metrics merge relies on.
     """
-    if n_ues < 1:
-        raise ValueError(f"n_ues must be >= 1, got {n_ues}")
+    if n_ues < 0:
+        raise ValueError(f"n_ues must be >= 0, got {n_ues}")
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_ues == 0:
+        return []
     shards = min(n_shards, n_ues)
     base, rem = divmod(n_ues, shards)
     bounds: list[tuple[int, int]] = []
@@ -91,10 +109,13 @@ class FleetSpec:
 
     n_ues: int = 100
     n_walks: int = 10
-    base_seed: int = 1000
+    base_seed: int = DEFAULT_BASE_SEED
     speeds_kmh: tuple[float, ...] = PAPER_SPEEDS_KMH
     params: SimulationParameters = field(default_factory=SimulationParameters)
-    fading_base_seed: int = 424_243
+    fading_base_seed: int = DEFAULT_FADING_BASE_SEED
+    #: optional heterogeneous population; when set, walks/speeds/fading
+    #: come from the cohort expansion instead of the homogeneous fields
+    population: Optional["PopulationSpec"] = None
 
     def __post_init__(self) -> None:
         if self.n_ues < 1:
@@ -103,6 +124,37 @@ class FleetSpec:
             raise ValueError(f"n_walks must be >= 1, got {self.n_walks}")
         if not self.speeds_kmh:
             raise ValueError("speeds_kmh must be non-empty")
+        if self.population is not None:
+            if self.population.n_ues != self.n_ues:
+                raise ValueError(
+                    f"population has {self.population.n_ues} UEs but the "
+                    f"spec says {self.n_ues}"
+                )
+            if self.population.params != self.params:
+                raise ValueError(
+                    "population.params must equal the spec params "
+                    "(build via FleetSpec.from_population)"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_population(cls, population: "PopulationSpec") -> "FleetSpec":
+        """Wrap a heterogeneous population as a fleet-execution spec.
+
+        Fleet size, seeds and physics mirror the population; sharding
+        and the ``run_fleet`` merge then work identically for both
+        kinds of spec.  The homogeneous-only fields (``n_walks``,
+        ``speeds_kmh``) stay at their defaults and are *ignored* by the
+        population branch — each cohort defines its own walks and
+        speeds.
+        """
+        return cls(
+            n_ues=population.n_ues,
+            base_seed=population.base_seed,
+            params=population.params,
+            fading_base_seed=population.fading_base_seed,
+            population=population,
+        )
 
     # ------------------------------------------------------------------
     def walk_seeds(self, lo: int = 0, hi: Optional[int] = None) -> list[int]:
@@ -111,8 +163,12 @@ class FleetSpec:
         return list(range(self.base_seed + lo, self.base_seed + hi))
 
     def ue_speeds(self, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
-        """Speeds of UEs ``[lo, hi)``, cycled by *global* UE index."""
+        """Speeds of UEs ``[lo, hi)`` — the cohort expansion's speeds
+        for a population spec, else the speed cycle indexed by *global*
+        UE index."""
         hi = self.n_ues if hi is None else hi
+        if self.population is not None:
+            return self.population.ue_speeds(lo, hi)
         speeds = np.asarray(self.speeds_kmh, dtype=float)
         return speeds[np.arange(lo, hi) % speeds.shape[0]]
 
@@ -122,11 +178,17 @@ class FleetSpec:
         The NumPy-family backends are bit-identical, so pinning one
         never changes the physics; per-host accelerator backends
         (numba/jax) agree within the conformance tolerance documented
-        in :mod:`repro.radio.backends`.
+        in :mod:`repro.radio.backends`.  The name — including ``"auto"``,
+        the fastest-registered-kernel probe — resolves on the *executing*
+        host at first kernel use.
         """
-        return replace(
-            self, params=self.params.with_(pathloss_backend=backend)
+        params = self.params.with_(pathloss_backend=backend)
+        population = (
+            self.population.with_params(params)
+            if self.population is not None
+            else None
         )
+        return replace(self, params=params, population=population)
 
     def make_sampler(self) -> MeasurementSampler:
         """The measurement stack under this spec's physics."""
@@ -189,9 +251,14 @@ class FleetShard:
 
         Per-UE measurements are bit-identical to the unsharded fleet's:
         walks and (optional) fading streams are seeded by global UE
-        index, and the propagation kernel is element-wise per UE.
+        index, and the propagation kernel is element-wise per UE.  A
+        population spec routes through the cohort expansion (grouped
+        per-model trace generation, per-UE fading profiles) with the
+        same global-index seeding.
         """
         spec = self.spec
+        if spec.population is not None:
+            return spec.population.measure(self.lo, self.hi)
         batch = spec.params.make_walk(spec.n_walks).generate_batch_seeded(
             self.walk_seeds()
         )
@@ -214,24 +281,53 @@ class FleetShard:
     def run(
         self, system: Optional[FuzzyHandoverSystem] = None
     ) -> BatchSimulationResult:
-        """Full simulation log of this shard (measure + simulate)."""
+        """Full simulation log of this shard (measure + simulate).
+
+        For a population spec every cohort must share one handover
+        policy (pass ``system`` to force one); use :meth:`metrics` for
+        mixed-policy populations — the full-log recorder has no
+        group-reassembly path.
+        """
+        pop = self.spec.population
+        if pop is not None and system is None:
+            groups = pop.policy_groups(self.lo, self.hi)
+            if len(groups) > 1:
+                raise ValueError(
+                    "full-log run() supports a single handover policy; "
+                    "this population mixes "
+                    f"{len(groups)} — use metrics() instead"
+                )
+            system = pop.make_system(groups[0][0])
         return self.simulator(system).run(self.measure())
 
     def metrics(
         self,
         window_km: float = DEFAULT_WINDOW_KM,
         system: Optional[FuzzyHandoverSystem] = None,
+        outage_dbw: float = DEFAULT_OUTAGE_DBW,
     ) -> FleetMetrics:
-        """Streaming shard metrics — never materialises the full log."""
+        """Streaming shard metrics — never materialises the full log.
+
+        Population shards return cohort-labelled metrics (one vectorised
+        pass per distinct cohort policy, reassembled in UE order)."""
+        pop = self.spec.population
+        if pop is not None:
+            return pop.run_metrics(
+                self.lo,
+                self.hi,
+                window_km=window_km,
+                outage_dbw=outage_dbw,
+                system=system,
+            )
         return self.simulator(system).run_metrics(
-            self.measure(), window_km=window_km
+            self.measure(), window_km=window_km, outage_dbw=outage_dbw
         )
 
 
-def _shard_metrics(task: tuple[FleetShard, float]) -> FleetMetrics:
+def _shard_metrics(task: tuple[FleetShard, float, float]) -> FleetMetrics:
     """Top-level worker (must be module-level to be picklable)."""
-    shard, window_km = task
-    return shard.metrics(window_km)
+    shard, window_km, outage_dbw = task
+    return shard.metrics(window_km, outage_dbw=outage_dbw)
 
 
 def run_fleet(
@@ -241,6 +337,7 @@ def run_fleet(
     window_km: float = DEFAULT_WINDOW_KM,
     executor: Optional[Executor] = None,
     backend: Optional[str] = None,
+    outage_dbw: float = DEFAULT_OUTAGE_DBW,
 ) -> FleetMetrics:
     """Run a fleet in ``n_shards`` partitions and merge the metrics.
 
@@ -252,14 +349,17 @@ def run_fleet(
     count).  The merged result is bit-identical to the unsharded
     ``n_shards=1`` run — sharding changes wall-clock, never physics.
     Pass ``executor`` to supply a pre-built backend instead of a worker
-    count (the two are mutually exclusive), and ``backend`` to pin the
+    count (the two are mutually exclusive), ``backend`` to pin the
     pathloss kernel (:mod:`repro.radio.backends` name) the shards'
-    measurement passes run on.
+    measurement passes run on, and ``outage_dbw`` to set the
+    serving-power sensitivity below which an epoch counts as outage.
     """
     if backend is not None:
         spec = spec.with_backend(backend)
     shards = spec.shard(n_shards)
-    tasks = [(shard, float(window_km)) for shard in shards]
+    tasks = [
+        (shard, float(window_km), float(outage_dbw)) for shard in shards
+    ]
     if executor is None:
         executor = make_executor(max_workers, n_tasks=len(tasks))
     elif max_workers is not None:

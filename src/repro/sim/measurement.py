@@ -171,6 +171,32 @@ class BatchMeasurementSeries:
         (padded epochs carry the repeated final position's argmax)."""
         return self.power_dbw.argmax(axis=2)
 
+    def select(self, indices: np.ndarray) -> "BatchMeasurementSeries":
+        """The sub-fleet of the given UE rows, in the given order.
+
+        Per-UE rows are copied verbatim, so simulating a selection is
+        bit-identical per UE to simulating the full batch — the property
+        the population layer's policy grouping relies on.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1 or idx.shape[0] < 1:
+            raise ValueError(
+                f"indices must be a non-empty 1-D array, got shape {idx.shape}"
+            )
+        if not (0 <= idx.min() and idx.max() < self.n_ues):
+            raise ValueError(
+                f"indices must lie in [0, {self.n_ues}), "
+                f"got [{idx.min()}, {idx.max()}]"
+            )
+        # fancy indexing already yields fresh arrays — no extra copies
+        return BatchMeasurementSeries(
+            positions_km=self.positions_km[idx],
+            distance_km=self.distance_km[idx],
+            power_dbw=self.power_dbw[idx],
+            lengths=self.lengths[idx],
+            layout=self.layout,
+        )
+
 
 class MeasurementSampler:
     """Builds :class:`MeasurementSeries` from traces.
@@ -243,6 +269,7 @@ class MeasurementSampler:
         fading_rngs: Optional[
             Sequence[Union[int, np.random.Generator, None]]
         ] = None,
+        fading_profiles: Optional[Sequence[Optional[ShadowFading]]] = None,
     ) -> BatchMeasurementSeries:
         """Sample a whole fleet of traces in one vectorised pass.
 
@@ -261,8 +288,19 @@ class MeasurementSampler:
             bit-identical to a scalar :meth:`measure` with that rng.
             Without per-UE rngs the sampler's shared process is drawn
             from sequentially, UE by UE.
+        fading_profiles:
+            Optional per-UE fading *vector* (the heterogeneous-population
+            path): one self-contained :class:`ShadowFading` — or ``None``
+            for a noise-free UE — per trace.  Overrides the sampler's own
+            fading process entirely, so cohorts may mix sigmas and
+            decorrelation lengths within one batch.  Mutually exclusive
+            with ``fading_rngs``.
         """
         dense = batch.densify(self.spacing_km)
+        if fading_rngs is not None and fading_profiles is not None:
+            raise ValueError(
+                "pass either fading_rngs or fading_profiles, not both"
+            )
         if fading_rngs is not None:
             # fail loudly rather than silently measuring noise-free
             if self.fading is None or self.fading.sigma_db == 0.0:
@@ -275,20 +313,40 @@ class MeasurementSampler:
                     f"{dense.n_traces} traces but {len(fading_rngs)} "
                     "fading rngs"
                 )
+        if fading_profiles is not None and (
+            len(fading_profiles) != dense.n_traces
+        ):
+            raise ValueError(
+                f"{dense.n_traces} traces but {len(fading_profiles)} "
+                "fading profiles"
+            )
         power = self.propagation.power_from_sites_batch(
             self.layout.bs_positions, dense.positions
         )
         distance = dense.cumulative_distances()
-        if self.fading is not None and self.fading.sigma_db > 0.0:
-            for i in range(dense.n_traces):
-                if fading_rngs is None:
-                    process = self.fading
-                else:
-                    process = ShadowFading(
+        # normalise the legacy shared-process / per-rng paths into the
+        # per-UE profile vector, then apply fading through one loop
+        # (ShadowFading construction draws nothing, so pre-building the
+        # list is bit-identical to constructing inside the loop)
+        if fading_profiles is None and (
+            self.fading is not None and self.fading.sigma_db > 0.0
+        ):
+            if fading_rngs is None:
+                fading_profiles = [self.fading] * dense.n_traces
+            else:
+                fading_profiles = [
+                    ShadowFading(
                         sigma_db=self.fading.sigma_db,
                         decorrelation_km=self.fading.decorrelation_km,
-                        rng=fading_rngs[i],
+                        rng=rng,
                     )
+                    for rng in fading_rngs
+                ]
+        if fading_profiles is not None:
+            for i in range(dense.n_traces):
+                process = fading_profiles[i]
+                if process is None or process.sigma_db <= 0.0:
+                    continue
                 t = int(dense.lengths[i])
                 power[i, :t] += process.sample_along(
                     distance[i, :t], n_sources=self.layout.n_cells

@@ -23,7 +23,7 @@ Definitions used here (standard in the handover literature):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
@@ -42,10 +42,12 @@ __all__ = [
     "mean_dwell_epochs",
     "HandoverMetrics",
     "compute_metrics",
+    "CohortMetrics",
     "FleetMetrics",
     "FleetMetricsAccumulator",
     "compute_fleet_metrics",
     "merge_fleet_metrics",
+    "DEFAULT_OUTAGE_DBW",
 ]
 
 Cell = tuple[int, int]
@@ -56,6 +58,12 @@ Cell = tuple[int, int]
 #: walk inside the neighbour cell.  Half a (1 km) cell radius separates
 #: the two regimes cleanly on every workload in this repository.
 DEFAULT_WINDOW_KM = 0.5
+
+#: Default outage threshold, dBW — epochs whose *serving* power sits
+#: below it count as outage.  Matches the session layer's receiver
+#: sensitivity (:data:`repro.sim.session.DEFAULT_SENSITIVITY_DBW`, which
+#: imports from this module and therefore cannot be imported here).
+DEFAULT_OUTAGE_DBW = -115.0
 
 
 def ping_pong_events(
@@ -201,12 +209,15 @@ class FleetMetrics:
     n_ping_pongs: int
     n_necessary: int
     wrong_cell_fraction: float
+    outage_fraction: float
     mean_dwell_epochs: float
     mean_output: float
     max_output: float
-    #: the ping-pong window these metrics were computed with; recorded
-    #: so :func:`merge_fleet_metrics` can refuse to mix definitions
+    #: the ping-pong window / outage threshold these metrics were
+    #: computed with; recorded so :func:`merge_fleet_metrics` can refuse
+    #: to mix definitions
     window_km: float
+    outage_dbw: float
     # compare=False: ndarray equality is elementwise and would make the
     # dataclass __eq__ raise; the scalar fields above already determine
     # equality of the aggregates
@@ -214,15 +225,25 @@ class FleetMetrics:
     ping_pongs_per_ue: np.ndarray = field(repr=False, compare=False)
     necessary_per_ue: np.ndarray = field(repr=False, compare=False)
     # per-UE reductions that make the aggregates re-derivable (and the
-    # merge exact): epoch counts, wrong-BS epoch counts, dwell segment
-    # sums/counts, FLC-output sums/counts/maxima
+    # merge exact): epoch counts, wrong-BS epoch counts, outage epoch
+    # counts, dwell segment sums/counts, FLC-output sums/counts/maxima
     epochs_per_ue: np.ndarray = field(repr=False, compare=False)
     wrong_epochs_per_ue: np.ndarray = field(repr=False, compare=False)
+    outage_epochs_per_ue: np.ndarray = field(repr=False, compare=False)
     dwell_epochs_per_ue: np.ndarray = field(repr=False, compare=False)
     dwell_count_per_ue: np.ndarray = field(repr=False, compare=False)
     output_sum_per_ue: np.ndarray = field(repr=False, compare=False)
     output_count_per_ue: np.ndarray = field(repr=False, compare=False)
     output_max_per_ue: np.ndarray = field(repr=False, compare=False)
+    # optional cohort labelling (population layer): names in expansion
+    # order plus one id per UE.  compare=False — labels are metadata,
+    # equality means "same physics"
+    cohort_names: Optional[tuple[str, ...]] = field(
+        default=None, compare=False
+    )
+    cohort_ids_per_ue: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -240,6 +261,8 @@ class FleetMetrics:
         output_sums: np.ndarray,
         output_counts: np.ndarray,
         output_maxes: np.ndarray,
+        outage_epochs: Optional[np.ndarray] = None,
+        outage_dbw: float = DEFAULT_OUTAGE_DBW,
     ) -> "FleetMetrics":
         """Derive every aggregate from per-UE reductions.
 
@@ -252,6 +275,8 @@ class FleetMetrics:
         n = epochs.shape[0]
         if n == 0:
             raise ValueError("FleetMetrics needs at least one UE")
+        if outage_epochs is None:
+            outage_epochs = np.zeros(n, dtype=np.intp)
         n_epochs_total = int(epochs.sum())
         dwell_count = int(np.asarray(dwell_counts).sum())
         n_outputs = int(np.asarray(output_counts).sum())
@@ -263,6 +288,8 @@ class FleetMetrics:
             n_ping_pongs=int(np.asarray(ping_pongs).sum()),
             n_necessary=int(np.asarray(necessary).sum()),
             wrong_cell_fraction=int(np.asarray(wrong_epochs).sum())
+            / n_epochs_total,
+            outage_fraction=int(np.asarray(outage_epochs).sum())
             / n_epochs_total,
             mean_dwell_epochs=(
                 int(np.asarray(dwell_epochs).sum()) / dwell_count
@@ -280,11 +307,13 @@ class FleetMetrics:
                 else float("nan")
             ),
             window_km=float(window_km),
+            outage_dbw=float(outage_dbw),
             handovers_per_ue=np.asarray(handovers),
             ping_pongs_per_ue=np.asarray(ping_pongs),
             necessary_per_ue=np.asarray(necessary),
             epochs_per_ue=epochs,
             wrong_epochs_per_ue=np.asarray(wrong_epochs),
+            outage_epochs_per_ue=np.asarray(outage_epochs, dtype=np.intp),
             dwell_epochs_per_ue=np.asarray(dwell_epochs),
             dwell_count_per_ue=np.asarray(dwell_counts),
             output_sum_per_ue=np.asarray(output_sums, dtype=float),
@@ -325,11 +354,127 @@ class FleetMetrics:
             "n_necessary": float(self.n_necessary),
             "ping_pong_rate": self.ping_pong_rate,
             "wrong_cell_fraction": self.wrong_cell_fraction,
+            "outage_fraction": self.outage_fraction,
             "mean_dwell_epochs": self.mean_dwell_epochs,
             "mean_handovers_per_ue": self.mean_handovers_per_ue,
             "mean_output": self.mean_output,
             "max_output": self.max_output,
         }
+
+    # ------------------------------------------------------------------
+    # cohort slicing (population layer)
+    # ------------------------------------------------------------------
+    def with_cohorts(
+        self, cohort_ids: np.ndarray, cohort_names: Sequence[str]
+    ) -> "FleetMetrics":
+        """A copy labelled with per-UE cohort membership.
+
+        ``cohort_ids[i]`` indexes ``cohort_names`` for UE ``i``; the
+        labels ride along through :func:`merge_fleet_metrics` (all parts
+        must agree on the name space) without touching any aggregate.
+        """
+        ids = np.asarray(cohort_ids, dtype=np.intp)
+        names = tuple(cohort_names)
+        if ids.shape != (self.n_ues,):
+            raise ValueError(
+                f"cohort_ids must be ({self.n_ues},), got {ids.shape}"
+            )
+        if ids.size and not (0 <= ids.min() and ids.max() < len(names)):
+            raise ValueError(
+                f"cohort ids must index {len(names)} names, "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        return replace(self, cohort_names=names, cohort_ids_per_ue=ids)
+
+    def per_cohort(self) -> tuple["CohortMetrics", ...]:
+        """Per-cohort aggregates, one entry per :attr:`cohort_names`
+        name (in that order), derived from the per-UE reductions.
+
+        Requires cohort labels (see :meth:`with_cohorts`); populations
+        attach them automatically.
+        """
+        if self.cohort_names is None or self.cohort_ids_per_ue is None:
+            raise ValueError(
+                "metrics carry no cohort labels; run through the "
+                "population layer or call with_cohorts() first"
+            )
+        out = []
+        for cid, name in enumerate(self.cohort_names):
+            mask = self.cohort_ids_per_ue == cid
+            epochs = int(self.epochs_per_ue[mask].sum())
+            out.append(
+                CohortMetrics(
+                    name=name,
+                    n_ues=int(mask.sum()),
+                    n_epochs_total=epochs,
+                    n_handovers=int(self.handovers_per_ue[mask].sum()),
+                    n_ping_pongs=int(self.ping_pongs_per_ue[mask].sum()),
+                    n_necessary=int(self.necessary_per_ue[mask].sum()),
+                    wrong_cell_fraction=(
+                        int(self.wrong_epochs_per_ue[mask].sum()) / epochs
+                        if epochs
+                        else float("nan")
+                    ),
+                    outage_fraction=(
+                        int(self.outage_epochs_per_ue[mask].sum()) / epochs
+                        if epochs
+                        else float("nan")
+                    ),
+                )
+            )
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class CohortMetrics:
+    """One cohort's slice of a fleet's quality metrics (the per-cohort
+    QoS frontier: signalling load vs ping-pong vs outage)."""
+
+    name: str
+    n_ues: int
+    n_epochs_total: int
+    n_handovers: int
+    n_ping_pongs: int
+    n_necessary: int
+    wrong_cell_fraction: float
+    outage_fraction: float
+
+    @property
+    def ping_pong_rate(self) -> float:
+        """Cohort ping-pongs per executed handover (0 if none)."""
+        if self.n_handovers == 0:
+            return 0.0
+        return self.n_ping_pongs / self.n_handovers
+
+    @property
+    def mean_handovers_per_ue(self) -> float:
+        if self.n_ues == 0:
+            return float("nan")
+        return self.n_handovers / self.n_ues
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_ues": float(self.n_ues),
+            "n_epochs_total": float(self.n_epochs_total),
+            "n_handovers": float(self.n_handovers),
+            "n_ping_pongs": float(self.n_ping_pongs),
+            "n_necessary": float(self.n_necessary),
+            "ping_pong_rate": self.ping_pong_rate,
+            "mean_handovers_per_ue": self.mean_handovers_per_ue,
+            "wrong_cell_fraction": self.wrong_cell_fraction,
+            "outage_fraction": self.outage_fraction,
+        }
+
+    def describe(self, name_width: int = 0) -> str:
+        """One QoS-frontier row (the shared format of the CLI cohort
+        breakdown, the X15 bench and the examples)."""
+        return (
+            f"{self.name:<{name_width}}  {self.n_ues:5d} UEs  "
+            f"{self.mean_handovers_per_ue:5.2f} HO/UE  "
+            f"ping-pong {self.ping_pong_rate:.3f}  "
+            f"outage {self.outage_fraction:.4f}  "
+            f"wrong-BS {self.wrong_cell_fraction:.4f}"
+        )
 
 
 def merge_fleet_metrics(parts: Iterable[FleetMetrics]) -> FleetMetrics:
@@ -347,25 +492,50 @@ def merge_fleet_metrics(parts: Iterable[FleetMetrics]) -> FleetMetrics:
             f"cannot merge fleet metrics computed with different "
             f"ping-pong windows: {sorted(windows)}"
         )
+    thresholds = {p.outage_dbw for p in parts}
+    if len(thresholds) > 1:
+        raise ValueError(
+            f"cannot merge fleet metrics computed with different "
+            f"outage thresholds: {sorted(thresholds)}"
+        )
+    labelled = [p.cohort_names is not None for p in parts]
+    if any(labelled) and not all(labelled):
+        raise ValueError(
+            "cannot merge cohort-labelled metrics with unlabelled ones"
+        )
+    if all(labelled):
+        name_spaces = {p.cohort_names for p in parts}
+        if len(name_spaces) > 1:
+            raise ValueError(
+                f"cannot merge metrics over different cohort name "
+                f"spaces: {sorted(name_spaces)}"
+            )
     if len(parts) == 1:
         return parts[0]
 
     def cat(name: str) -> np.ndarray:
         return np.concatenate([getattr(p, name) for p in parts])
 
-    return FleetMetrics.from_per_ue(
+    merged = FleetMetrics.from_per_ue(
         window_km=parts[0].window_km,
+        outage_dbw=parts[0].outage_dbw,
         epochs=cat("epochs_per_ue"),
         handovers=cat("handovers_per_ue"),
         ping_pongs=cat("ping_pongs_per_ue"),
         necessary=cat("necessary_per_ue"),
         wrong_epochs=cat("wrong_epochs_per_ue"),
+        outage_epochs=cat("outage_epochs_per_ue"),
         dwell_epochs=cat("dwell_epochs_per_ue"),
         dwell_counts=cat("dwell_count_per_ue"),
         output_sums=cat("output_sum_per_ue"),
         output_counts=cat("output_count_per_ue"),
         output_maxes=cat("output_max_per_ue"),
     )
+    if all(labelled):
+        merged = merged.with_cohorts(
+            cat("cohort_ids_per_ue"), parts[0].cohort_names
+        )
+    return merged
 
 
 class FleetMetricsAccumulator:
@@ -381,10 +551,17 @@ class FleetMetricsAccumulator:
     accumulation happens in the same epoch order).
     """
 
-    def __init__(self, window_km: float = DEFAULT_WINDOW_KM) -> None:
+    def __init__(
+        self,
+        window_km: float = DEFAULT_WINDOW_KM,
+        outage_dbw: float = DEFAULT_OUTAGE_DBW,
+    ) -> None:
         if window_km <= 0:
             raise ValueError(f"window_km must be positive, got {window_km}")
+        if not math.isfinite(outage_dbw):
+            raise ValueError(f"outage_dbw must be finite, got {outage_dbw}")
         self.window_km = float(window_km)
+        self.outage_dbw = float(outage_dbw)
 
     # -- consumer interface -------------------------------------------
     def begin(
@@ -397,6 +574,8 @@ class FleetMetricsAccumulator:
         self._ping_pongs = np.zeros(n, dtype=np.intp)
         self._necessary = np.zeros(n, dtype=np.intp)
         self._wrong = np.zeros(n, dtype=np.intp)
+        self._outage = np.zeros(n, dtype=np.intp)
+        self._arange = np.arange(n)
         self._dwell_sum = np.zeros(n, dtype=np.intp)
         self._dwell_count = np.zeros(n, dtype=np.intp)
         self._last_event_step = np.zeros(n, dtype=np.intp)
@@ -461,8 +640,12 @@ class FleetMetricsAccumulator:
     def end_epoch(
         self, k: int, active: np.ndarray, serving: np.ndarray
     ) -> None:
-        strongest = self._series.power_dbw[:, k, :].argmax(axis=1)
+        power_k = self._series.power_dbw[:, k, :]
+        strongest = power_k.argmax(axis=1)
         self._wrong += active & (serving != strongest)
+        self._outage += active & (
+            power_k[self._arange, serving] < self.outage_dbw
+        )
         if self._prev_strongest is not None:
             self._necessary += active & (strongest != self._prev_strongest)
         self._prev_strongest = strongest
@@ -474,11 +657,13 @@ class FleetMetricsAccumulator:
         self._dwell_count[has_tail] += 1
         return FleetMetrics.from_per_ue(
             window_km=self.window_km,
+            outage_dbw=self.outage_dbw,
             epochs=self._lengths,
             handovers=self._handovers,
             ping_pongs=self._ping_pongs,
             necessary=self._necessary,
             wrong_epochs=self._wrong,
+            outage_epochs=self._outage,
             dwell_epochs=self._dwell_sum,
             dwell_counts=self._dwell_count,
             output_sums=self._out_sum,
@@ -488,7 +673,9 @@ class FleetMetricsAccumulator:
 
 
 def compute_fleet_metrics(
-    result: "BatchSimulationResult", window_km: float = DEFAULT_WINDOW_KM
+    result: "BatchSimulationResult",
+    window_km: float = DEFAULT_WINDOW_KM,
+    outage_dbw: float = DEFAULT_OUTAGE_DBW,
 ) -> FleetMetrics:
     """All quality metrics of one fleet run, computed from the batch
     arrays (no per-UE materialisation).
@@ -540,6 +727,15 @@ def compute_fleet_metrics(
     wrong = (result.serving_history != strongest) & epoch_valid
     wrong_epochs_per_ue = wrong.sum(axis=1)
 
+    # outage epochs per UE: serving power below the sensitivity (padded
+    # epochs carry serving == -1; clamp the gather, then mask them out)
+    p_serv = np.take_along_axis(
+        result.series.power_dbw,
+        np.maximum(result.serving_history, 0)[:, :, None],
+        axis=2,
+    )[:, :, 0]
+    outage_epochs_per_ue = ((p_serv < outage_dbw) & epoch_valid).sum(axis=1)
+
     # dwell segments: every gap between consecutive events of one UE,
     # plus the head segment [0, first event) and the tail (last, t_i]
     bounds = np.searchsorted(ue, np.arange(n + 1))
@@ -567,11 +763,13 @@ def compute_fleet_metrics(
 
     return FleetMetrics.from_per_ue(
         window_km=window_km,
+        outage_dbw=outage_dbw,
         epochs=lengths,
         handovers=handovers_per_ue,
         ping_pongs=ping_pongs_per_ue,
         necessary=necessary_per_ue,
         wrong_epochs=wrong_epochs_per_ue,
+        outage_epochs=outage_epochs_per_ue,
         dwell_epochs=dwell_epochs_per_ue,
         dwell_counts=dwell_count_per_ue,
         output_sums=output_sum_per_ue,

@@ -1,0 +1,667 @@
+"""Heterogeneous fleet populations — the cohort-based scenario layer.
+
+The paper evaluates one UE archetype (a single random-walk speed profile
+per run); at network scale a population mixes pedestrians, vehicles and
+stationary users.  This module is the declarative layer that describes
+such a mix and expands it into the per-UE vectors the batch/fleet
+engines consume:
+
+* :class:`UECohort` — one population segment: a mobility model, a speed
+  profile (fixed cycle or a uniform range), an optional fading profile
+  and an optional handover-policy configuration, sized by an absolute
+  ``count`` or a ``fraction`` of the fleet;
+* :class:`PopulationSpec` — a picklable composition of cohorts over
+  ``n_ues`` UEs with **deterministic per-global-UE-index seeding**:
+  every UE's walk seed, speed, fading stream and cohort membership is a
+  pure function of its global index, so any sharding of the fleet (and
+  any executor backend) reproduces the unsharded run bit-for-bit — the
+  same invariant the sharded fleet layer (PR 2) pins for homogeneous
+  fleets;
+* :data:`POPULATION_MIXES` / :func:`named_population` — a small registry
+  of named mixes (``pedestrian``, ``vehicular``, ``highway``,
+  ``stationary_heavy``, ``urban_mix``) behind ``repro fleet
+  --population``.
+
+Cohort expansion is *order-free*: cohorts are laid out over contiguous
+global-index ranges in sorted-name order, so permuting the ``cohorts``
+tuple never changes any UE's assignment.  A single-cohort population
+built from today's :class:`~repro.experiments.scenarios.FleetScenario`
+defaults reproduces the pre-population fleet path byte-for-byte (walk
+seeds ``base_seed + i``, the speed cycle indexed by global position,
+fading streams ``fading_base_seed + i``) — pinned by the population
+test suite.
+
+Trace generation is grouped per cohort model (one
+``generate_batch_seeded`` call per cohort where the model provides it),
+and measurement/simulation stay fully batched across the whole mixed
+fleet; per-cohort handover policies split the batch into *policy
+groups* — one vectorised pass per distinct policy, reassembled into
+global UE order — so the homogeneous-policy hot path never pays a
+grouping cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.flc import HANDOVER_THRESHOLD
+from ..core.system import FuzzyHandoverSystem
+from ..mobility.base import Trace, TraceBatch
+from ..mobility.gauss_markov import GaussMarkov
+from ..mobility.manhattan import ManhattanGrid
+from ..mobility.random_walk import RandomWalk
+from ..radio.fading import ShadowFading
+from .batch import BatchSimulator
+from .config import (
+    DEFAULT_BASE_SEED,
+    DEFAULT_FADING_BASE_SEED,
+    SimulationParameters,
+)
+from .measurement import BatchMeasurementSeries, MeasurementSampler
+from .metrics import (
+    DEFAULT_OUTAGE_DBW,
+    DEFAULT_WINDOW_KM,
+    FleetMetrics,
+)
+
+__all__ = [
+    "PolicyConfig",
+    "UECohort",
+    "PopulationSpec",
+    "POPULATION_MIXES",
+    "named_population",
+]
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """A picklable per-cohort handover-pipeline configuration.
+
+    The knobs of :class:`~repro.core.system.FuzzyHandoverSystem` that a
+    cohort may override (the FLC rule base itself stays the paper's);
+    hashable so cohorts sharing a configuration collapse into one
+    vectorised policy group.
+    """
+
+    threshold: float = HANDOVER_THRESHOLD
+    potlc_gate_dbw: float = -85.0
+    prtlc_enabled: bool = True
+    cssp_lag: int = 1
+
+    def make_system(self, cell_radius_km: float) -> FuzzyHandoverSystem:
+        """Build the cohort's pipeline under the spec's geometry."""
+        return FuzzyHandoverSystem(
+            threshold=self.threshold,
+            potlc_gate_dbw=self.potlc_gate_dbw,
+            prtlc_enabled=self.prtlc_enabled,
+            cell_radius_km=cell_radius_km,
+            cssp_lag=self.cssp_lag,
+        )
+
+
+@dataclass(frozen=True)
+class UECohort:
+    """One segment of a heterogeneous fleet.
+
+    Parameters
+    ----------
+    name:
+        Unique label within a population; expansion order is sorted by
+        name, which is what makes cohort-tuple permutations harmless.
+    model:
+        Mobility model generating one trace per UE.  Any object with
+        ``generate_seeded(seed)`` (all models in :mod:`repro.mobility`);
+        models providing ``generate_batch_seeded`` (e.g.
+        :class:`~repro.mobility.random_walk.RandomWalk`) are generated
+        in one grouped call per cohort.
+    count / fraction:
+        Cohort size — exactly one of the two.  ``count`` is absolute;
+        ``fraction`` cohorts share the UEs left over after all ``count``
+        cohorts are placed, proportionally (largest-remainder rounding,
+        deterministic name-order tie-break).
+    speeds_kmh:
+        Speed cycle, indexed by cohort-*local* position (a single-entry
+        tuple is a fixed speed).  Ignored when ``speed_range_kmh`` is
+        given.
+    speed_range_kmh:
+        Optional ``(low, high)`` uniform speed distribution; UE ``g``
+        draws from ``default_rng(speed_base_seed + g)`` so the draw is a
+        function of the global index alone.
+    shadow_sigma_db / shadow_decorrelation_km:
+        Optional per-cohort fading profile overriding the population's
+        :class:`~repro.sim.config.SimulationParameters` values (``None``
+        inherits; a 0 sigma disables fading for the cohort).
+    policy:
+        Optional handover-pipeline override; ``None`` uses the default
+        paper configuration.
+    """
+
+    name: str
+    model: object
+    count: Optional[int] = None
+    fraction: Optional[float] = None
+    speeds_kmh: tuple[float, ...] = (0.0,)
+    speed_range_kmh: Optional[tuple[float, float]] = None
+    shadow_sigma_db: Optional[float] = None
+    shadow_decorrelation_km: Optional[float] = None
+    policy: Optional[PolicyConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"cohort name must be a non-empty string, got {self.name!r}")
+        if not (
+            hasattr(self.model, "generate_seeded")
+            or hasattr(self.model, "generate")
+        ):
+            raise ValueError(
+                f"cohort {self.name!r} model must be a mobility model, "
+                f"got {type(self.model).__name__}"
+            )
+        if (self.count is None) == (self.fraction is None):
+            raise ValueError(
+                f"cohort {self.name!r} must set exactly one of count/fraction"
+            )
+        if self.count is not None and self.count < 0:
+            raise ValueError(
+                f"cohort {self.name!r} count must be >= 0, got {self.count}"
+            )
+        if self.fraction is not None and not (
+            0.0 < self.fraction and math.isfinite(self.fraction)
+        ):
+            raise ValueError(
+                f"cohort {self.name!r} fraction must be positive and finite, "
+                f"got {self.fraction}"
+            )
+        if self.speed_range_kmh is not None:
+            lo, hi = self.speed_range_kmh
+            if not (0.0 <= lo <= hi and math.isfinite(hi)):
+                raise ValueError(
+                    f"cohort {self.name!r} speed_range_kmh must satisfy "
+                    f"0 <= low <= high, got {self.speed_range_kmh}"
+                )
+        elif not self.speeds_kmh:
+            raise ValueError(f"cohort {self.name!r} speeds_kmh must be non-empty")
+        if self.shadow_sigma_db is not None and self.shadow_sigma_db < 0:
+            raise ValueError(
+                f"cohort {self.name!r} shadow_sigma_db must be >= 0, "
+                f"got {self.shadow_sigma_db}"
+            )
+
+    # ------------------------------------------------------------------
+    def generate_traces(self, seeds: Sequence[int]) -> list[Trace]:
+        """One trace per walk seed, grouped through the model's batch
+        path when it has one (bit-identical to per-seed generation)."""
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            return []
+        batch = getattr(self.model, "generate_batch_seeded", None)
+        if callable(batch):
+            return batch(seeds).traces()
+        if hasattr(self.model, "generate_seeded"):
+            return [self.model.generate_seeded(s) for s in seeds]
+        return [self.model.generate(np.random.default_rng(s)) for s in seeds]
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """A declarative, picklable heterogeneous fleet.
+
+    Expansion lays the cohorts over contiguous global-UE-index ranges in
+    sorted-name order; every per-UE attribute (walk seed, speed, fading
+    stream, cohort id, policy) is then a pure function of the global
+    index — the property that makes results byte-identical across shard
+    counts, executor backends and cohort-tuple permutations.
+    """
+
+    n_ues: int
+    cohorts: tuple[UECohort, ...]
+    params: SimulationParameters = field(default_factory=SimulationParameters)
+    base_seed: int = DEFAULT_BASE_SEED
+    fading_base_seed: int = DEFAULT_FADING_BASE_SEED
+    speed_base_seed: int = 515_151
+
+    def __post_init__(self) -> None:
+        if self.n_ues < 1:
+            raise ValueError(f"n_ues must be >= 1, got {self.n_ues}")
+        cohorts = tuple(self.cohorts)
+        if not cohorts:
+            raise ValueError("a population needs at least one cohort")
+        names = [c.name for c in cohorts]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cohort names must be unique, got {names}")
+        object.__setattr__(self, "cohorts", cohorts)
+        # expand once — validates the sizes at construction (not in a
+        # worker) and caches the slices every per-UE vector call reads
+        object.__setattr__(self, "_slices", self._expand())
+
+    # ------------------------------------------------------------------
+    # expansion: cohorts -> contiguous global-index ranges
+    # ------------------------------------------------------------------
+    @property
+    def cohort_names(self) -> tuple[str, ...]:
+        """Cohort names in expansion (sorted) order — the id space of
+        :meth:`cohort_ids` and :attr:`FleetMetrics.cohort_names`."""
+        return tuple(sorted(c.name for c in self.cohorts))
+
+    def _sorted_cohorts(self) -> list[UECohort]:
+        return sorted(self.cohorts, key=lambda c: c.name)
+
+    def cohort_counts(self) -> tuple[int, ...]:
+        """Resolved UE count per cohort, in sorted-name order.
+
+        Fixed ``count`` cohorts take their size verbatim; ``fraction``
+        cohorts share the remaining UEs by largest-remainder rounding
+        (deterministic, name-ordered tie-break).  The counts always sum
+        to ``n_ues``.
+        """
+        return tuple(hi - lo for _, lo, hi in self.cohort_slices())
+
+    def _resolve_counts(self) -> tuple[int, ...]:
+        cohorts = self._sorted_cohorts()
+        fixed = sum(c.count for c in cohorts if c.count is not None)
+        if fixed > self.n_ues:
+            raise ValueError(
+                f"cohort counts sum to {fixed} > n_ues = {self.n_ues}"
+            )
+        remaining = self.n_ues - fixed
+        fractional = [c for c in cohorts if c.fraction is not None]
+        if not fractional:
+            if remaining != 0:
+                raise ValueError(
+                    f"cohort counts sum to {fixed} != n_ues = {self.n_ues} "
+                    "(add a fraction cohort to absorb the remainder)"
+                )
+            return tuple(c.count for c in cohorts)  # type: ignore[misc]
+        total_frac = sum(c.fraction for c in fractional)  # type: ignore[misc]
+        quotas = {
+            c.name: remaining * c.fraction / total_frac  # type: ignore[operator]
+            for c in fractional
+        }
+        counts = {c.name: int(math.floor(quotas[c.name])) for c in fractional}
+        leftover = remaining - sum(counts.values())
+        # largest fractional remainder first; ties resolve in name order
+        by_remainder = sorted(
+            fractional,
+            key=lambda c: (-(quotas[c.name] - counts[c.name]), c.name),
+        )
+        for c in by_remainder[:leftover]:
+            counts[c.name] += 1
+        return tuple(
+            c.count if c.count is not None else counts[c.name]
+            for c in cohorts
+        )
+
+    def _expand(self) -> tuple[tuple[UECohort, int, int], ...]:
+        counts = self._resolve_counts()
+        out: list[tuple[UECohort, int, int]] = []
+        lo = 0
+        for cohort, count in zip(self._sorted_cohorts(), counts):
+            out.append((cohort, lo, lo + count))
+            lo += count
+        return tuple(out)
+
+    def cohort_slices(self) -> tuple[tuple[UECohort, int, int], ...]:
+        """``(cohort, lo, hi)`` global-index ranges, contiguous in
+        sorted-name order (``hi`` of one is ``lo`` of the next);
+        expanded once at construction."""
+        return self._slices
+
+    def _overlaps(self, lo: int, hi: int):
+        for cohort, c_lo, c_hi in self.cohort_slices():
+            s_lo, s_hi = max(lo, c_lo), min(hi, c_hi)
+            if s_lo < s_hi:
+                yield cohort, c_lo, s_lo, s_hi
+
+    def _range(self, lo: int, hi: Optional[int]) -> tuple[int, int]:
+        hi = self.n_ues if hi is None else hi
+        if not (0 <= lo <= hi <= self.n_ues):
+            raise ValueError(
+                f"range [{lo}, {hi}) out of bounds for {self.n_ues} UEs"
+            )
+        return lo, hi
+
+    # ------------------------------------------------------------------
+    # per-UE vectors (functions of the global index)
+    # ------------------------------------------------------------------
+    def walk_seeds(self, lo: int = 0, hi: Optional[int] = None) -> list[int]:
+        """Walk seeds of UEs ``[lo, hi)`` — ``base_seed + global index``,
+        exactly the homogeneous fleet's seeding."""
+        lo, hi = self._range(lo, hi)
+        return list(range(self.base_seed + lo, self.base_seed + hi))
+
+    def ue_speeds(self, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """``(hi - lo,)`` per-UE speeds from each cohort's profile."""
+        lo, hi = self._range(lo, hi)
+        out = np.zeros(hi - lo)
+        for cohort, c_lo, s_lo, s_hi in self._overlaps(lo, hi):
+            if cohort.speed_range_kmh is not None:
+                low, high = cohort.speed_range_kmh
+                out[s_lo - lo : s_hi - lo] = [
+                    np.random.default_rng(
+                        self.speed_base_seed + g
+                    ).uniform(low, high)
+                    for g in range(s_lo, s_hi)
+                ]
+            else:
+                speeds = np.asarray(cohort.speeds_kmh, dtype=float)
+                local = np.arange(s_lo, s_hi) - c_lo
+                out[s_lo - lo : s_hi - lo] = speeds[local % speeds.shape[0]]
+        return out
+
+    def cohort_ids(self, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """``(hi - lo,)`` index of each UE's cohort in
+        :attr:`cohort_names` order."""
+        lo, hi = self._range(lo, hi)
+        names = self.cohort_names
+        out = np.zeros(hi - lo, dtype=np.intp)
+        for cohort, _c_lo, s_lo, s_hi in self._overlaps(lo, hi):
+            out[s_lo - lo : s_hi - lo] = names.index(cohort.name)
+        return out
+
+    def traces(self, lo: int = 0, hi: Optional[int] = None) -> TraceBatch:
+        """Walks of UEs ``[lo, hi)`` in global order, generated in one
+        grouped pass per cohort model."""
+        lo, hi = self._range(lo, hi)
+        if lo == hi:
+            raise ValueError("cannot build a trace batch for an empty range")
+        overlaps = list(self._overlaps(lo, hi))
+        if len(overlaps) == 1:
+            # single-cohort range (every homogeneous fleet): hand the
+            # model's grouped batch through without unbatch/re-pad
+            cohort, _c_lo, s_lo, s_hi = overlaps[0]
+            batch = getattr(cohort.model, "generate_batch_seeded", None)
+            if callable(batch):
+                return batch(self.walk_seeds(s_lo, s_hi))
+        traces: list[Trace] = []
+        for cohort, _c_lo, s_lo, s_hi in overlaps:
+            traces.extend(cohort.generate_traces(self.walk_seeds(s_lo, s_hi)))
+        return TraceBatch.from_traces(traces)
+
+    def fading_profiles(
+        self, lo: int = 0, hi: Optional[int] = None
+    ) -> Optional[list[Optional[ShadowFading]]]:
+        """Per-UE shadowing processes for ``[lo, hi)``.
+
+        UE ``g`` of a fading cohort owns the stream ``fading_base_seed +
+        g`` (the homogeneous fleet's seeding); non-fading UEs carry
+        ``None``.  Returns ``None`` when no UE in the range fades, so
+        callers can skip the fading pass entirely.
+        """
+        lo, hi = self._range(lo, hi)
+        profiles: list[Optional[ShadowFading]] = [None] * (hi - lo)
+        any_fading = False
+        for cohort, _c_lo, s_lo, s_hi in self._overlaps(lo, hi):
+            sigma = (
+                cohort.shadow_sigma_db
+                if cohort.shadow_sigma_db is not None
+                else self.params.shadow_sigma_db
+            )
+            if sigma <= 0.0:
+                continue
+            decorr = (
+                cohort.shadow_decorrelation_km
+                if cohort.shadow_decorrelation_km is not None
+                else self.params.shadow_decorrelation_km
+            )
+            any_fading = True
+            for g in range(s_lo, s_hi):
+                profiles[g - lo] = self.params.make_fading(
+                    rng=self.fading_base_seed + g,
+                    sigma_db=sigma,
+                    decorrelation_km=decorr,
+                )
+        return profiles if any_fading else None
+
+    def policy_groups(
+        self, lo: int = 0, hi: Optional[int] = None
+    ) -> list[tuple[Optional[PolicyConfig], np.ndarray]]:
+        """Distinct handover policies over ``[lo, hi)`` with the *local*
+        UE indices they govern, in first-appearance (global) order.
+
+        Cohorts sharing a policy (the common case: all ``None``)
+        collapse into one group, so a homogeneous-policy population runs
+        as a single vectorised batch.
+        """
+        lo, hi = self._range(lo, hi)
+        groups: dict[Optional[PolicyConfig], list[np.ndarray]] = {}
+        order: list[Optional[PolicyConfig]] = []
+        for cohort, _c_lo, s_lo, s_hi in self._overlaps(lo, hi):
+            if cohort.policy not in groups:
+                groups[cohort.policy] = []
+                order.append(cohort.policy)
+            groups[cohort.policy].append(np.arange(s_lo - lo, s_hi - lo))
+        return [
+            (policy, np.concatenate(groups[policy])) for policy in order
+        ]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def with_params(self, params: SimulationParameters) -> "PopulationSpec":
+        """A copy under different physics (used by backend pinning)."""
+        return replace(self, params=params)
+
+    def make_sampler(self) -> MeasurementSampler:
+        """The measurement stack shared by every cohort (fading is
+        injected per UE via :meth:`fading_profiles`, not here)."""
+        params = self.params
+        return MeasurementSampler(
+            params.make_layout(),
+            params.make_propagation(),
+            spacing_km=params.measurement_spacing_km,
+        )
+
+    def make_system(
+        self, policy: Optional[PolicyConfig] = None
+    ) -> FuzzyHandoverSystem:
+        """The pipeline for one policy group (``None`` = paper default)."""
+        if policy is None:
+            return FuzzyHandoverSystem(
+                cell_radius_km=self.params.cell_radius_km
+            )
+        return policy.make_system(self.params.cell_radius_km)
+
+    def measure(
+        self, lo: int = 0, hi: Optional[int] = None
+    ) -> BatchMeasurementSeries:
+        """Generate and measure the walks of UEs ``[lo, hi)`` —
+        bit-identical per UE to measuring the whole population."""
+        return self.make_sampler().measure_batch(
+            self.traces(lo, hi), fading_profiles=self.fading_profiles(lo, hi)
+        )
+
+    def run_metrics(
+        self,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        window_km: float = DEFAULT_WINDOW_KM,
+        outage_dbw: float = DEFAULT_OUTAGE_DBW,
+        system: Optional[FuzzyHandoverSystem] = None,
+    ) -> FleetMetrics:
+        """Streaming cohort-labelled metrics of UEs ``[lo, hi)``.
+
+        One vectorised batch per policy group (a single group when every
+        cohort shares a policy), reassembled into global UE order — the
+        per-UE reductions are elementwise, so the grouping never changes
+        a value.  Pass ``system`` to override every cohort's policy.
+        """
+        lo, hi = self._range(lo, hi)
+        series = self.measure(lo, hi)
+        speeds = self.ue_speeds(lo, hi)
+        if system is not None:
+            groups: list[tuple[Optional[PolicyConfig], np.ndarray]] = [
+                (None, np.arange(hi - lo))
+            ]
+            systems = [system]
+        else:
+            groups = self.policy_groups(lo, hi)
+            systems = [self.make_system(policy) for policy, _ in groups]
+        if len(groups) == 1:
+            metrics = BatchSimulator(
+                systems[0], speed_kmh=speeds
+            ).run_metrics(series, window_km=window_km, outage_dbw=outage_dbw)
+        else:
+            parts = [
+                BatchSimulator(
+                    sys_g, speed_kmh=speeds[idx]
+                ).run_metrics(
+                    series.select(idx),
+                    window_km=window_km,
+                    outage_dbw=outage_dbw,
+                )
+                for sys_g, (_, idx) in zip(systems, groups)
+            ]
+            metrics = _reassemble(
+                parts, [idx for _, idx in groups], hi - lo,
+                window_km, outage_dbw,
+            )
+        return metrics.with_cohorts(
+            self.cohort_ids(lo, hi), self.cohort_names
+        )
+
+    def to_fleet_spec(self):
+        """This population as a :class:`~repro.sim.fleet.FleetSpec` —
+        the sharded execution layer's unit of distribution."""
+        from .fleet import FleetSpec
+
+        return FleetSpec.from_population(self)
+
+    def run_sharded(
+        self,
+        n_shards: int = 1,
+        max_workers: Optional[int] = None,
+        window_km: float = DEFAULT_WINDOW_KM,
+        backend: Optional[str] = None,
+        outage_dbw: float = DEFAULT_OUTAGE_DBW,
+    ) -> FleetMetrics:
+        """Partition the population with the fleet layer and merge the
+        cohort-labelled shard metrics (bit-identical for any shard
+        count)."""
+        from .fleet import run_fleet
+
+        return run_fleet(
+            self.to_fleet_spec(),
+            n_shards=n_shards,
+            max_workers=max_workers,
+            window_km=window_km,
+            backend=backend,
+            outage_dbw=outage_dbw,
+        )
+
+
+def _reassemble(
+    parts: list[FleetMetrics],
+    index_lists: list[np.ndarray],
+    n: int,
+    window_km: float,
+    outage_dbw: float,
+) -> FleetMetrics:
+    """Scatter per-policy-group metrics back into global UE order.
+
+    Every :class:`FleetMetrics` aggregate derives from its per-UE
+    reduction arrays, so scattering those arrays and rebuilding via
+    :meth:`FleetMetrics.from_per_ue` yields exactly the metrics a single
+    joint run would produce (the per-UE streams are elementwise and
+    identical either way).
+    """
+    fields = {
+        "epochs": ("epochs_per_ue", np.intp),
+        "handovers": ("handovers_per_ue", np.intp),
+        "ping_pongs": ("ping_pongs_per_ue", np.intp),
+        "necessary": ("necessary_per_ue", np.intp),
+        "wrong_epochs": ("wrong_epochs_per_ue", np.intp),
+        "outage_epochs": ("outage_epochs_per_ue", np.intp),
+        "dwell_epochs": ("dwell_epochs_per_ue", np.intp),
+        "dwell_counts": ("dwell_count_per_ue", np.intp),
+        "output_sums": ("output_sum_per_ue", float),
+        "output_counts": ("output_count_per_ue", np.intp),
+        "output_maxes": ("output_max_per_ue", float),
+    }
+    gathered = {
+        key: np.zeros(n, dtype=dtype) for key, (_, dtype) in fields.items()
+    }
+    for part, idx in zip(parts, index_lists):
+        for key, (attr, _) in fields.items():
+            gathered[key][idx] = getattr(part, attr)
+    return FleetMetrics.from_per_ue(
+        window_km=window_km, outage_dbw=outage_dbw, **gathered
+    )
+
+
+# ----------------------------------------------------------------------
+# named mixes (the `repro fleet --population` registry)
+# ----------------------------------------------------------------------
+_PEDESTRIAN = UECohort(
+    name="pedestrian",
+    model=RandomWalk(n_walks=10, mean_step_km=0.35, step_sigma_km=0.12),
+    fraction=1.0,
+    speed_range_kmh=(3.0, 6.0),
+)
+
+_VEHICULAR = UECohort(
+    name="vehicular",
+    model=ManhattanGrid(n_legs=10, block_km=0.35, max_blocks=2),
+    fraction=1.0,
+    speed_range_kmh=(30.0, 60.0),
+)
+
+_HIGHWAY = UECohort(
+    name="highway",
+    model=GaussMarkov(n_steps=10, alpha=0.9, mean_speed_km=0.55, sigma_km=0.12),
+    fraction=1.0,
+    speed_range_kmh=(70.0, 120.0),
+)
+
+_STATIONARY = UECohort(
+    name="stationary",
+    # micro-mobility: a user shuffling around one spot, never leaving
+    # the serving cell on their own
+    model=RandomWalk(n_walks=3, mean_step_km=0.05, step_sigma_km=0.02),
+    fraction=1.0,
+    speeds_kmh=(0.0,),
+)
+
+#: Named cohort mixes, all fraction-based so they scale to any fleet
+#: size.  ``urban_mix`` is the reference heterogeneous workload of the
+#: X15 benchmark.
+POPULATION_MIXES: dict[str, tuple[UECohort, ...]] = {
+    "pedestrian": (_PEDESTRIAN,),
+    "vehicular": (_VEHICULAR,),
+    "highway": (_HIGHWAY,),
+    "stationary_heavy": (
+        replace(_STATIONARY, fraction=0.7),
+        replace(_PEDESTRIAN, fraction=0.3),
+    ),
+    "urban_mix": (
+        replace(_PEDESTRIAN, fraction=0.5),
+        replace(_VEHICULAR, fraction=0.3),
+        replace(_STATIONARY, fraction=0.2),
+    ),
+}
+
+
+def named_population(
+    name: str,
+    n_ues: int = 100,
+    params: Optional[SimulationParameters] = None,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> PopulationSpec:
+    """Build a registered mix (see :data:`POPULATION_MIXES`) as a
+    :class:`PopulationSpec` over ``n_ues`` UEs."""
+    try:
+        cohorts = POPULATION_MIXES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown population {name!r}; "
+            f"available: {', '.join(sorted(POPULATION_MIXES))}"
+        ) from None
+    return PopulationSpec(
+        n_ues=n_ues,
+        cohorts=cohorts,
+        params=params if params is not None else SimulationParameters(),
+        base_seed=base_seed,
+    )

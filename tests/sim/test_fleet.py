@@ -77,10 +77,25 @@ class TestPartition:
     def test_single_shard_is_whole_fleet(self):
         assert partition_fleet(7, 1) == [(0, 7)]
 
-    @pytest.mark.parametrize("n_ues,n_shards", [(0, 1), (1, 0), (-2, 3)])
+    @pytest.mark.parametrize("n_ues,n_shards", [(1, 0), (-2, 3), (0, 0)])
     def test_validation(self, n_ues, n_shards):
         with pytest.raises(ValueError):
             partition_fleet(n_ues, n_shards)
+
+    # ISSUE-4 satellite: degenerate inputs degrade gracefully instead
+    # of producing invalid ranges
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_empty_fleet_partitions_to_no_shards(self, n_shards):
+        assert partition_fleet(0, n_shards) == []
+
+    @pytest.mark.parametrize("n_ues,n_shards", [(1, 8), (3, 100), (5, 6)])
+    def test_oversharding_never_emits_empty_shards(self, n_ues, n_shards):
+        bounds = partition_fleet(n_ues, n_shards)
+        assert len(bounds) == n_ues
+        assert all(hi - lo == 1 for lo, hi in bounds)
+        # concatenation still reproduces range(0, n_ues)
+        flat = [i for lo, hi in bounds for i in range(lo, hi)]
+        assert flat == list(range(n_ues))
 
 
 class TestSpec:
@@ -194,6 +209,19 @@ class TestStreamingMetrics:
 
         with pytest.raises(ValueError, match="window_km"):
             FleetMetricsAccumulator(window_km=0.0)
+
+    def test_outage_threshold_threads_through_run_fleet(self):
+        spec = make_spec(5)
+        default = run_fleet(spec, n_shards=2)
+        assert default.outage_dbw == -115.0
+        # a sky-high sensitivity makes every epoch an outage; the knob
+        # must reach the shard workers through the fleet path
+        everything = run_fleet(spec, n_shards=2, outage_dbw=1000.0)
+        assert everything.outage_dbw == 1000.0
+        assert everything.outage_fraction == 1.0
+        # ...without touching any other aggregate
+        assert everything.n_handovers == default.n_handovers
+        assert everything.n_ping_pongs == default.n_ping_pongs
 
 
 class TestMerge:

@@ -128,6 +128,66 @@ class TestFleetDeterminism:
         assert "10 km/h" in out
 
 
+def population_metric_lines(capsys, *extra):
+    """Deterministic metric lines of one ``repro fleet --population``
+    run (the wall-clock line is timing, not physics)."""
+    assert main(
+        ["fleet", "--ues", "15", "--population", "urban_mix", *extra]
+    ) == 0
+    out = capsys.readouterr().out
+    return [l for l in out.splitlines() if not l.startswith("wall")]
+
+
+@pytest.mark.population
+class TestFleetPopulations:
+    """``repro fleet --population`` runs named heterogeneous mixes with
+    a per-cohort breakdown, deterministically."""
+
+    def test_population_reports_cohort_breakdown(self, capsys):
+        lines = population_metric_lines(capsys)
+        out = "\n".join(lines)
+        assert "urban_mix mix" in out
+        assert "cohorts" in out
+        assert "pedestrian" in out
+        assert "stationary" in out
+        assert "vehicular" in out
+        assert "outage" in out
+
+    def test_population_repeated_runs_identical(self, capsys):
+        assert population_metric_lines(capsys) == population_metric_lines(
+            capsys
+        )
+
+    def test_population_shards_1_vs_4_identical(self, capsys):
+        assert (
+            population_metric_lines(capsys, "--shards", "1")
+            == population_metric_lines(capsys, "--shards", "4")
+        )
+
+    def test_population_sharded_repeats_identical(self, capsys):
+        assert (
+            population_metric_lines(capsys, "--shards", "4", "--workers", "2")
+            == population_metric_lines(capsys, "--shards", "4", "--workers", "2")
+        )
+
+    def test_unknown_population_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "--population", "no-such-mix"]
+            )
+
+    @pytest.mark.parametrize(
+        "extra",
+        [("--speeds", "0", "50"), ("--walks", "4")],
+    )
+    def test_population_rejects_homogeneous_knobs(self, capsys, extra):
+        # argparse-style usage error (exit code 2), not a traceback
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--ues", "6", "--population", "urban_mix", *extra])
+        assert exc.value.code == 2
+        assert "--walks/--speeds" in capsys.readouterr().err
+
+
 @pytest.mark.backend
 class TestFleetBackends:
     """``repro fleet --backend`` selects the pathloss kernel without
