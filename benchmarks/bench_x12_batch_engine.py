@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 import pytest
-from conftest import run_once
+from conftest import run_once, write_bench_artifact
 
 from repro.core import FuzzyHandoverSystem
 from repro.mobility import TraceBatch
@@ -113,6 +113,13 @@ def test_x12_speedup_at_n1000():
     speedup = t_scalar / t_batch
     print(f"\nx12: scalar {t_scalar:.2f} s, batch {t_batch:.2f} s "
           f"-> {speedup:.1f}x over {N_ACCEPT} UEs")
+    write_bench_artifact(
+        "x12",
+        n=N_ACCEPT,
+        timings_s={"scalar": t_scalar, "batch": t_batch},
+        speedups={"batch_vs_scalar": speedup},
+        n_handovers=int(batch.n_handovers),
+    )
     assert speedup >= 10.0, (
         f"batch engine only {speedup:.1f}x faster than {N_ACCEPT} "
         f"scalar runs (target 10x)"

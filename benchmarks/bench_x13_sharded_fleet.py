@@ -22,7 +22,7 @@ import os
 import time
 
 import pytest
-from conftest import run_once
+from conftest import run_once, write_bench_artifact
 
 from repro.sim import FleetSpec, SimulationParameters, run_fleet
 
@@ -79,6 +79,14 @@ def test_x13_speedup_sharded():
         f"\nx13: unsharded {t_unsharded:.2f} s, "
         f"{SHARDS} shards x {WORKERS} workers {t_sharded:.2f} s "
         f"-> {speedup:.2f}x over {N} UEs"
+    )
+    write_bench_artifact(
+        "x13",
+        n=N,
+        timings_s={"unsharded": t_unsharded, "sharded": t_sharded},
+        speedups={"sharded_vs_unsharded": speedup},
+        shards=SHARDS,
+        workers=WORKERS,
     )
     cores = os.cpu_count() or 1
     if N < N_ACCEPT:

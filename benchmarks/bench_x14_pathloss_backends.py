@@ -23,7 +23,7 @@ import time
 
 import numpy as np
 import pytest
-from conftest import run_once
+from conftest import run_once, write_bench_artifact
 
 from repro.radio import available_backends, get_backend
 from repro.sim import SimulationParameters
@@ -84,10 +84,21 @@ def test_x14_speedup_optimized_numpy():
         f"  numpy     {t_opt * 1e3:8.2f} ms  ({speedup:.2f}x)",
     ]
     # report (never gate) whatever accelerator backends this host has
+    timings = {"reference": t_ref, "numpy": t_opt}
     for name in sorted(set(available_backends()) - {"reference", "numpy"}):
         t = time_kernel(name)
+        timings[name] = t
         lines.append(f"  {name:<9} {t * 1e3:8.2f} ms  ({t_ref / t:.2f}x)")
     print("\n".join(lines))
+    write_bench_artifact(
+        "x14",
+        n=N,
+        backend="numpy",
+        timings_s=timings,
+        speedups={"numpy_vs_reference": speedup},
+        epochs=EPOCHS,
+        n_sites=int(SITES.shape[0]),
+    )
 
     if N < N_ACCEPT:
         pytest.skip(

@@ -23,7 +23,7 @@ import os
 import time
 
 import pytest
-from conftest import run_once
+from conftest import run_once, write_bench_artifact
 
 from repro.mobility import GaussMarkov, ManhattanGrid, RandomWalk
 from repro.sim import (
@@ -129,6 +129,13 @@ def test_x15_runtime_ratio():
     width = max(len(c.name) for c in per)
     for c in per:
         print(f"  {c.describe(width)}")
+    write_bench_artifact(
+        "x15",
+        n=N,
+        timings_s={"homogeneous": t_hom, "heterogeneous": t_het},
+        speedups={"heterogeneous_vs_homogeneous_ratio": ratio},
+        cohorts=list(het.cohort_names),
+    )
     if N < N_ACCEPT:
         pytest.skip(
             f"ratio asserted at N={N_ACCEPT}, ran N={N} (smoke mode)"

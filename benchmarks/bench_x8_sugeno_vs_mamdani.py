@@ -33,20 +33,15 @@ MAMDANI = build_handover_flc()
 SUGENO = sugeno_from_mamdani(build_handover_rule_base())
 
 
-class _SugenoShim:
-    """Adapt the TSK controller to the pipeline's evaluate() signature."""
-
-    def evaluate(self, CSSP, SSN, DMB):
-        return SUGENO.evaluate(CSSP=CSSP, SSN=SSN, DMB=DMB)
-
-
 def scenario_outcomes():
     params = SimulationParameters()
     out = {}
+    # SugenoController speaks the pipeline's evaluate/evaluate_batch
+    # contract directly (and the compiled-backend registry with it)
     for label, flc, threshold in (
         ("mamdani", None, 0.70),
-        ("sugeno@0.70", _SugenoShim(), 0.70),
-        ("sugeno@0.72", _SugenoShim(), 0.72),
+        ("sugeno@0.70", SUGENO, 0.70),
+        ("sugeno@0.72", SUGENO, 0.72),
     ):
         ping = run_trace(
             params,

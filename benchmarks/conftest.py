@@ -1,14 +1,31 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the perf-artifact emitter.
 
 Heavy artefacts (full speed-sweep tables, fading comparisons) run as
 single-round ``benchmark.pedantic`` measurements — they are experiment
 regenerations first and timing measurements second.  Micro-benchmarks
 (FLC evaluation paths) use the normal calibrated rounds.
+
+Every acceptance bench (``bench_x12`` onwards) also persists its
+headline numbers as a machine-readable ``BENCH_x*.json`` through
+:func:`write_bench_artifact`, so the perf trajectory of the repo is a
+directory of schema-stable JSON files (CI uploads them per run) instead
+of scrollback.
 """
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.sim import SimulationParameters
+
+#: Bump when the artifact layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Environment override for where ``BENCH_x*.json`` files land
+#: (default: ``benchmarks/artifacts/`` next to this file).
+BENCH_DIR_ENV_VAR = "REPRO_BENCH_DIR"
 
 
 @pytest.fixture(scope="session")
@@ -20,3 +37,48 @@ def run_once(benchmark, fn, *args, **kwargs):
     """One-shot pedantic run for experiment-sized workloads."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def write_bench_artifact(
+    bench: str,
+    *,
+    n: int | None = None,
+    backend: str | None = None,
+    timings_s: dict | None = None,
+    speedups: dict | None = None,
+    **extra,
+) -> Path:
+    """Persist one bench's headline numbers as ``BENCH_<bench>.json``.
+
+    The common schema every ``bench_x*`` emits:
+
+    * ``schema`` — :data:`BENCH_SCHEMA_VERSION`;
+    * ``bench`` — the bench id (``"x16"``);
+    * ``n`` — the workload size the numbers were measured at;
+    * ``backend`` — the backend under test, when the bench pits one;
+    * ``timings_s`` — ``{label: seconds}`` wall-clock map;
+    * ``speedups`` — ``{label: ratio}`` headline ratios;
+    * any extra keyword fields, verbatim (counts, knobs, notes).
+
+    Files land in ``$REPRO_BENCH_DIR`` (default
+    ``benchmarks/artifacts/``); the directory is created on demand and
+    each bench overwrites its own file, so the directory always holds
+    the latest run per bench.  Returns the written path.
+    """
+    out_dir = Path(
+        os.environ.get(BENCH_DIR_ENV_VAR)
+        or Path(__file__).parent / "artifacts"
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "n": n,
+        "backend": backend,
+        "timings_s": {k: float(v) for k, v in (timings_s or {}).items()},
+        "speedups": {k: float(v) for k, v in (speedups or {}).items()},
+    }
+    payload.update(extra)
+    path = out_dir / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

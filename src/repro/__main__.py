@@ -13,12 +13,15 @@ Commands
 ``simulate {pingpong,crossing} [--speed V]``
     Run the full pipeline on a frozen paper scenario.
 ``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
-[--population MIX] [--shards N] [--workers W] [--backend B]``
+[--population MIX] [--shards N] [--workers W] [--backend B]
+[--flc-backend F]``
     Run a whole UE population through the vectorised batch engine —
     optionally partitioned into shards over a process pool, on a chosen
-    pathloss-kernel backend — and print the fleet-level quality metrics
-    (identical for any shard count).  ``--population`` selects a named
-    heterogeneous mix (pedestrians/vehicles/stationary cohorts, see
+    pathloss-kernel backend and FLC inference backend — and print the
+    fleet-level quality metrics (identical for any shard count, and
+    identical handover/ping-pong counts for any FLC backend).
+    ``--population`` selects a named heterogeneous mix
+    (pedestrians/vehicles/stationary cohorts, see
     :data:`repro.sim.population.POPULATION_MIXES`) and adds a
     per-cohort metrics breakdown.
 """
@@ -30,6 +33,11 @@ import sys
 import time
 
 from .core import FuzzyHandoverSystem, build_handover_flc
+from .fuzzy import (
+    DEFAULT_FLC_BACKEND,
+    FLC_BACKEND_ENV_VAR,
+    resolve_flc_backend,
+)
 from .radio import (
     AUTO_BACKEND,
     BACKEND_ENV_VAR,
@@ -123,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "bit-identical).  Validated at first "
                               "use so the parser never probes the "
                               "optional accelerator imports")
+    p_fleet.add_argument("--flc-backend", default=None,
+                         help="FLC inference backend: reference, lut, "
+                              "or numba where installed (default: the "
+                              f"{FLC_BACKEND_ENV_VAR} env var, then "
+                              f"'{DEFAULT_FLC_BACKEND}').  Compiled "
+                              "kernels take the fuzzy controller off "
+                              "the hot path; handover decisions are "
+                              "identical on every backend.  Validated "
+                              "at first use")
     return parser
 
 
@@ -212,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             n_shards=args.shards,
             max_workers=args.workers,
             backend=args.backend,
+            flc_backend=args.flc_backend,
         )
         elapsed = time.perf_counter() - t0
         epochs = fleet.n_epochs_total
@@ -223,9 +241,11 @@ def main(argv: list[str] | None = None) -> int:
             if requested == AUTO_BACKEND
             else requested
         )
+        flc_label = resolve_flc_backend(args.flc_backend)
         print(f"scenario : {scenario.name} (seeds {args.seed}.."
               f"{args.seed + args.ues - 1}, {legs})")
-        print(f"backend  : {label} pathloss kernel")
+        print(f"backend  : {label} pathloss kernel, "
+              f"{flc_label} FLC kernel")
         print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
         print(f"wall     : {elapsed:.3f} s "
               f"({epochs / elapsed:,.0f} UE-epochs/s, "

@@ -31,6 +31,13 @@ from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
+import inspect
+
+from ..fuzzy.compiled import (
+    kernel_error_bound,
+    resolve_flc_backend,
+    validate_backend_pin,
+)
 from ..fuzzy.controller import FuzzyController
 from .flc import HANDOVER_THRESHOLD, build_handover_flc
 from .inputs import HandoverInputs, inputs_from_observation
@@ -44,6 +51,25 @@ __all__ = [
 ]
 
 Cell = tuple[int, int]
+
+
+def _accepts_backend_kwarg(fn) -> bool:
+    """True when a controller method explicitly declares a ``backend``
+    keyword — the registry-aware contract.  Duck-typed controllers
+    written against the pre-registry signatures (no such parameter, or
+    only ``**kwargs``, where ``backend`` would be mistaken for an input
+    variable) are called without it."""
+    if fn is None:
+        return False
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    p = params.get("backend")
+    return p is not None and p.kind in (
+        inspect.Parameter.KEYWORD_ONLY,
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+    )
 
 
 class Stage:
@@ -159,6 +185,15 @@ class FuzzyHandoverSystem:
         lag ablation bench quantifies the trade-off.  Early epochs
         (history shorter than the lag) difference against the oldest
         sample available on the current serving cell.
+    flc_backend:
+        FLC inference-backend pin for every controller evaluation this
+        pipeline makes (``None`` = the
+        :func:`~repro.fuzzy.compiled.resolve_flc_backend` policy:
+        ``REPRO_FLC_BACKEND``, then ``"reference"``).  Approximate
+        backends (``lut``/``numba``) never change a *decision*: outputs
+        within the backend's documented error bound of ``threshold``
+        are re-evaluated through the reference kernel (see
+        :meth:`decision_outputs_batch`).
     """
 
     def __init__(
@@ -169,6 +204,7 @@ class FuzzyHandoverSystem:
         prtlc_enabled: bool = True,
         cell_radius_km: float = 1.0,
         cssp_lag: int = 1,
+        flc_backend: Optional[str] = None,
     ) -> None:
         if not (0.0 < threshold < 1.0):
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
@@ -180,7 +216,18 @@ class FuzzyHandoverSystem:
             )
         if cssp_lag < 1:
             raise ValueError(f"cssp_lag must be >= 1, got {cssp_lag}")
+        validate_backend_pin(flc_backend, field="flc_backend")
         self.flc = flc if flc is not None else build_handover_flc()
+        self.flc_backend = flc_backend
+        # legacy duck-typed controllers predate the backend kwarg; probe
+        # both contract methods once so every evaluation path can keep
+        # calling them exactly as the pre-registry pipeline did
+        self._batch_takes_backend = _accepts_backend_kwarg(
+            getattr(self.flc, "evaluate_batch", None)
+        )
+        self._scalar_takes_backend = _accepts_backend_kwarg(
+            getattr(self.flc, "evaluate", None)
+        )
         self.threshold = float(threshold)
         self.potlc_gate_dbw = float(potlc_gate_dbw)
         self.prtlc_enabled = bool(prtlc_enabled)
@@ -231,7 +278,13 @@ class FuzzyHandoverSystem:
         reference = self._history[0]
         previous = self._history[-1]  # last epoch, for the PRTLC check
         inputs = inputs_from_observation(obs, reference, self.cell_radius_km)
-        output = self.flc.evaluate(**inputs.as_dict())
+        output = float(
+            self.decision_outputs_batch(
+                np.array([inputs.cssp_db]),
+                np.array([inputs.ssn_db]),
+                np.array([inputs.dmb]),
+            )[0]
+        )
         if output <= self.threshold:
             self._remember(obs)
             return Decision(
@@ -267,21 +320,88 @@ class FuzzyHandoverSystem:
     # ------------------------------------------------------------------
     def evaluate_output(self, inputs: HandoverInputs) -> float:
         """Raw FLC output for a prepared input triple (no pipeline)."""
-        return self.flc.evaluate(**inputs.as_dict())
+        if not self._scalar_takes_backend:
+            # duck-typed controller on the pre-registry contract
+            return self.flc.evaluate(**inputs.as_dict())
+        return self.flc.evaluate(
+            backend=self.flc_backend, **inputs.as_dict()
+        )
 
     def evaluate_output_batch(
         self, cssp_db: np.ndarray, ssn_db: np.ndarray, dmb: np.ndarray
     ) -> np.ndarray:
         """Vectorised raw FLC outputs (no pipeline) — the hot path for
         the table generators and the X5 bench."""
-        return self.flc.evaluate_batch(
-            {"CSSP": cssp_db, "SSN": ssn_db, "DMB": dmb}
+        inputs = {"CSSP": cssp_db, "SSN": ssn_db, "DMB": dmb}
+        if not self._batch_takes_backend:
+            return self.flc.evaluate_batch(inputs)
+        return self.flc.evaluate_batch(inputs, backend=self.flc_backend)
+
+    def decision_outputs_batch(
+        self, cssp_db: np.ndarray, ssn_db: np.ndarray, dmb: np.ndarray
+    ) -> np.ndarray:
+        """FLC outputs for the *decision* path (``output > threshold``),
+        exact by construction on every backend.
+
+        The pinned backend evaluates the whole batch; when it is an
+        approximate kernel (``lut``/``numba``), every sample whose
+        output lands within the backend's documented error bound of
+        ``threshold`` is re-evaluated through the ``reference`` kernel.
+        Outside the band, ``|output − reference| <= bound`` means both
+        sides of the threshold comparison agree; inside the band the
+        value *is* the reference's — so handover decisions (and hence
+        handover/ping-pong counts) are provably identical to an
+        all-reference run whenever the bound holds.  This is the path
+        the scalar and batch simulators take.
+
+        Duck-typed controllers predating the registry contract (no
+        ``backend`` parameter, or scalar-only) are evaluated exactly as
+        the pre-registry pipeline did, with no backend routing.
+        """
+        if not self._batch_takes_backend:
+            batch = getattr(self.flc, "evaluate_batch", None)
+            if batch is not None:
+                return batch({"CSSP": cssp_db, "SSN": ssn_db, "DMB": dmb})
+            return np.array(
+                [
+                    self.flc.evaluate(CSSP=float(c), SSN=float(s),
+                                      DMB=float(d))
+                    for c, s, d in zip(cssp_db, ssn_db, dmb)
+                ]
+            )
+        # the name must resolve to a concrete backend here (the guard
+        # band needs its error bound), so apply the full precedence
+        # chain: system pin > controller pin > env var > default
+        name = self.flc_backend
+        if name is None:
+            name = getattr(self.flc, "backend", None)
+        name = resolve_flc_backend(name)
+        out = self.flc.evaluate_batch(
+            {"CSSP": cssp_db, "SSN": ssn_db, "DMB": dmb}, backend=name
         )
+        # the guard band follows the compiled kernel's own validated
+        # bound (never below the registry's documented default)
+        band = kernel_error_bound(self.flc, name)
+        if band > 0.0:
+            near = np.abs(out - self.threshold) <= band
+            if near.any():
+                out[near] = self.flc.evaluate_batch(
+                    {
+                        "CSSP": np.asarray(cssp_db, dtype=float)[near],
+                        "SSN": np.asarray(ssn_db, dtype=float)[near],
+                        "DMB": np.asarray(dmb, dtype=float)[near],
+                    },
+                    backend="reference",
+                )
+        return out
 
     def __repr__(self) -> str:
+        backend = (
+            f", flc_backend={self.flc_backend!r}" if self.flc_backend else ""
+        )
         return (
             f"FuzzyHandoverSystem(threshold={self.threshold:g}, "
             f"potlc_gate_dbw={self.potlc_gate_dbw:g}, "
             f"prtlc_enabled={self.prtlc_enabled}, "
-            f"cell_radius_km={self.cell_radius_km:g})"
+            f"cell_radius_km={self.cell_radius_km:g}{backend})"
         )

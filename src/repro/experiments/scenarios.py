@@ -215,6 +215,7 @@ class FleetScenario:
         max_workers: int | None = None,
         window_km: float | None = None,
         backend: str | None = None,
+        flc_backend: str | None = None,
     ):
         """Partition the fleet into shards, run them (in-process or over
         a worker pool) and merge the streaming per-shard metrics.
@@ -222,7 +223,10 @@ class FleetScenario:
         Returns a :class:`~repro.sim.metrics.FleetMetrics` identical to
         ``compute_fleet_metrics(self.run(params))`` for every shard and
         worker count; ``backend`` pins the pathloss kernel
-        (:mod:`repro.radio.backends` name) the measurement passes use.
+        (:mod:`repro.radio.backends` name) the measurement passes use,
+        ``flc_backend`` the FLC inference kernel
+        (:mod:`repro.fuzzy.compiled` name — handover decisions are
+        identical on every FLC backend).
         """
         from ..sim.fleet import run_fleet
         from ..sim.metrics import DEFAULT_WINDOW_KM
@@ -233,6 +237,7 @@ class FleetScenario:
             max_workers=max_workers,
             window_km=DEFAULT_WINDOW_KM if window_km is None else window_km,
             backend=backend,
+            flc_backend=flc_backend,
         )
 
 

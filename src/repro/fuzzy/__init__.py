@@ -30,6 +30,23 @@ from .defuzzify import (
     smallest_of_maximum,
     weighted_average,
 )
+from .compiled import (
+    DEFAULT_FLC_BACKEND,
+    FLC_BACKEND_ENV_VAR,
+    LUT_ERROR_BOUND,
+    LUT_POINTS_PER_SEGMENT,
+    DecisionLUT,
+    available_flc_backends,
+    build_lut,
+    compile_flc,
+    flc_error_bound,
+    get_flc_backend,
+    kernel_error_bound,
+    lut_axis_grid,
+    register_flc_backend,
+    resolve_flc_backend,
+    unregister_flc_backend,
+)
 from .controller import Explanation, FuzzyController, RuleFiring
 from .sugeno import SugenoController, sugeno_from_mamdani
 from .serialization import (
@@ -72,6 +89,21 @@ __all__ = [
     "Explanation",
     "SugenoController",
     "sugeno_from_mamdani",
+    "DecisionLUT",
+    "available_flc_backends",
+    "build_lut",
+    "compile_flc",
+    "flc_error_bound",
+    "get_flc_backend",
+    "kernel_error_bound",
+    "lut_axis_grid",
+    "register_flc_backend",
+    "resolve_flc_backend",
+    "unregister_flc_backend",
+    "DEFAULT_FLC_BACKEND",
+    "FLC_BACKEND_ENV_VAR",
+    "LUT_ERROR_BOUND",
+    "LUT_POINTS_PER_SEGMENT",
     "rules_to_text",
     "rules_from_text",
     "variable_to_dict",

@@ -13,15 +13,30 @@ substrate (paper Fig. 2).  It binds input/output
   bases;
 * :meth:`decision_surface` — dense grid evaluation for plotting /
   regression-testing the control surface.
+
+Both evaluation paths route through the compiled-kernel registry of
+:mod:`repro.fuzzy.compiled`: the ``backend`` pin (constructor argument
+or per-call override, resolved by
+:func:`~repro.fuzzy.compiled.resolve_flc_backend`) selects between the
+exact ``reference`` grid pipeline (the default) and the precompiled
+interpolation kernels (``lut``, optional ``numba``).  Compiled kernels
+are built lazily on first use and cached per controller.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from .compiled import (
+    DEFAULT_FLC_BACKEND,
+    controller_kernel,
+    resolve_flc_backend,
+    validate_backend_pin,
+    variables_fingerprint,
+)
 from .defuzzify import get_defuzzifier, weighted_average
 from .inference import AggMethod, AndMethod, ImplicationMethod, MamdaniInference
 from .rules import Rule, RuleBase
@@ -83,6 +98,13 @@ class FuzzyController:
         centroids.
     resolution:
         Output-universe sample count for the area-based defuzzifiers.
+    backend:
+        Inference-backend pin for this controller (``None`` = the
+        :func:`~repro.fuzzy.compiled.resolve_flc_backend` policy:
+        ``REPRO_FLC_BACKEND`` environment variable, then
+        ``"reference"``).  A name unknown on the executing host fails
+        at first evaluation, which is what lets a pickled spec choose
+        per-host kernels.
     """
 
     def __init__(
@@ -93,7 +115,11 @@ class FuzzyController:
         implication: ImplicationMethod = "min",
         defuzzifier: str = "centroid",
         resolution: int = 201,
+        backend: Optional[str] = None,
     ) -> None:
+        validate_backend_pin(backend)
+        self.backend = backend
+        self._compiled: dict[str, object] = {}
         self.rule_base = rule_base
         self.engine = MamdaniInference(
             rule_base,
@@ -163,16 +189,10 @@ class FuzzyController:
         return out
 
     # ------------------------------------------------------------------
-    def evaluate_batch(
-        self, inputs: Union[Mapping[str, np.ndarray], Sequence[np.ndarray]]
-    ) -> np.ndarray:
-        """Crisp outputs for a batch of crisp inputs.
-
-        ``inputs`` is either a mapping ``{variable name: (N,) array}`` or
-        a positional sequence in rule-base variable order.  Scalars and
-        length-1 arrays broadcast.  Returns an ``(N,)`` array.
-        """
-        cols = self._coerce_batch(inputs)
+    def _reference_batch(self, cols: Sequence[np.ndarray]) -> np.ndarray:
+        """The exact grid Mamdani pipeline on coerced input columns —
+        the ``reference`` backend of :mod:`repro.fuzzy.compiled` and the
+        conformance oracle every compiled kernel is pinned against."""
         memberships = [
             var.membership_matrix(col)
             for var, col in zip(self.input_variables, cols)
@@ -187,23 +207,73 @@ class FuzzyController:
         surface = self.engine.aggregate_output(result.term_activation)
         return self._area_defuzz(self.engine.output_grid, surface)
 
-    def evaluate(self, *args: float, **kwargs: float) -> float:
+    def _structural_key(self) -> tuple:
+        """Hashable fingerprint of everything that shapes the decision
+        surface — the process-wide LUT cache key, so structurally equal
+        controllers (every shard of a fleet) share one compiled table."""
+        rb = self.rule_base
+        ant, con, w = rb.compile_indices()
+        return (
+            "mamdani",
+            variables_fingerprint((*rb.input_variables, rb.output_variable)),
+            ant.tobytes(),
+            con.tobytes(),
+            w.tobytes(),
+            self.engine.and_method,
+            self.engine.agg_method,
+            self.engine.implication,
+            self.engine.resolution,
+            self.defuzzifier_name,
+        )
+
+    def evaluate_batch(
+        self,
+        inputs: Union[Mapping[str, np.ndarray], Sequence[np.ndarray]],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Crisp outputs for a batch of crisp inputs.
+
+        ``inputs`` is either a mapping ``{variable name: (N,) array}`` or
+        a positional sequence in rule-base variable order.  Scalars and
+        length-1 arrays broadcast.  Returns an ``(N,)`` array.
+
+        ``backend`` overrides the inference backend for this call
+        (``None`` = the controller's pin, then the
+        :func:`~repro.fuzzy.compiled.resolve_flc_backend` policy).
+        """
+        cols = self._coerce_batch(inputs)
+        name = resolve_flc_backend(
+            self.backend if backend is None else backend
+        )
+        if name == DEFAULT_FLC_BACKEND:
+            return self._reference_batch(cols)
+        return controller_kernel(self, name)(cols)
+
+    def evaluate(
+        self, *args: float, backend: Optional[str] = None, **kwargs: float
+    ) -> float:
         """Scalar evaluation.
 
         Accepts positional crisp inputs in variable order or keyword
-        inputs by variable name (not both).
+        inputs by variable name (not both); ``backend`` overrides the
+        inference backend as in :meth:`evaluate_batch`.
         """
         if args and kwargs:
             raise TypeError("pass inputs either positionally or by name, not both")
         if kwargs:
-            out = self.evaluate_batch({k: np.array([v]) for k, v in kwargs.items()})
+            out = self.evaluate_batch(
+                {k: np.array([v]) for k, v in kwargs.items()},
+                backend=backend,
+            )
         else:
             if len(args) != len(self.input_names):
                 raise TypeError(
                     f"expected {len(self.input_names)} inputs "
                     f"({', '.join(self.input_names)}), got {len(args)}"
                 )
-            out = self.evaluate_batch([np.array([a]) for a in args])
+            out = self.evaluate_batch(
+                [np.array([a]) for a in args], backend=backend
+            )
         return float(out[0])
 
     __call__ = evaluate
@@ -258,42 +328,51 @@ class FuzzyController:
         self,
         sweep: Mapping[str, np.ndarray],
         fixed: Mapping[str, float] | None = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Evaluate the controller on a dense grid.
 
         Parameters
         ----------
         sweep:
-            Mapping of one or two variable names to 1-D sample arrays.
+            Mapping of one to three variable names to 1-D sample arrays.
         fixed:
             Crisp values for the remaining variables.
+        backend:
+            Inference-backend override, as in :meth:`evaluate_batch`
+            (the LUT compiler drives this method plane by plane with
+            ``backend="reference"``).
 
         Returns
         -------
-        1-D array (one sweep variable) or 2-D array with shape
-        ``(len(first), len(second))`` (two sweep variables, first varies
-        along rows).
+        1-D array (one sweep variable) or an N-D array with one axis
+        per sweep variable in mapping order (the first varies along
+        rows).
         """
         fixed = dict(fixed or {})
         sweep_names = list(sweep)
-        if len(sweep_names) not in (1, 2):
-            raise ValueError("decision_surface sweeps one or two variables")
+        if not (1 <= len(sweep_names) <= len(self.input_names)):
+            raise ValueError(
+                "decision_surface sweeps between one and "
+                f"{len(self.input_names)} variables"
+            )
         needed = set(self.input_names) - set(sweep_names) - set(fixed)
         if needed:
             raise ValueError(f"missing fixed value(s) for: {sorted(needed)}")
-        if len(sweep_names) == 1:
-            xs = np.asarray(sweep[sweep_names[0]], dtype=float)
-            batch = {sweep_names[0]: xs}
-            for k, v in fixed.items():
-                batch[k] = np.full(xs.shape[0], v)
-            return self.evaluate_batch(batch)
-        xs = np.asarray(sweep[sweep_names[0]], dtype=float)
-        ys = np.asarray(sweep[sweep_names[1]], dtype=float)
-        gx, gy = np.meshgrid(xs, ys, indexing="ij")
-        batch = {sweep_names[0]: gx.ravel(), sweep_names[1]: gy.ravel()}
+        axes = [np.asarray(sweep[n], dtype=float) for n in sweep_names]
+        if len(axes) == 1:
+            batch = {sweep_names[0]: axes[0]}
+            size = axes[0].shape[0]
+        else:
+            mesh = np.meshgrid(*axes, indexing="ij")
+            batch = {n: m.ravel() for n, m in zip(sweep_names, mesh)}
+            size = mesh[0].size
         for k, v in fixed.items():
-            batch[k] = np.full(gx.size, v)
-        return self.evaluate_batch(batch).reshape(gx.shape)
+            batch[k] = np.full(size, v)
+        out = self.evaluate_batch(batch, backend=backend)
+        if len(axes) == 1:
+            return out
+        return out.reshape(tuple(a.shape[0] for a in axes))
 
     def __repr__(self) -> str:
         return (

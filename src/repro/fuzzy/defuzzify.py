@@ -165,7 +165,12 @@ def weighted_average(
     total = a.sum(axis=0)
     out = np.full(a.shape[1], float(fallback))
     nz = total > 0.0
-    out[nz] = (c[:, None] * a).sum(axis=0)[nz] / total[nz]
+    # a convex combination of centroids lies inside their hull; enforce
+    # that under floating point too (subnormal activations can round
+    # the quotient past an endpoint, e.g. 0.8*5e-324/5e-324 == 1.0)
+    out[nz] = np.clip(
+        (c[:, None] * a).sum(axis=0)[nz] / total[nz], c.min(), c.max()
+    )
     return out
 
 

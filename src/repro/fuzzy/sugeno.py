@@ -15,10 +15,17 @@ comparable.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from .compiled import (
+    DEFAULT_FLC_BACKEND,
+    controller_kernel,
+    resolve_flc_backend,
+    validate_backend_pin,
+    variables_fingerprint,
+)
 from .inference import AndMethod
 from .rules import RuleBase
 from .variables import LinguisticVariable
@@ -42,6 +49,10 @@ class SugenoController:
         ``"min"`` or ``"prod"`` conjunction.
     fallback:
         Output when no rule fires at all.
+    backend:
+        Inference-backend pin (``None`` = the
+        :func:`~repro.fuzzy.compiled.resolve_flc_backend` policy), as
+        on :class:`~repro.fuzzy.controller.FuzzyController`.
     """
 
     def __init__(
@@ -51,6 +62,7 @@ class SugenoController:
         rule_outputs: np.ndarray,
         and_method: AndMethod = "min",
         fallback: float = 0.0,
+        backend: Optional[str] = None,
     ) -> None:
         self.input_variables = tuple(input_variables)
         ant = np.asarray(rule_antecedents, dtype=np.intp)
@@ -71,10 +83,13 @@ class SugenoController:
                 )
         if and_method not in ("min", "prod"):
             raise ValueError(f"unknown and_method {and_method!r}")
+        validate_backend_pin(backend)
         self._ant = ant
         self._out = out
         self.and_method = and_method
         self.fallback = float(fallback)
+        self.backend = backend
+        self._compiled: dict[str, object] = {}
 
     @property
     def input_names(self) -> tuple[str, ...]:
@@ -85,10 +100,9 @@ class SugenoController:
         return self._ant.shape[0]
 
     # ------------------------------------------------------------------
-    def evaluate_batch(
+    def _coerce_batch(
         self, inputs: Union[Mapping[str, np.ndarray], Sequence[np.ndarray]]
-    ) -> np.ndarray:
-        """Weighted-average TSK output for a batch of crisp inputs."""
+    ) -> list[np.ndarray]:
         if isinstance(inputs, Mapping):
             missing = set(self.input_names) - set(inputs)
             if missing:
@@ -102,7 +116,12 @@ class SugenoController:
                     f"expected {len(self.input_names)} inputs, got {len(cols)}"
                 )
         n = max(c.shape[0] for c in cols)
-        cols = [np.full(n, c[0]) if c.shape[0] == 1 else c for c in cols]
+        return [np.full(n, c[0]) if c.shape[0] == 1 else c for c in cols]
+
+    def _reference_batch(self, cols: Sequence[np.ndarray]) -> np.ndarray:
+        """The exact TSK weighted-average pipeline on coerced columns —
+        this controller's ``reference`` inference backend."""
+        n = cols[0].shape[0]
         memberships = [
             var.membership_matrix(col)
             for var, col in zip(self.input_variables, cols)
@@ -122,18 +141,53 @@ class SugenoController:
         out[nz] = weighted[nz] / total[nz]
         return out
 
-    def evaluate(self, *args: float, **kwargs: float) -> float:
+    def _structural_key(self) -> tuple:
+        """LUT-cache fingerprint (see ``FuzzyController._structural_key``)."""
+        return (
+            "sugeno",
+            variables_fingerprint(self.input_variables),
+            self._ant.tobytes(),
+            self._out.tobytes(),
+            self.and_method,
+            self.fallback,
+        )
+
+    def evaluate_batch(
+        self,
+        inputs: Union[Mapping[str, np.ndarray], Sequence[np.ndarray]],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Weighted-average TSK output for a batch of crisp inputs.
+
+        ``backend`` overrides the inference backend for this call, as
+        on :meth:`FuzzyController.evaluate_batch`.
+        """
+        cols = self._coerce_batch(inputs)
+        name = resolve_flc_backend(
+            self.backend if backend is None else backend
+        )
+        if name == DEFAULT_FLC_BACKEND:
+            return self._reference_batch(cols)
+        return controller_kernel(self, name)(cols)
+
+    def evaluate(
+        self, *args: float, backend: Optional[str] = None, **kwargs: float
+    ) -> float:
         """Scalar evaluation (positional in rule order, or by name)."""
         if args and kwargs:
             raise TypeError("pass inputs either positionally or by name")
         if kwargs:
             batch = {k: np.array([float(v)]) for k, v in kwargs.items()}
-            return float(self.evaluate_batch(batch)[0])
+            return float(self.evaluate_batch(batch, backend=backend)[0])
         if len(args) != len(self.input_names):
             raise TypeError(
                 f"expected {len(self.input_names)} inputs, got {len(args)}"
             )
-        return float(self.evaluate_batch([np.array([a]) for a in args])[0])
+        return float(
+            self.evaluate_batch(
+                [np.array([a]) for a in args], backend=backend
+            )[0]
+        )
 
     def __repr__(self) -> str:
         return (

@@ -41,6 +41,10 @@ class CellLayout:
         }
         #: ``(n_cells, 2)`` BS positions in km
         self.bs_positions: np.ndarray = self.grid.centers(self.cells)
+        # lazily built padded adjacency (see neighbor_table)
+        self._neighbor_table: (
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +121,38 @@ class CellLayout:
     def adjacency(self) -> dict[tuple[int, int], list[tuple[int, int]]]:
         """Full adjacency map of the layout."""
         return {c: self.neighbors_of(c) for c in self.cells}
+
+    def neighbor_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Padded adjacency of the layout, in array form.
+
+        Returns ``(indices, mask, degree)`` where ``indices`` is
+        ``(n_cells, max_degree)`` BS indices in :meth:`neighbors_of`
+        order (the order the batch simulator's target argmax tie-breaks
+        on), ``mask`` flags real entries and ``degree`` counts them.
+
+        The layout is immutable after construction, so the table is
+        built once and cached — repeated :class:`BatchSimulator` runs
+        over one layout (grid sweeps, sharded fleets) never rebuild it.
+        Callers must treat the returned arrays as read-only.
+        """
+        if self._neighbor_table is None:
+            lists = [
+                [self.index_of(c) for c in self.neighbors_of(cell)]
+                for cell in self.cells
+            ]
+            degree = np.array([len(l) for l in lists], dtype=np.intp)
+            width = max(1, int(degree.max(initial=0)))
+            indices = np.zeros((self.n_cells, width), dtype=np.intp)
+            mask = np.zeros((self.n_cells, width), dtype=bool)
+            for k, l in enumerate(lists):
+                indices[k, : len(l)] = l
+                mask[k, : len(l)] = True
+            # the cache is shared by every simulator run on this layout;
+            # enforce the read-only contract instead of documenting it
+            for arr in (indices, mask, degree):
+                arr.setflags(write=False)
+            self._neighbor_table = (indices, mask, degree)
+        return self._neighbor_table
 
     def extent_km(self, margin: float = 0.0) -> tuple[float, float, float, float]:
         """``(xmin, xmax, ymin, ymax)`` bounding box incl. cell area."""

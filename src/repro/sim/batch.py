@@ -57,25 +57,10 @@ _WARMUP, _NO_NEIGHBOR, _POTLC_PASS, _FLC_REJECT, _PRTLC_REJECT, _HANDOVER = (
 def _neighbor_table(
     layout: CellLayout,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Padded adjacency of the layout.
-
-    Returns ``(indices, mask, degree)`` where ``indices`` is
-    ``(n_cells, max_degree)`` BS indices in :meth:`CellLayout.neighbors_of`
-    order (the order the scalar path's argmax tie-breaks on), ``mask``
-    flags real entries and ``degree`` counts them.
-    """
-    lists = [
-        [layout.index_of(c) for c in layout.neighbors_of(cell)]
-        for cell in layout.cells
-    ]
-    degree = np.array([len(l) for l in lists], dtype=np.intp)
-    width = max(1, int(degree.max(initial=0)))
-    indices = np.zeros((layout.n_cells, width), dtype=np.intp)
-    mask = np.zeros((layout.n_cells, width), dtype=bool)
-    for k, l in enumerate(lists):
-        indices[k, : len(l)] = l
-        mask[k, : len(l)] = True
-    return indices, mask, degree
+    """Padded adjacency ``(indices, mask, degree)`` of the layout —
+    delegates to the cached :meth:`CellLayout.neighbor_table`, so
+    repeated runs over one layout never rebuild it."""
+    return layout.neighbor_table()
 
 
 @dataclass(frozen=True)
@@ -249,6 +234,11 @@ class _FleetLogRecorder:
     ``finalize`` — the streaming
     :class:`~repro.sim.metrics.FleetMetricsAccumulator` implements the
     same interface with O(n_ues) counters instead of full histories.
+
+    The ``(n_ues,)`` mask/index arrays handed to the callbacks are the
+    epoch loop's preallocated scratch buffers, rewritten every epoch:
+    consumers must consume them during the call (index with them,
+    accumulate from them) and never retain a reference across epochs.
     """
 
     def begin(
@@ -372,6 +362,12 @@ class BatchSimulator:
         if (speeds < 0).any():
             raise ValueError("speed_kmh must be >= 0")
         self._speeds = speeds
+        # the speed penalty is a pure function of the speeds, which are
+        # fixed for the simulator's lifetime — derive it once here so
+        # repeated run() calls (grid sweeps, shard loops) skip it
+        self._penalty = np.atleast_1d(
+            np.asarray(speed_penalty_db(speeds), dtype=float)
+        )
         self.initial_cell = tuple(initial_cell) if initial_cell else None
 
     # ------------------------------------------------------------------
@@ -410,7 +406,15 @@ class BatchSimulator:
         )
 
     def _drive(self, series: BatchMeasurementSeries, consumer):
-        """The vectorised epoch loop, feeding a log/metrics consumer."""
+        """The vectorised epoch loop, feeding a log/metrics consumer.
+
+        The loop owns a set of preallocated ``(n_ues,)`` scratch buffers
+        (stage masks, gathered serving power, history-window masks) that
+        every epoch rewrites in place — per-epoch work allocates only
+        the data-dependent FLC-subset arrays.  Consumers therefore must
+        not retain the mask arrays across callbacks (see
+        :class:`_FleetLogRecorder`).
+        """
         n, t_max = series.n_ues, series.max_epochs
         if t_max == 0:
             raise ValueError("cannot simulate an empty measurement series")
@@ -418,18 +422,20 @@ class BatchSimulator:
         sys = self.system
         if self._speeds.shape[0] == 1:
             speeds = np.full(n, self._speeds[0])
+            penalty = np.full(n, self._penalty[0])
         elif self._speeds.shape[0] == n:
             speeds = self._speeds
+            penalty = self._penalty
         else:
             raise ValueError(
                 f"{n} UEs but {self._speeds.shape[0]} speeds"
             )
-        penalty = np.asarray(speed_penalty_db(speeds), dtype=float)
 
         nbr_idx, nbr_mask, nbr_deg = _neighbor_table(layout)
         bs = layout.bs_positions
         lengths = series.lengths
         lag = sys.cssp_lag
+        n_bs = series.power_dbw.shape[2]
 
         if self.initial_cell is not None:
             serving = np.full(n, layout.index_of(self.initial_cell), np.intp)
@@ -445,21 +451,58 @@ class BatchSimulator:
         consumer.begin(series, speeds)
 
         arange = np.arange(n)
-        for k in range(t_max):
-            active = k < lengths
-            power_k = series.power_dbw[:, k, :]
-            p_serv = power_k[arange, serving]
+        # hoisted per-epoch scratch (rewritten in place every epoch)
+        p_serv = np.empty(n)
+        active = np.empty(n, dtype=bool)
+        warm = np.empty(n, dtype=bool)
+        considered = np.empty(n, dtype=bool)
+        no_nbr = np.empty(n, dtype=bool)
+        gated = np.empty(n, dtype=bool)
+        flc_mask = np.empty(n, dtype=bool)
+        remembered = np.empty(n, dtype=bool)
+        window_mask = np.empty(n, dtype=bool)
+        deg_buf = np.empty(n, dtype=np.intp)
+        gather = np.empty(n, dtype=np.intp)
+        # serving-power gather without a per-epoch fancy-indexing copy:
+        # flatten the (contiguous float64) power cube once and np.take
+        # into the p_serv scratch through a precomputed per-UE row base
+        # (other layouts/dtypes keep the fancy-indexing fallback)
+        power_cube = series.power_dbw
+        power_flat = (
+            power_cube.reshape(-1)
+            if power_cube.flags.c_contiguous
+            and power_cube.dtype == np.float64
+            else None
+        )
+        row_base = arange * (t_max * n_bs)
 
-            warm = active & (hist_len == 0)
-            considered = active & ~warm
-            no_nbr = considered & (nbr_deg[serving] == 0)
-            considered &= ~no_nbr
-            gated = considered & (p_serv >= sys.potlc_gate_dbw)
-            flc_mask = considered & ~gated
+        for k in range(t_max):
+            np.less(k, lengths, out=active)
+            power_k = power_cube[:, k, :]
+            if power_flat is not None:
+                np.add(row_base, k * n_bs, out=gather)
+                np.add(gather, serving, out=gather)
+                np.take(power_flat, gather, out=p_serv)
+            else:  # pragma: no cover - non-contiguous measurement cube
+                p_serv[:] = power_k[arange, serving]
+
+            np.equal(hist_len, 0, out=warm)
+            np.logical_and(warm, active, out=warm)
+            np.logical_not(warm, out=considered)
+            np.logical_and(considered, active, out=considered)
+            np.take(nbr_deg, serving, out=deg_buf)
+            np.equal(deg_buf, 0, out=no_nbr)
+            np.logical_and(no_nbr, considered, out=no_nbr)
+            np.logical_not(no_nbr, out=flc_mask)  # reused as ~no_nbr
+            np.logical_and(considered, flc_mask, out=considered)
+            np.greater_equal(p_serv, sys.potlc_gate_dbw, out=gated)
+            np.logical_and(gated, considered, out=gated)
+            np.logical_not(gated, out=flc_mask)
+            np.logical_and(flc_mask, considered, out=flc_mask)
 
             consumer.on_stage_masks(k, warm, no_nbr, gated)
 
-            remembered = active.copy()
+            np.copyto(remembered, active)
             if flc_mask.any():
                 idx = np.nonzero(flc_mask)[0]
                 m = idx.shape[0]
@@ -479,9 +522,11 @@ class BatchSimulator:
                 cssp = p_serv[idx] - reference
                 ssn = best_p - penalty[idx]
                 dmb = d_serv / sys.cell_radius_km
-                out = sys.flc.evaluate_batch(
-                    {"CSSP": cssp, "SSN": ssn, "DMB": dmb}
-                )
+                # the guard-banded decision path: compiled FLC kernels
+                # (lut/numba) evaluate the bulk, borderline outputs are
+                # re-evaluated exactly — decisions match the reference
+                # backend on every registered kernel
+                out = sys.decision_outputs_batch(cssp, ssn, dmb)
 
                 rej_flc = out <= sys.threshold
                 rej_prtlc = ~rej_flc
@@ -507,13 +552,15 @@ class BatchSimulator:
 
             # _remember() for every non-handover active UE: slide the
             # lag window (full rows shift, short rows append).
-            full = remembered & (hist_len == lag)
-            if full.any():
-                hist[full, :-1] = hist[full, 1:]
-                hist[full, -1] = p_serv[full]
-            short = remembered & (hist_len < lag)
-            if short.any():
-                rows = np.nonzero(short)[0]
+            np.equal(hist_len, lag, out=window_mask)
+            np.logical_and(window_mask, remembered, out=window_mask)
+            if window_mask.any():
+                hist[window_mask, :-1] = hist[window_mask, 1:]
+                hist[window_mask, -1] = p_serv[window_mask]
+            np.less(hist_len, lag, out=window_mask)
+            np.logical_and(window_mask, remembered, out=window_mask)
+            if window_mask.any():
+                rows = np.nonzero(window_mask)[0]
                 hist[rows, hist_len[rows]] = p_serv[rows]
                 hist_len[rows] += 1
 

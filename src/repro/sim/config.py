@@ -86,6 +86,16 @@ class SimulationParameters:
         the :func:`repro.radio.backends.resolve_backend` policy).  A
         name unknown on the executing host fails at first kernel use,
         which is what lets a pickled spec choose per-host backends.
+    flc_backend:
+        FLC inference-backend for every handover pipeline built under
+        this configuration (``None`` = the
+        :func:`repro.fuzzy.compiled.resolve_flc_backend` policy:
+        ``REPRO_FLC_BACKEND``, then ``"reference"``).  Approximate
+        kernels (``lut``/``numba``) speed up the controller without
+        changing any handover decision — see
+        :meth:`repro.core.system.FuzzyHandoverSystem.decision_outputs_batch`.
+        Like the pathloss backend, an unknown name fails at first use
+        on the executing host.
     """
 
     distribution_law: Literal["gaussian"] = "gaussian"
@@ -105,6 +115,7 @@ class SimulationParameters:
     shadow_decorrelation_km: float = 0.1
     n_repetitions: int = 10
     pathloss_backend: str | None = None
+    flc_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.distribution_law != "gaussian":
@@ -137,14 +148,18 @@ class SimulationParameters:
             raise ValueError(
                 f"shadow_sigma_db must be >= 0, got {self.shadow_sigma_db}"
             )
-        if self.pathloss_backend is not None and (
-            not isinstance(self.pathloss_backend, str)
-            or not self.pathloss_backend
-        ):
-            raise ValueError(
-                "pathloss_backend must be None or a non-empty string, got "
-                f"{self.pathloss_backend!r}"
-            )
+        # same pin contract as the backend registries enforce at their
+        # own layers: None (policy default) or a non-empty name, with
+        # unknown names failing at first use on the executing host
+        for field_name in ("pathloss_backend", "flc_backend"):
+            value = getattr(self, field_name)
+            if value is not None and (
+                not isinstance(value, str) or not value
+            ):
+                raise ValueError(
+                    f"{field_name} must be None or a non-empty string, "
+                    f"got {value!r}"
+                )
 
     # ------------------------------------------------------------------
     # factories

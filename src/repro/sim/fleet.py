@@ -182,7 +182,22 @@ class FleetSpec:
         the fastest-registered-kernel probe — resolves on the *executing*
         host at first kernel use.
         """
-        params = self.params.with_(pathloss_backend=backend)
+        return self._with_params(self.params.with_(pathloss_backend=backend))
+
+    def with_flc_backend(self, flc_backend: Optional[str]) -> "FleetSpec":
+        """A copy of this spec pinned to an FLC inference backend
+        (:mod:`repro.fuzzy.compiled` name).
+
+        Approximate kernels (``lut``/``numba``) change FLC *outputs*
+        only within their documented error bound and never a handover
+        decision (the decision path re-evaluates the guard band through
+        the reference kernel), so handover/ping-pong counts are
+        identical on every backend.  The name resolves on the
+        *executing* host at first evaluation.
+        """
+        return self._with_params(self.params.with_(flc_backend=flc_backend))
+
+    def _with_params(self, params: SimulationParameters) -> "FleetSpec":
         population = (
             self.population.with_params(params)
             if self.population is not None
@@ -204,8 +219,12 @@ class FleetSpec:
         )
 
     def make_system(self) -> FuzzyHandoverSystem:
-        """The default pipeline configuration for this spec."""
-        return FuzzyHandoverSystem(cell_radius_km=self.params.cell_radius_km)
+        """The default pipeline configuration for this spec (FLC
+        inference backend included)."""
+        return FuzzyHandoverSystem(
+            cell_radius_km=self.params.cell_radius_km,
+            flc_backend=self.params.flc_backend,
+        )
 
     def shard(self, n_shards: int = 1) -> tuple["FleetShard", ...]:
         """Split the fleet into contiguous per-worker shards."""
@@ -338,6 +357,7 @@ def run_fleet(
     executor: Optional[Executor] = None,
     backend: Optional[str] = None,
     outage_dbw: float = DEFAULT_OUTAGE_DBW,
+    flc_backend: Optional[str] = None,
 ) -> FleetMetrics:
     """Run a fleet in ``n_shards`` partitions and merge the metrics.
 
@@ -351,11 +371,15 @@ def run_fleet(
     Pass ``executor`` to supply a pre-built backend instead of a worker
     count (the two are mutually exclusive), ``backend`` to pin the
     pathloss kernel (:mod:`repro.radio.backends` name) the shards'
-    measurement passes run on, and ``outage_dbw`` to set the
+    measurement passes run on, ``flc_backend`` to pin the FLC inference
+    kernel (:mod:`repro.fuzzy.compiled` name — handover decisions are
+    identical on every FLC backend), and ``outage_dbw`` to set the
     serving-power sensitivity below which an epoch counts as outage.
     """
     if backend is not None:
         spec = spec.with_backend(backend)
+    if flc_backend is not None:
+        spec = spec.with_flc_backend(flc_backend)
     shards = spec.shard(n_shards)
     tasks = [
         (shard, float(window_km), float(outage_dbw)) for shard in shards

@@ -92,14 +92,25 @@ class PolicyConfig:
     prtlc_enabled: bool = True
     cssp_lag: int = 1
 
-    def make_system(self, cell_radius_km: float) -> FuzzyHandoverSystem:
-        """Build the cohort's pipeline under the spec's geometry."""
+    def make_system(
+        self,
+        cell_radius_km: float,
+        flc_backend: Optional[str] = None,
+    ) -> FuzzyHandoverSystem:
+        """Build the cohort's pipeline under the spec's geometry.
+
+        ``flc_backend`` is the population-level FLC inference-kernel
+        pin (from ``params.flc_backend``) — decisions are identical on
+        every backend, so it is execution configuration, not part of
+        the cohort's policy identity.
+        """
         return FuzzyHandoverSystem(
             threshold=self.threshold,
             potlc_gate_dbw=self.potlc_gate_dbw,
             prtlc_enabled=self.prtlc_enabled,
             cell_radius_km=cell_radius_km,
             cssp_lag=self.cssp_lag,
+            flc_backend=flc_backend,
         )
 
 
@@ -458,12 +469,17 @@ class PopulationSpec:
     def make_system(
         self, policy: Optional[PolicyConfig] = None
     ) -> FuzzyHandoverSystem:
-        """The pipeline for one policy group (``None`` = paper default)."""
+        """The pipeline for one policy group (``None`` = paper default),
+        on the population's FLC inference backend."""
         if policy is None:
             return FuzzyHandoverSystem(
-                cell_radius_km=self.params.cell_radius_km
+                cell_radius_km=self.params.cell_radius_km,
+                flc_backend=self.params.flc_backend,
             )
-        return policy.make_system(self.params.cell_radius_km)
+        return policy.make_system(
+            self.params.cell_radius_km,
+            flc_backend=self.params.flc_backend,
+        )
 
     def measure(
         self, lo: int = 0, hi: Optional[int] = None
@@ -537,6 +553,7 @@ class PopulationSpec:
         window_km: float = DEFAULT_WINDOW_KM,
         backend: Optional[str] = None,
         outage_dbw: float = DEFAULT_OUTAGE_DBW,
+        flc_backend: Optional[str] = None,
     ) -> FleetMetrics:
         """Partition the population with the fleet layer and merge the
         cohort-labelled shard metrics (bit-identical for any shard
@@ -550,6 +567,7 @@ class PopulationSpec:
             window_km=window_km,
             backend=backend,
             outage_dbw=outage_dbw,
+            flc_backend=flc_backend,
         )
 
 

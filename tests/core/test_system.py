@@ -11,6 +11,7 @@ from repro.core import (
     Observation,
     Stage,
 )
+from repro.core.inputs import HandoverInputs
 
 
 def obs(
@@ -234,3 +235,59 @@ class TestConfiguration:
             assert batch[k] == pytest.approx(
                 sys_.flc.evaluate(CSSP=cssp[k], SSN=ssn[k], DMB=dmb[k])
             )
+
+    def test_scalar_only_controller_shim_still_decides(self):
+        """A duck-typed controller exposing only evaluate() (the
+        pre-registry decide() contract) drives the pipeline unchanged —
+        the decision path falls back to sample-by-sample evaluation."""
+        real = FuzzyHandoverSystem()
+
+        class Shim:
+            def evaluate(self, CSSP, SSN, DMB):
+                return real.flc.evaluate(CSSP=CSSP, SSN=SSN, DMB=DMB)
+
+        shimmed = FuzzyHandoverSystem(flc=Shim())
+        cssp = np.array([-6.0, 0.0])
+        ssn = np.array([-85.0, -100.0])
+        dmb = np.array([1.0, 0.5])
+        np.testing.assert_array_equal(
+            shimmed.decision_outputs_batch(cssp, ssn, dmb),
+            real.decision_outputs_batch(cssp, ssn, dmb),
+        )
+        # ... and through the raw-output path (no backend= kwarg leaks
+        # into a shim that never learned it)
+        inputs = HandoverInputs(cssp_db=-6.0, ssn_db=-85.0, dmb=1.0)
+        assert shimmed.evaluate_output(inputs) == real.evaluate_output(inputs)
+
+    def test_flc_backend_validation(self):
+        with pytest.raises(ValueError, match="flc_backend"):
+            FuzzyHandoverSystem(flc_backend="")
+        assert "lut" in repr(FuzzyHandoverSystem(flc_backend="lut"))
+
+    def test_legacy_batch_contract_controller_still_works(self):
+        """A duck-typed controller with the pre-registry *batch*
+        signature — evaluate_batch(inputs), no backend parameter — runs
+        every pipeline path exactly as before the registry existed."""
+        real = FuzzyHandoverSystem()
+
+        class LegacyBatch:
+            def evaluate(self, **kwargs):
+                return real.flc.evaluate(**kwargs)
+
+            def evaluate_batch(self, inputs):
+                return real.flc.evaluate_batch(inputs)
+
+        legacy = FuzzyHandoverSystem(flc=LegacyBatch())
+        cssp = np.array([-6.0, 0.0])
+        ssn = np.array([-85.0, -100.0])
+        dmb = np.array([1.0, 0.5])
+        np.testing.assert_array_equal(
+            legacy.decision_outputs_batch(cssp, ssn, dmb),
+            real.decision_outputs_batch(cssp, ssn, dmb),
+        )
+        np.testing.assert_array_equal(
+            legacy.evaluate_output_batch(cssp, ssn, dmb),
+            real.evaluate_output_batch(cssp, ssn, dmb),
+        )
+        inputs = HandoverInputs(cssp_db=-6.0, ssn_db=-85.0, dmb=1.0)
+        assert legacy.evaluate_output(inputs) == real.evaluate_output(inputs)

@@ -1,0 +1,557 @@
+"""Compiled-FLC backend conformance matrix and registry contract.
+
+Mirrors ``tests/radio/test_backends.py`` for the FLC inference layer:
+every registered :mod:`repro.fuzzy.compiled` backend must reproduce the
+``reference`` grid pipeline over a matrix of input regions and batch
+shapes, within the documented accuracy contract:
+
+* ``reference``: exact by definition (it *is* the oracle) — and the
+  NumPy-family decision path is exact on every backend: the guard band
+  in :meth:`FuzzyHandoverSystem.decision_outputs_batch` re-evaluates
+  borderline outputs through the reference kernel, so ``output >
+  threshold`` never flips;
+* interpolated backends (``lut``, optional ``numba``): absolute output
+  error within ``LUT_ERROR_BOUND`` over the full input box at the
+  default grid resolution — pinned here both on a dense deterministic
+  sweep and by a Hypothesis property over the whole box.
+
+Optional backends skip (via ``pytest.importorskip``) rather than fail
+when their package is absent, so tier-1 stays dependency-light; the
+optional-deps CI leg installs numba and runs this module via
+``-m flc_backend``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.flc import HANDOVER_THRESHOLD, build_handover_flc
+from repro.core.system import FuzzyHandoverSystem
+from repro.fuzzy import (
+    DEFAULT_FLC_BACKEND,
+    FLC_BACKEND_ENV_VAR,
+    LUT_ERROR_BOUND,
+    LUT_POINTS_PER_SEGMENT,
+    available_flc_backends,
+    build_lut,
+    compile_flc,
+    flc_error_bound,
+    get_flc_backend,
+    lut_axis_grid,
+    register_flc_backend,
+    resolve_flc_backend,
+    sugeno_from_mamdani,
+    unregister_flc_backend,
+)
+from repro.fuzzy.compiled import DecisionLUT, _lut_factory, _reference_factory
+
+pytestmark = pytest.mark.flc_backend
+
+#: Exact backends ship with the package.
+EXACT_BACKENDS = ("reference",)
+
+#: Interpolated backends with the documented LUT bound.
+INTERP_BACKENDS = ("lut",)
+
+#: Optional backends: (name, import target for skipping).
+OPTIONAL_BACKENDS = (("numba", "numba"),)
+
+ALL_BACKENDS = (
+    EXACT_BACKENDS
+    + INTERP_BACKENDS
+    + tuple(name for name, _ in OPTIONAL_BACKENDS)
+)
+
+
+@pytest.fixture(scope="module")
+def flc():
+    return build_handover_flc()
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    """Every conformance backend; optional ones skip when their package
+    is missing, but *fail* when the package imports and the kernel
+    still did not register — that is what the optional-deps CI leg
+    exists to catch."""
+    name = request.param
+    if name not in available_flc_backends():
+        modules = dict(OPTIONAL_BACKENDS)
+        pytest.importorskip(modules[name])
+        pytest.fail(
+            f"{modules[name]} imports but FLC backend {name!r} failed "
+            "to register"
+        )
+    return name
+
+
+def tolerance_of(name):
+    """The documented conformance bound for a backend name."""
+    if name in EXACT_BACKENDS:
+        return 0.0
+    return LUT_ERROR_BOUND
+
+
+def box_samples(n, seed=3, margin=0.0):
+    """Random (CSSP, SSN, DMB) columns over the input box, optionally
+    extended past the universe edges (the clipping conformance case)."""
+    rng = np.random.default_rng(seed)
+    return {
+        "CSSP": rng.uniform(-10.0 - margin, 10.0 + margin, n),
+        "SSN": rng.uniform(-120.0 - margin, -80.0 + margin, n),
+        "DMB": rng.uniform(0.0 - margin, 1.5 + margin, n),
+    }
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self):
+        assert set(EXACT_BACKENDS + INTERP_BACKENDS) <= set(
+            available_flc_backends()
+        )
+
+    def test_get_backend_resolves_builtins(self):
+        assert get_flc_backend("reference") is _reference_factory
+        assert get_flc_backend("lut") is _lut_factory
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="available: "):
+            get_flc_backend("no-such-kernel")
+
+    def test_policy_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(FLC_BACKEND_ENV_VAR, "lut")
+        assert resolve_flc_backend("reference") == "reference"
+
+    def test_policy_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(FLC_BACKEND_ENV_VAR, "lut")
+        assert resolve_flc_backend(None) == "lut"
+
+    def test_policy_default(self, monkeypatch):
+        monkeypatch.delenv(FLC_BACKEND_ENV_VAR, raising=False)
+        assert resolve_flc_backend(None) == DEFAULT_FLC_BACKEND == "reference"
+
+    def test_env_var_selects_kernel_end_to_end(self, monkeypatch, flc):
+        monkeypatch.delenv(FLC_BACKEND_ENV_VAR, raising=False)
+        inputs = box_samples(64)
+        expected = flc.evaluate_batch(inputs, backend="lut")
+        monkeypatch.setenv(FLC_BACKEND_ENV_VAR, "lut")
+        np.testing.assert_array_equal(flc.evaluate_batch(inputs), expected)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_flc_backend("lut", _lut_factory)
+
+    def test_register_unregister_roundtrip(self):
+        register_flc_backend("tmp-kernel", _reference_factory)
+        try:
+            assert get_flc_backend("tmp-kernel") is _reference_factory
+            assert flc_error_bound("tmp-kernel") == 0.0
+        finally:
+            unregister_flc_backend("tmp-kernel")
+        assert "tmp-kernel" not in available_flc_backends()
+
+    @pytest.mark.parametrize("bad", ["", None, 7])
+    def test_register_rejects_bad_names(self, bad):
+        with pytest.raises(ValueError):
+            register_flc_backend(bad, _reference_factory)
+
+    def test_register_rejects_noncallable(self):
+        with pytest.raises(ValueError, match="callable"):
+            register_flc_backend("tmp-kernel", object())
+
+    def test_register_rejects_negative_bound(self):
+        with pytest.raises(ValueError, match="error_bound"):
+            register_flc_backend(
+                "tmp-kernel", _reference_factory, error_bound=-1.0
+            )
+
+    def test_error_bounds_documented(self):
+        assert flc_error_bound("reference") == 0.0
+        assert flc_error_bound("lut") == LUT_ERROR_BOUND
+
+    def test_controller_rejects_bad_backend_pin(self):
+        from repro.fuzzy import FuzzyController
+
+        with pytest.raises(ValueError, match="backend"):
+            FuzzyController(build_handover_flc().rule_base, backend="")
+
+    def test_unknown_backend_fails_at_use_not_construction(self, flc):
+        flc2 = build_handover_flc()
+        flc2.backend = "not-a-kernel"
+        with pytest.raises(ValueError, match="unknown FLC backend"):
+            flc2.evaluate_batch(box_samples(4))
+
+
+class TestLUTConstruction:
+    def test_axis_grids_are_anchor_aligned(self, flc):
+        """Every membership breakpoint of every input variable lies
+        exactly on its LUT axis grid."""
+        for var in flc.input_variables:
+            grid = lut_axis_grid(var, LUT_POINTS_PER_SEGMENT)
+            assert grid[0] == var.universe[0]
+            assert grid[-1] == var.universe[1]
+            assert np.all(np.diff(grid) > 0)
+            for term in var.terms:
+                for p in (*term.mf.core, *term.mf.support):
+                    if np.isfinite(p) and (
+                        var.universe[0] <= p <= var.universe[1]
+                    ):
+                        assert np.any(grid == p), (
+                            f"{var.name}: breakpoint {p} off-grid"
+                        )
+
+    def test_axis_grid_rejects_bad_resolution(self, flc):
+        with pytest.raises(ValueError, match="points_per_segment"):
+            lut_axis_grid(flc.input_variables[0], 0)
+
+    def test_table_nodes_are_exact(self, flc):
+        """At grid nodes the interpolant reproduces the reference
+        output exactly (interpolation error is strictly intra-cell)."""
+        lut = build_lut(flc)
+        sample = [g[:: max(1, g.shape[0] // 7)] for g in lut.grids]
+        mesh = np.meshgrid(*sample, indexing="ij")
+        cols = [m.ravel() for m in mesh]
+        got = lut(cols)
+        expected = flc.evaluate_batch(
+            dict(zip(flc.input_names, cols)), backend="reference"
+        )
+        np.testing.assert_allclose(got, expected, rtol=0, atol=1e-12)
+
+    def test_build_is_cached_per_structure(self, flc):
+        """Structurally equal controllers share one compiled table."""
+        assert build_lut(flc) is build_lut(build_handover_flc())
+
+    def test_different_membership_params_get_different_tables(self, flc):
+        """Controllers differing *only* in membership breakpoints must
+        not share a cached table (the MF classes are __slots__-backed,
+        so the fingerprint has to walk slots, not vars())."""
+        from repro.core.flc import (
+            CSSP_LABELS,
+            CSSP_TERMS,
+            build_handover_rule_base,
+        )
+        from repro.fuzzy import FuzzyController, ruspini_partition
+        from repro.fuzzy.rules import RuleBase
+
+        base = build_handover_rule_base()
+        shifted_cssp = ruspini_partition(
+            "CSSP", (-10.0, -4.0, 1.0, 10.0), CSSP_TERMS,
+            labels=CSSP_LABELS, unit="dB",
+        )
+        shifted = RuleBase(
+            input_variables=[shifted_cssp, *base.input_variables[1:]],
+            output_variable=base.output_variable,
+            rules=list(base.rules),
+        )
+        a = FuzzyController(base)
+        b = FuzzyController(shifted)
+        assert a._structural_key() != b._structural_key()
+        lut_a, lut_b = build_lut(a), build_lut(b)
+        assert lut_a is not lut_b
+        assert not np.array_equal(lut_a.table, lut_b.table)
+
+    def test_per_table_bound_validated_at_build(self, flc):
+        """build_lut measures the table's own midpoint residual and
+        never reports a bound below the documented floor; the decision
+        guard band follows the per-table bound."""
+        from repro.fuzzy import kernel_error_bound
+
+        lut = build_lut(flc)
+        assert lut.error_bound >= LUT_ERROR_BOUND
+        assert kernel_error_bound(flc, "lut") == lut.error_bound
+        assert kernel_error_bound(flc, "reference") == 0.0
+        # the raw midpoint residual itself stays within the documented
+        # output bound for the paper controller (the safety-factored
+        # guard band may sit above it)
+        mids = [0.5 * (g[:-1] + g[1:]) for g in lut.grids]
+        mesh = np.meshgrid(*mids, indexing="ij")
+        cols = [m.ravel() for m in mesh]
+        residual = np.abs(
+            lut(cols)
+            - flc.evaluate_batch(
+                dict(zip(flc.input_names, cols)), backend="reference"
+            )
+        )
+        assert residual.max() <= LUT_ERROR_BOUND
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="table shape"):
+            DecisionLUT(
+                grids=(np.linspace(0, 1, 4),), table=np.zeros(3)
+            )
+
+    def test_non_contiguous_table_normalised(self, flc):
+        """A user-built LUT over a transposed (non-C-contiguous) table
+        interpolates correctly — construction normalises the layout."""
+        lut = build_lut(flc)
+        swapped = DecisionLUT(
+            grids=tuple(reversed(lut.grids)), table=lut.table.T
+        )
+        assert swapped.table.flags.c_contiguous
+        inputs = box_samples(128, seed=51)
+        cols = [inputs[n] for n in flc.input_names]
+        # corner accumulation order permutes with the axes, so agree to
+        # summation-order rounding, not bit-for-bit
+        np.testing.assert_allclose(
+            swapped(list(reversed(cols))), lut(cols), rtol=0, atol=1e-12
+        )
+
+    def test_wrong_column_count_rejected(self, flc):
+        lut = build_lut(flc)
+        with pytest.raises(ValueError, match="input columns"):
+            lut([np.zeros(3), np.zeros(3)])
+
+
+class TestConformanceMatrix:
+    """Every backend vs the reference oracle over regions and shapes."""
+
+    @pytest.mark.parametrize("n", [1, 7, 256])
+    def test_batch_shapes(self, backend, flc, n):
+        inputs = box_samples(n)
+        expected = flc.evaluate_batch(inputs, backend="reference")
+        got = flc.evaluate_batch(inputs, backend=backend)
+        assert got.shape == (n,)
+        assert got.dtype == np.float64
+        np.testing.assert_allclose(
+            got, expected, rtol=0, atol=tolerance_of(backend) or 1e-15
+        )
+
+    def test_out_of_universe_clipping(self, backend, flc):
+        """Inputs beyond the universe saturate identically on every
+        backend (the reference clips before fuzzification, the LUT
+        clips to its grid edges — the same box)."""
+        inputs = box_samples(128, seed=5, margin=25.0)
+        expected = flc.evaluate_batch(inputs, backend="reference")
+        got = flc.evaluate_batch(inputs, backend=backend)
+        np.testing.assert_allclose(
+            got, expected, rtol=0, atol=tolerance_of(backend) or 1e-15
+        )
+
+    def test_dense_threshold_region_sweep(self, backend, flc):
+        """A dense sweep of the decision-relevant region (outputs near
+        the 0.7 threshold) stays within the documented bound."""
+        rng = np.random.default_rng(11)
+        n = 4096
+        inputs = {
+            "CSSP": rng.uniform(-8.0, 0.0, n),
+            "SSN": rng.uniform(-100.0, -85.0, n),
+            "DMB": rng.uniform(0.5, 1.2, n),
+        }
+        expected = flc.evaluate_batch(inputs, backend="reference")
+        got = flc.evaluate_batch(inputs, backend=backend)
+        np.testing.assert_allclose(
+            got, expected, rtol=0, atol=tolerance_of(backend) or 1e-15
+        )
+
+    def test_scalar_evaluate_routes_through_backend(self, backend, flc):
+        batch = flc.evaluate_batch(
+            {"CSSP": np.array([-6.0]), "SSN": np.array([-85.0]),
+             "DMB": np.array([0.9])},
+            backend=backend,
+        )
+        scalar = flc.evaluate(-6.0, -85.0, 0.9, backend=backend)
+        assert scalar == float(batch[0])
+
+    def test_batch_equals_rowwise(self, backend, flc):
+        """Kernels are elementwise per sample: a stacked batch is the
+        rows evaluated one at a time (exact on every backend — the
+        interpolated kernels are deterministic per point)."""
+        inputs = box_samples(32, seed=9)
+        batched = flc.evaluate_batch(inputs, backend=backend)
+        rowwise = np.array(
+            [
+                flc.evaluate_batch(
+                    {k: v[i : i + 1] for k, v in inputs.items()},
+                    backend=backend,
+                )[0]
+                for i in range(32)
+            ]
+        )
+        np.testing.assert_allclose(batched, rowwise, rtol=0, atol=1e-12)
+
+    def test_permuting_samples_permutes_outputs(self, backend, flc):
+        inputs = box_samples(64, seed=13)
+        perm = np.random.default_rng(17).permutation(64)
+        permuted = flc.evaluate_batch(
+            {k: v[perm] for k, v in inputs.items()}, backend=backend
+        )
+        np.testing.assert_allclose(
+            permuted,
+            flc.evaluate_batch(inputs, backend=backend)[perm],
+            rtol=0,
+            atol=1e-12,
+        )
+
+    def test_wavg_controller_conformance(self, backend):
+        """The registry compiles any controller with the contract —
+        here the sampling-free weighted-average Mamdani variant."""
+        flc = build_handover_flc(defuzzifier="wavg")
+        inputs = box_samples(256, seed=21)
+        expected = flc.evaluate_batch(inputs, backend="reference")
+        got = flc.evaluate_batch(inputs, backend=backend)
+        np.testing.assert_allclose(
+            got, expected, rtol=0, atol=tolerance_of(backend) or 1e-15
+        )
+
+    def test_sugeno_controller_conformance(self, backend):
+        """SugenoController compiles through the same registry (the
+        generic chunked-sweep LUT build path)."""
+        tsk = sugeno_from_mamdani(build_handover_flc().rule_base)
+        inputs = box_samples(256, seed=23)
+        expected = tsk.evaluate_batch(inputs, backend="reference")
+        got = tsk.evaluate_batch(inputs, backend=backend)
+        np.testing.assert_allclose(
+            got, expected, rtol=0, atol=tolerance_of(backend) or 1e-15
+        )
+
+
+class TestDecisionEquivalence:
+    """ISSUE-5 satellite: the guard-banded decision path pins zero
+    decision flips at the default grid resolution."""
+
+    def threshold_straddling_inputs(self, flc, n=4096, seed=31):
+        """Random box samples enriched with the samples whose reference
+        outputs straddle the threshold — the flip-prone population."""
+        inputs = box_samples(n, seed=seed)
+        ref = flc.evaluate_batch(inputs, backend="reference")
+        near = np.abs(ref - HANDOVER_THRESHOLD) <= 0.1
+        # keep every near-threshold sample plus a thinned background
+        keep = near | (np.arange(n) % 7 == 0)
+        return {k: v[keep] for k, v in inputs.items()}, ref[keep]
+
+    def test_zero_decision_flips_across_threshold(self, backend, flc):
+        inputs, ref = self.threshold_straddling_inputs(flc)
+        assert inputs["CSSP"].shape[0] > 100  # the sweep is non-trivial
+        system = FuzzyHandoverSystem(flc=flc, flc_backend=backend)
+        out = system.decision_outputs_batch(
+            inputs["CSSP"], inputs["SSN"], inputs["DMB"]
+        )
+        flips = (out > system.threshold) != (ref > system.threshold)
+        assert not flips.any(), (
+            f"{int(flips.sum())} decision flips on backend {backend!r}"
+        )
+
+    def test_zero_flips_at_ablation_thresholds(self, backend, flc):
+        """The guard band follows the system's threshold, so the
+        threshold-sweep ablations stay decision-exact too."""
+        inputs = box_samples(2048, seed=37)
+        ref = flc.evaluate_batch(inputs, backend="reference")
+        for threshold in (0.5, 0.6, 0.7, 0.8):
+            system = FuzzyHandoverSystem(
+                flc=flc, threshold=threshold, flc_backend=backend
+            )
+            out = system.decision_outputs_batch(
+                inputs["CSSP"], inputs["SSN"], inputs["DMB"]
+            )
+            assert not (
+                (out > threshold) != (ref > threshold)
+            ).any(), f"flips at threshold {threshold} on {backend!r}"
+
+    def test_guard_band_values_are_reference_exact(self, flc):
+        """Inside the guard band the decision path returns the
+        reference value itself, not the interpolant."""
+        inputs, ref = self.threshold_straddling_inputs(flc, seed=41)
+        system = FuzzyHandoverSystem(flc=flc, flc_backend="lut")
+        out = system.decision_outputs_batch(
+            inputs["CSSP"], inputs["SSN"], inputs["DMB"]
+        )
+        near = np.abs(out - system.threshold) <= LUT_ERROR_BOUND
+        np.testing.assert_array_equal(out[near], ref[near])
+
+    def test_controller_level_pin_reaches_decision_path(self, flc):
+        """A backend pinned on the *controller* (no system-level pin)
+        drives the decision path too — the precedence chain is system
+        pin > controller pin > policy default."""
+        from repro.fuzzy import FuzzyController
+
+        pinned = FuzzyController(
+            build_handover_flc().rule_base, backend="lut"
+        )
+        via_controller = FuzzyHandoverSystem(flc=pinned)
+        via_system = FuzzyHandoverSystem(flc=flc, flc_backend="lut")
+        inputs = box_samples(512, seed=47)
+        np.testing.assert_array_equal(
+            via_controller.decision_outputs_batch(
+                inputs["CSSP"], inputs["SSN"], inputs["DMB"]
+            ),
+            via_system.decision_outputs_batch(
+                inputs["CSSP"], inputs["SSN"], inputs["DMB"]
+            ),
+        )
+
+    def test_scalar_decide_uses_guarded_path(self, flc):
+        """The scalar pipeline's FLC stage routes through the same
+        guarded outputs: borderline scalar decisions match reference."""
+        ref_sys = FuzzyHandoverSystem(flc=flc)
+        lut_sys = FuzzyHandoverSystem(flc=flc, flc_backend="lut")
+        rng = np.random.default_rng(43)
+        for _ in range(64):
+            cssp = rng.uniform(-8.0, 0.0)
+            ssn = rng.uniform(-100.0, -85.0)
+            dmb = rng.uniform(0.5, 1.2)
+            a = ref_sys.decision_outputs_batch(
+                np.array([cssp]), np.array([ssn]), np.array([dmb])
+            )[0]
+            b = lut_sys.decision_outputs_batch(
+                np.array([cssp]), np.array([ssn]), np.array([dmb])
+            )[0]
+            assert (a > ref_sys.threshold) == (b > lut_sys.threshold)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties — the documented error bound over the whole box
+# ----------------------------------------------------------------------
+_PAPER = {}
+
+
+def paper_flc_and_lut():
+    """Lazily built (controller, lut) pair shared by the property
+    tests — keeps the table compile out of collection time, so runs
+    that deselect this module never pay it."""
+    if not _PAPER:
+        _PAPER["flc"] = build_handover_flc()
+        _PAPER["lut"] = build_lut(_PAPER["flc"])
+    return _PAPER["flc"], _PAPER["lut"]
+
+
+def finite_floats(lo, hi):
+    return st.floats(
+        min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False
+    )
+
+
+class TestLUTErrorBoundProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cssp=finite_floats(-10.0, 10.0),
+        ssn=finite_floats(-120.0, -80.0),
+        dmb=finite_floats(0.0, 1.5),
+    )
+    def test_interpolation_error_within_documented_bound(
+        self, cssp, ssn, dmb
+    ):
+        """|lut − reference| <= LUT_ERROR_BOUND everywhere in the
+        (CSSP, SSN, DMB) input box at the default grid resolution."""
+        flc, lut = paper_flc_and_lut()
+        cols = [np.array([cssp]), np.array([ssn]), np.array([dmb])]
+        got = float(lut(cols)[0])
+        expected = float(flc._reference_batch(cols)[0])
+        assert abs(got - expected) <= LUT_ERROR_BOUND
+
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        cssp=finite_floats(-40.0, 40.0),
+        ssn=finite_floats(-160.0, -40.0),
+        dmb=finite_floats(-1.0, 4.0),
+    )
+    def test_bound_extends_past_the_universe(self, cssp, ssn, dmb):
+        """Clipping keeps the bound valid for saturated inputs too."""
+        flc, lut = paper_flc_and_lut()
+        cols = [np.array([cssp]), np.array([ssn]), np.array([dmb])]
+        got = float(lut(cols)[0])
+        expected = float(flc._reference_batch(cols)[0])
+        assert abs(got - expected) <= LUT_ERROR_BOUND

@@ -102,6 +102,38 @@ class TestSpatialQueries:
             layout.distances_to(np.zeros((2, 3)))
 
 
+class TestNeighborTable:
+    def test_matches_neighbors_of(self):
+        layout = CellLayout(cell_radius_km=1.0, rings=2)
+        indices, mask, degree = layout.neighbor_table()
+        assert indices.shape == mask.shape
+        assert degree.shape == (layout.n_cells,)
+        for k, cell in enumerate(layout.cells):
+            expected = [
+                layout.index_of(c) for c in layout.neighbors_of(cell)
+            ]
+            assert degree[k] == len(expected)
+            assert list(indices[k, : degree[k]]) == expected
+            assert mask[k, : degree[k]].all()
+            assert not mask[k, degree[k] :].any()
+
+    def test_cached_per_layout(self):
+        layout = CellLayout(rings=1)
+        first = layout.neighbor_table()
+        second = layout.neighbor_table()
+        for a, b in zip(first, second):
+            assert a is b
+        # a different layout builds its own table
+        other = CellLayout(rings=1).neighbor_table()
+        assert other[0] is not first[0]
+
+    def test_single_cell_layout_degenerates(self):
+        indices, mask, degree = CellLayout(rings=0).neighbor_table()
+        assert indices.shape == (1, 1)
+        assert not mask.any()
+        assert degree[0] == 0
+
+
 class TestCellSequence:
     def test_dedup(self):
         layout = CellLayout(cell_radius_km=1.0, rings=2)

@@ -277,3 +277,22 @@ class TestBatchValidation:
         _, batch = run_both(FAST, traces, 0.0)
         with pytest.raises(IndexError):
             batch.ue_result(2)
+
+    def test_non_float64_power_cube_takes_fallback_gather(self):
+        """The flat serving-power gather is a float64/C-contiguous fast
+        path; other dtypes must run (and agree) via the fallback."""
+        import dataclasses
+
+        traces = make_traces(FAST, 4)
+        series = make_sampler(FAST).measure_batch(
+            TraceBatch.from_traces(traces)
+        )
+        f32 = dataclasses.replace(
+            series, power_dbw=series.power_dbw.astype(np.float32)
+        )
+        sim = BatchSimulator(speed_kmh=10.0)
+        result = sim.run(f32)
+        assert result.n_ues == 4
+        # float32 measurement noise may shift borderline decisions, so
+        # compare structure, not counts: same epochs, valid stages
+        assert result.stages.shape == sim.run(series).stages.shape

@@ -311,6 +311,77 @@ class TestBackendEquivalence:
             run_fleet(make_spec(3), backend="not-a-kernel")
 
 
+@pytest.mark.flc_backend
+class TestFLCBackendEquivalence:
+    """ISSUE-5 threading: ``flc_backend`` reaches the shard workers'
+    handover systems, and the guard-banded decision path keeps every
+    handover/ping-pong count identical to the reference backend."""
+
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    def test_run_fleet_decisions_identical_on_lut(self, n_shards):
+        spec = make_spec(16)
+        reference = run_fleet(
+            spec, n_shards=n_shards, flc_backend="reference"
+        )
+        lut = run_fleet(spec, n_shards=n_shards, flc_backend="lut")
+        for name in (
+            "handovers_per_ue",
+            "ping_pongs_per_ue",
+            "necessary_per_ue",
+            "epochs_per_ue",
+            "wrong_epochs_per_ue",
+            "dwell_epochs_per_ue",
+            "dwell_count_per_ue",
+            "output_count_per_ue",
+        ):
+            np.testing.assert_array_equal(
+                getattr(lut, name), getattr(reference, name), err_msg=name
+            )
+        # the per-UE FLC-output aggregates may differ, but only within
+        # the documented interpolation bound per evaluated sample
+        from repro.fuzzy import LUT_ERROR_BOUND
+
+        diff = np.abs(lut.output_sum_per_ue - reference.output_sum_per_ue)
+        budget = LUT_ERROR_BOUND * np.maximum(
+            reference.output_count_per_ue, 1
+        )
+        assert np.all(diff <= budget)
+
+    def test_with_flc_backend_threads_into_params(self):
+        spec = make_spec(4).with_flc_backend("lut")
+        assert spec.params.flc_backend == "lut"
+        assert spec.make_system().flc_backend == "lut"
+        # everything else of the spec is untouched
+        assert spec.with_flc_backend(None).params == make_spec(4).params
+
+    def test_default_flc_backend_is_reference(self, monkeypatch):
+        from repro.fuzzy import FLC_BACKEND_ENV_VAR
+
+        monkeypatch.delenv(FLC_BACKEND_ENV_VAR, raising=False)
+        spec = make_spec(5)
+        assert_metrics_identical(
+            run_fleet(spec, n_shards=2),
+            run_fleet(spec, n_shards=2, flc_backend="reference"),
+        )
+
+    def test_unknown_flc_backend_fails_in_worker(self):
+        with pytest.raises(ValueError, match="unknown FLC backend"):
+            run_fleet(make_spec(3), flc_backend="not-a-kernel")
+
+    def test_both_backend_kinds_compose(self):
+        spec = make_spec(6)
+        combined = run_fleet(
+            spec, n_shards=2, backend="numpy", flc_backend="lut"
+        )
+        plain = run_fleet(spec, n_shards=2)
+        np.testing.assert_array_equal(
+            combined.handovers_per_ue, plain.handovers_per_ue
+        )
+        np.testing.assert_array_equal(
+            combined.ping_pongs_per_ue, plain.ping_pongs_per_ue
+        )
+
+
 class TestRunFleetValidation:
     def test_worker_validation(self):
         with pytest.raises(ValueError, match="max_workers"):
