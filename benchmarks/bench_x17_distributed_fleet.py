@@ -1,0 +1,132 @@
+"""X17 — distributed fleet execution over localhost socket workers.
+
+The same fleet spec through ``run_fleet`` serially (one shard,
+in-process) and distributed over real ``python -m repro worker``
+subprocesses reached by TCP (the
+:class:`~repro.sim.distributed.DistributedExecutor` backend) — the
+exact process/socket boundary a multi-host deployment crosses, minus
+the network latency.
+
+``test_x17_speedup_distributed`` is the ISSUE-6 acceptance check: at
+N = 2000 UEs over ``X17_WORKERS`` (default 4) localhost workers the
+distributed path must be at least 1.5× faster end-to-end than the
+serial run, and byte-identical to it at every size (asserted even in
+CI smoke mode at tiny N).  ``test_x17_fault_reissue`` kills one worker
+mid-shard (``--die-after`` fault injection) and requires the merged
+metrics to stay byte-identical through the reissue — the distributed
+layer's whole fault-tolerance claim in one assert.
+
+Environment knobs: ``X17_FLEET_SIZE`` (default 2000), ``X17_SHARDS``
+(default 8), ``X17_WORKERS`` (default 4).
+"""
+
+import os
+import time
+
+import pytest
+from conftest import run_once, write_bench_artifact
+
+from repro.sim import (
+    DistributedExecutor,
+    FleetSpec,
+    SimulationParameters,
+    local_worker_pool,
+    run_fleet,
+)
+
+N = int(os.environ.get("X17_FLEET_SIZE", "2000"))
+SHARDS = int(os.environ.get("X17_SHARDS", "8"))
+WORKERS = int(os.environ.get("X17_WORKERS", "4"))
+N_ACCEPT = 2000     # the acceptance-criterion fleet size
+SPEEDUP_ACCEPT = 1.5
+
+PARAMS = SimulationParameters(n_walks=8)
+SPEC = FleetSpec(
+    n_ues=N,
+    n_walks=8,
+    base_seed=3000,
+    params=PARAMS,
+)
+
+
+def run_serial():
+    return run_fleet(SPEC, n_shards=1)
+
+
+def run_distributed(hosts):
+    return run_fleet(SPEC, n_shards=SHARDS, hosts=hosts)
+
+
+@pytest.mark.benchmark(group="x17-distributed-fleet")
+def test_x17_serial_fleet(benchmark):
+    fleet = run_once(benchmark, run_serial)
+    assert fleet.n_ues == N
+
+
+@pytest.mark.benchmark(group="x17-distributed-fleet")
+def test_x17_distributed_fleet(benchmark):
+    with local_worker_pool(WORKERS) as hosts:
+        fleet = run_once(benchmark, run_distributed, hosts)
+    assert fleet.n_ues == N
+
+
+def test_x17_speedup_distributed():
+    """ISSUE-6 acceptance: >= 1.5x over the serial run at N = 2000 with
+    4 localhost socket workers (asserted where the hardware allows);
+    byte-identical merged metrics at every size."""
+    with local_worker_pool(WORKERS) as hosts:
+        t0 = time.perf_counter()
+        distributed = run_distributed(hosts)
+        t_distributed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = run_serial()
+    t_serial = time.perf_counter() - t0
+
+    # distribution must never change the physics, whatever the size
+    assert distributed == serial
+
+    speedup = t_serial / t_distributed
+    print(
+        f"\nx17: serial {t_serial:.2f} s, {SHARDS} shards over "
+        f"{WORKERS} socket workers {t_distributed:.2f} s "
+        f"-> {speedup:.2f}x over {N} UEs"
+    )
+    write_bench_artifact(
+        "x17",
+        n=N,
+        timings_s={"serial": t_serial, "distributed": t_distributed},
+        speedups={"distributed_vs_serial": speedup},
+        shards=SHARDS,
+        workers=WORKERS,
+        transport="tcp-localhost",
+    )
+    cores = os.cpu_count() or 1
+    if N < N_ACCEPT:
+        pytest.skip(
+            f"speedup asserted at N={N_ACCEPT}, ran N={N} (smoke mode)"
+        )
+    if cores < WORKERS:
+        pytest.skip(
+            f"speedup needs >= {WORKERS} cores, host has {cores}"
+        )
+    assert speedup >= SPEEDUP_ACCEPT, (
+        f"distributed fleet only {speedup:.2f}x faster than the serial "
+        f"run (target {SPEEDUP_ACCEPT}x at N={N}, {WORKERS} workers)"
+    )
+
+
+def test_x17_fault_reissue():
+    """ISSUE-6 acceptance: kill one worker mid-run; shard reissue to the
+    survivor must keep the merged metrics byte-identical."""
+    serial = run_serial()
+    # worker 0 exits abruptly while handling its first shard
+    with local_worker_pool(2, die_after=[1, None]) as hosts:
+        executor = DistributedExecutor(
+            hosts, backoff_base=0.05, heartbeat_timeout=5.0
+        )
+        survived = run_fleet(SPEC, n_shards=max(SHARDS, 4),
+                             executor=executor)
+    assert survived == serial, (
+        "merged metrics diverged after worker death + shard reissue"
+    )

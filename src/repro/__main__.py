@@ -13,17 +13,25 @@ Commands
 ``simulate {pingpong,crossing} [--speed V]``
     Run the full pipeline on a frozen paper scenario.
 ``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
-[--population MIX] [--shards N] [--workers W] [--backend B]
-[--flc-backend F]``
+[--population MIX] [--shards N] [--workers W] [--hosts H:P,...]
+[--backend B] [--flc-backend F]``
     Run a whole UE population through the vectorised batch engine —
-    optionally partitioned into shards over a process pool, on a chosen
-    pathloss-kernel backend and FLC inference backend — and print the
-    fleet-level quality metrics (identical for any shard count, and
-    identical handover/ping-pong counts for any FLC backend).
+    optionally partitioned into shards over a process pool or a set of
+    ``repro worker`` socket hosts, on a chosen pathloss-kernel backend
+    and FLC inference backend — and print the fleet-level quality
+    metrics (identical for any shard count, worker pool or host list,
+    and identical handover/ping-pong counts for any FLC backend).
     ``--population`` selects a named heterogeneous mix
     (pedestrians/vehicles/stationary cohorts, see
     :data:`repro.sim.population.POPULATION_MIXES`) and adds a
     per-cohort metrics breakdown.
+``worker --listen HOST:PORT [--max-tasks N] [--die-after K]``
+    Serve fleet shards (or any executor tasks) over TCP to a
+    :class:`~repro.sim.distributed.DistributedExecutor` — the unit of
+    a distributed fleet.  ``--listen host:0`` binds an ephemeral port;
+    the worker announces ``listening on host:port`` on stdout.
+    ``--die-after K`` arms fault injection: the process exits abruptly
+    while handling its K-th task (the X17 fault-tolerance harness).
 """
 
 from __future__ import annotations
@@ -122,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process workers for sharded execution "
                               "(default: auto, CPUs-1 capped at the "
                               "shard count)")
+    p_fleet.add_argument("--hosts", default=None, metavar="H:P,...",
+                         help="comma-separated host:port addresses of "
+                              "running `repro worker` processes; runs "
+                              "the shards on the fault-tolerant "
+                              "distributed executor instead of a local "
+                              "pool (mutually exclusive with --workers; "
+                              "metrics stay identical to the local run)")
     p_fleet.add_argument("--backend", default=None,
                          help="pathloss kernel backend: reference, "
                               "numpy, or numba/jax where installed "
@@ -140,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "the hot path; handover decisions are "
                               "identical on every backend.  Validated "
                               "at first use")
+
+    p_worker = sub.add_parser(
+        "worker", help="serve fleet shards over TCP (distributed executor)"
+    )
+    p_worker.add_argument("--listen", default="127.0.0.1:0",
+                          metavar="HOST:PORT",
+                          help="address to bind (default 127.0.0.1:0 — "
+                               "an ephemeral port, announced on stdout)")
+    p_worker.add_argument("--max-tasks", type=int, default=None,
+                          metavar="N",
+                          help="exit cleanly after serving N tasks "
+                               "(default: serve until terminated)")
+    p_worker.add_argument("--die-after", type=int, default=None,
+                          metavar="K",
+                          help="fault injection: exit the process "
+                               "abruptly while handling the K-th task "
+                               "(exercises the client's shard-reissue "
+                               "path; testing aid)")
     return parser
 
 
@@ -195,6 +228,25 @@ def main(argv: list[str] | None = None) -> int:
                   f"{e.source} -> {e.target} (output {e.output:.3f})")
         return 0
 
+    if args.command == "worker":
+        from .sim.distributed import FaultSpec, WorkerServer, parse_address
+
+        host, port = parse_address(args.listen)
+        fault = (
+            FaultSpec(after=args.die_after, mode="exit")
+            if args.die_after is not None
+            else None
+        )
+        server = WorkerServer(
+            host, port, max_tasks=args.max_tasks, fault=fault
+        )
+        print(
+            f"listening on {server.address[0]}:{server.address[1]}",
+            flush=True,
+        )
+        server.serve_forever()
+        return 0
+
     if args.command == "fleet":
         if args.population is not None and (
             args.walks is not None or args.speeds is not None
@@ -222,6 +274,15 @@ def main(argv: list[str] | None = None) -> int:
             legs = f"{walks} legs/UE"
         from .sim import partition_fleet
 
+        hosts = None
+        if args.hosts is not None:
+            if args.workers is not None:
+                parser.error("--hosts and --workers are mutually exclusive")
+            from .sim.distributed import parse_hosts
+
+            hosts = [
+                f"{h}:{p}" for h, p in parse_hosts(args.hosts)
+            ]
         n_shards = len(partition_fleet(args.ues, args.shards))
         t0 = time.perf_counter()
         fleet = scenario.run_sharded(
@@ -230,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
             max_workers=args.workers,
             backend=args.backend,
             flc_backend=args.flc_backend,
+            hosts=hosts,
         )
         elapsed = time.perf_counter() - t0
         epochs = fleet.n_epochs_total
@@ -247,9 +309,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"backend  : {label} pathloss kernel, "
               f"{flc_label} FLC kernel")
         print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
+        where = (
+            f"{len(hosts)} socket worker{'s' if len(hosts) != 1 else ''}"
+            if hosts is not None
+            else "local"
+        )
         print(f"wall     : {elapsed:.3f} s "
               f"({epochs / elapsed:,.0f} UE-epochs/s, "
-              f"{n_shards} shard{'s' if n_shards != 1 else ''})")
+              f"{n_shards} shard{'s' if n_shards != 1 else ''}, {where})")
         print(f"handovers: {fleet.n_handovers} "
               f"({fleet.mean_handovers_per_ue:.2f}/UE, "
               f"necessary {fleet.n_necessary})")

@@ -216,17 +216,21 @@ class FleetScenario:
         window_km: float | None = None,
         backend: str | None = None,
         flc_backend: str | None = None,
+        hosts: list[str] | None = None,
     ):
-        """Partition the fleet into shards, run them (in-process or over
-        a worker pool) and merge the streaming per-shard metrics.
+        """Partition the fleet into shards, run them (in-process, over
+        a worker pool, or across ``repro worker`` socket hosts) and
+        merge the streaming per-shard metrics.
 
         Returns a :class:`~repro.sim.metrics.FleetMetrics` identical to
-        ``compute_fleet_metrics(self.run(params))`` for every shard and
-        worker count; ``backend`` pins the pathloss kernel
-        (:mod:`repro.radio.backends` name) the measurement passes use,
-        ``flc_backend`` the FLC inference kernel
+        ``compute_fleet_metrics(self.run(params))`` for every shard,
+        worker count and host list; ``backend`` pins the pathloss
+        kernel (:mod:`repro.radio.backends` name) the measurement
+        passes use, ``flc_backend`` the FLC inference kernel
         (:mod:`repro.fuzzy.compiled` name — handover decisions are
-        identical on every FLC backend).
+        identical on every FLC backend), and ``hosts`` runs the shards
+        on the fault-tolerant distributed backend
+        (:class:`~repro.sim.distributed.DistributedExecutor`).
         """
         from ..sim.fleet import run_fleet
         from ..sim.metrics import DEFAULT_WINDOW_KM
@@ -238,6 +242,7 @@ class FleetScenario:
             window_km=DEFAULT_WINDOW_KM if window_km is None else window_km,
             backend=backend,
             flc_backend=flc_backend,
+            hosts=hosts,
         )
 
 

@@ -3,8 +3,8 @@
 Table-2 configuration, measurement sampling, the step-driven handover
 simulator, the vectorised multi-UE batch engine, quality metrics
 (ping-pong detection, mergeable fleet aggregates, streaming
-accumulation), the pluggable serial/process execution layer, and the
-sweep and sharded-fleet runners built on it.
+accumulation), the pluggable serial/process/distributed execution
+layer, and the sweep and sharded-fleet runners built on it.
 """
 
 from .config import PAPER_SPEEDS_KMH, SimulationParameters
@@ -39,6 +39,14 @@ from .executor import (
     make_executor,
 )
 from .fleet import FleetShard, FleetSpec, partition_fleet, run_fleet
+from .distributed import (
+    DistributedExecutionError,
+    DistributedExecutor,
+    FaultSpec,
+    WorkerServer,
+    local_worker_pool,
+    parse_hosts,
+)
 from .population import (
     POPULATION_MIXES,
     PolicyConfig,
@@ -104,6 +112,12 @@ __all__ = [
     "FleetShard",
     "partition_fleet",
     "run_fleet",
+    "DistributedExecutor",
+    "DistributedExecutionError",
+    "WorkerServer",
+    "FaultSpec",
+    "local_worker_pool",
+    "parse_hosts",
     "FleetMetricsAccumulator",
     "merge_fleet_metrics",
     "CohortMetrics",

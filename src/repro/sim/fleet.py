@@ -36,7 +36,7 @@ documented conformance tolerance for accelerators).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -358,6 +358,7 @@ def run_fleet(
     backend: Optional[str] = None,
     outage_dbw: float = DEFAULT_OUTAGE_DBW,
     flc_backend: Optional[str] = None,
+    hosts: Optional[Sequence[str]] = None,
 ) -> FleetMetrics:
     """Run a fleet in ``n_shards`` partitions and merge the metrics.
 
@@ -375,6 +376,14 @@ def run_fleet(
     kernel (:mod:`repro.fuzzy.compiled` name — handover decisions are
     identical on every FLC backend), and ``outage_dbw`` to set the
     serving-power sensitivity below which an epoch counts as outage.
+
+    ``hosts`` — ``"host:port"`` addresses of running ``repro worker``
+    socket workers — runs the shards on the distributed backend
+    (:class:`~repro.sim.distributed.DistributedExecutor`) instead of a
+    local pool: each shard is seeded by global UE index and each
+    worker resolves backend names on its own host, so the merged
+    metrics stay byte-identical to the serial run even when a dead
+    worker forces shard reissue.
     """
     if backend is not None:
         spec = spec.with_backend(backend)
@@ -385,7 +394,9 @@ def run_fleet(
         (shard, float(window_km), float(outage_dbw)) for shard in shards
     ]
     if executor is None:
-        executor = make_executor(max_workers, n_tasks=len(tasks))
-    elif max_workers is not None:
-        raise ValueError("pass either max_workers or executor, not both")
+        executor = make_executor(max_workers, n_tasks=len(tasks), hosts=hosts)
+    elif max_workers is not None or hosts is not None:
+        raise ValueError(
+            "pass either executor or max_workers/hosts, not both"
+        )
     return merge_fleet_metrics(executor.map(_shard_metrics, tasks))

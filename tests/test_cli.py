@@ -94,6 +94,75 @@ class TestCommands:
             main(["fleet", "--ues", "4", "--walks", "3",
                   "--shards", "2", "--workers", "0"])
 
+    def test_fleet_hosts_and_workers_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--ues", "4", "--walks", "3",
+                  "--hosts", "127.0.0.1:1", "--workers", "2"])
+
+    def test_fleet_rejects_malformed_hosts(self, capsys):
+        with pytest.raises(ValueError, match="host:port"):
+            main(["fleet", "--ues", "4", "--walks", "3",
+                  "--hosts", "nonsense"])
+
+    @pytest.mark.distributed
+    def test_fleet_over_socket_workers(self, capsys):
+        import threading
+
+        from repro.sim import WorkerServer
+
+        servers = [WorkerServer() for _ in range(2)]
+        threads = [
+            threading.Thread(target=s.serve_forever, daemon=True)
+            for s in servers
+        ]
+        for t in threads:
+            t.start()
+        try:
+            hosts = ",".join(
+                f"{s.address[0]}:{s.address[1]}" for s in servers
+            )
+            assert main(
+                ["fleet", "--ues", "6", "--walks", "3",
+                 "--shards", "2", "--hosts", hosts]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "6 UEs" in out
+            assert "2 socket workers" in out
+        finally:
+            for s in servers:
+                s.stop()
+            for t in threads:
+                t.join(timeout=5.0)
+
+
+class TestWorkerCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.listen == "127.0.0.1:0"
+        assert args.max_tasks is None
+        assert args.die_after is None
+
+    def test_parser_knobs(self):
+        args = build_parser().parse_args(
+            ["worker", "--listen", "0.0.0.0:7777",
+             "--max-tasks", "3", "--die-after", "2"]
+        )
+        assert args.listen == "0.0.0.0:7777"
+        assert args.max_tasks == 3
+        assert args.die_after == 2
+
+    def test_worker_rejects_malformed_listen(self):
+        with pytest.raises(ValueError, match="host:port"):
+            main(["worker", "--listen", "nonsense"])
+
+    @pytest.mark.distributed
+    def test_worker_serves_and_announces(self, capsys):
+        # --max-tasks 0 makes serve_forever return immediately after
+        # binding, so the announce line is testable without a client
+        assert main(["worker", "--max-tasks", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("listening on 127.0.0.1:")
+
 
 def fleet_metric_lines(capsys, *extra):
     """The deterministic metric lines of one ``repro fleet`` run (the
