@@ -9,14 +9,16 @@ per epoch across the fleet instead of one Python-loop pipeline per UE.
 
 ``test_x12_speedup_at_n1000`` is the ISSUE-1 acceptance check: at
 N = 1000 UEs the batch path must be at least 10× faster end-to-end
-(measurement + simulation) than the N scalar runs.
+(measurement + simulation) than the N scalar runs (asserted at the
+full fleet size; ``X12_FLEET_SIZE`` shrinks the run for CI smoke,
+which still regenerates the ``BENCH_x12.json`` artifact).
 """
 
-import time
+import os
 
 import numpy as np
 import pytest
-from conftest import run_once, write_bench_artifact
+from conftest import run_measured, run_once, write_bench_artifact
 
 from repro.core import FuzzyHandoverSystem
 from repro.mobility import TraceBatch
@@ -31,6 +33,7 @@ PARAMS = SimulationParameters(n_walks=10)
 BASE_SEED = 2000
 N_BENCH = 200       # calibrated-group size (keeps the scalar side short)
 N_ACCEPT = 1000     # the acceptance-criterion fleet size
+N_FULL = int(os.environ.get("X12_FLEET_SIZE", str(N_ACCEPT)))
 
 
 def make_sampler():
@@ -96,30 +99,36 @@ def test_x12_batch_fleet(benchmark):
 
 
 def test_x12_speedup_at_n1000():
-    """ISSUE-1 acceptance: >= 10x over N scalar runs at N = 1000."""
-    traces = fleet_traces(N_ACCEPT)
-    speeds = fleet_speeds(N_ACCEPT)
+    """ISSUE-1 acceptance: >= 10x over N scalar runs at N = 1000
+    (asserted at the full fleet size)."""
+    traces = fleet_traces(N_FULL)
+    speeds = fleet_speeds(N_FULL)
 
-    t0 = time.perf_counter()
-    batch = run_batch_fleet(traces, speeds)
-    t_batch = time.perf_counter() - t0
+    batch, t_batch, mem_batch = run_measured(run_batch_fleet, traces, speeds)
+    scalar, t_scalar, mem_scalar = run_measured(
+        run_scalar_fleet, traces, speeds
+    )
 
-    t0 = time.perf_counter()
-    scalar = run_scalar_fleet(traces, speeds)
-    t_scalar = time.perf_counter() - t0
-
-    assert batch.n_ues == len(scalar) == N_ACCEPT
+    assert batch.n_ues == len(scalar) == N_FULL
     assert batch.n_handovers == sum(r.n_handovers for r in scalar)
     speedup = t_scalar / t_batch
     print(f"\nx12: scalar {t_scalar:.2f} s, batch {t_batch:.2f} s "
-          f"-> {speedup:.1f}x over {N_ACCEPT} UEs")
+          f"-> {speedup:.1f}x over {N_FULL} UEs")
     write_bench_artifact(
         "x12",
-        n=N_ACCEPT,
+        n=N_FULL,
         timings_s={"scalar": t_scalar, "batch": t_batch},
         speedups={"batch_vs_scalar": speedup},
+        memory={
+            "tracemalloc_peak_scalar": mem_scalar,
+            "tracemalloc_peak_batch": mem_batch,
+        },
         n_handovers=int(batch.n_handovers),
     )
+    if N_FULL < N_ACCEPT:
+        pytest.skip(
+            f"speedup asserted at N={N_ACCEPT}, ran N={N_FULL} (smoke mode)"
+        )
     assert speedup >= 10.0, (
         f"batch engine only {speedup:.1f}x faster than {N_ACCEPT} "
         f"scalar runs (target 10x)"

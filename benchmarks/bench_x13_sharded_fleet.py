@@ -19,10 +19,9 @@ Environment knobs: ``X13_FLEET_SIZE`` (default 2000), ``X13_SHARDS``
 """
 
 import os
-import time
 
 import pytest
-from conftest import run_once, write_bench_artifact
+from conftest import run_measured, run_once, write_bench_artifact
 
 from repro.sim import FleetSpec, SimulationParameters, run_fleet
 
@@ -63,13 +62,8 @@ def test_x13_sharded_fleet(benchmark):
 def test_x13_speedup_sharded():
     """ISSUE-2 acceptance: >= 2x over the unsharded batch engine at
     N = 2000 with 4 workers (asserted where the hardware allows)."""
-    t0 = time.perf_counter()
-    sharded = run_sharded()
-    t_sharded = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    unsharded = run_unsharded()
-    t_unsharded = time.perf_counter() - t0
+    sharded, t_sharded, mem_sharded = run_measured(run_sharded)
+    unsharded, t_unsharded, mem_unsharded = run_measured(run_unsharded)
 
     # sharding must never change the physics, whatever the fleet size
     assert sharded == unsharded
@@ -85,6 +79,10 @@ def test_x13_speedup_sharded():
         n=N,
         timings_s={"unsharded": t_unsharded, "sharded": t_sharded},
         speedups={"sharded_vs_unsharded": speedup},
+        memory={
+            "tracemalloc_peak_unsharded": mem_unsharded,
+            "tracemalloc_peak_sharded": mem_sharded,
+        },
         shards=SHARDS,
         workers=WORKERS,
     )

@@ -23,7 +23,7 @@ import time
 
 import numpy as np
 import pytest
-from conftest import run_once, write_bench_artifact
+from conftest import run_measured, run_once, write_bench_artifact
 
 from repro.radio import available_backends, get_backend
 from repro.sim import SimulationParameters
@@ -90,12 +90,20 @@ def test_x14_speedup_optimized_numpy():
         timings[name] = t
         lines.append(f"  {name:<9} {t * 1e3:8.2f} ms  ({t_ref / t:.2f}x)")
     print("\n".join(lines))
+    _, _, mem_ref = run_measured(
+        get_backend("reference"), SITES, POINTS, KPARAMS
+    )
+    _, _, mem_opt = run_measured(get_backend("numpy"), SITES, POINTS, KPARAMS)
     write_bench_artifact(
         "x14",
         n=N,
         backend="numpy",
         timings_s=timings,
         speedups={"numpy_vs_reference": speedup},
+        memory={
+            "tracemalloc_peak_reference": mem_ref,
+            "tracemalloc_peak_numpy": mem_opt,
+        },
         epochs=EPOCHS,
         n_sites=int(SITES.shape[0]),
     )

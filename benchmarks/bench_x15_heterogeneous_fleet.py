@@ -23,7 +23,7 @@ import os
 import time
 
 import pytest
-from conftest import run_once, write_bench_artifact
+from conftest import run_measured, run_once, write_bench_artifact
 
 from repro.mobility import GaussMarkov, ManhattanGrid, RandomWalk
 from repro.sim import (
@@ -97,10 +97,11 @@ def test_x15_runtime_ratio():
     """ISSUE-4 acceptance: a 3-cohort N = 2000 fleet within 1.15x of a
     homogeneous fleet of the same size, with per-cohort metrics
     reported (asserted at the full fleet size)."""
-    # one warm-up pass each (imports, allocator, kernel caches), then
-    # interleaved best-of timings so clock drift hits both paths alike
-    hom = run_homogeneous()
-    het = run_heterogeneous()
+    # one warm-up pass each (imports, allocator, kernel caches) — traced
+    # so the artifact gets per-path peaks — then interleaved best-of
+    # timings so clock drift hits both paths alike
+    hom, _, mem_hom = run_measured(run_homogeneous)
+    het, _, mem_het = run_measured(run_heterogeneous)
     repeats = 2 if N >= N_ACCEPT else 1
     t_hom = t_het = float("inf")
     for _ in range(repeats):
@@ -134,6 +135,10 @@ def test_x15_runtime_ratio():
         n=N,
         timings_s={"homogeneous": t_hom, "heterogeneous": t_het},
         speedups={"heterogeneous_vs_homogeneous_ratio": ratio},
+        memory={
+            "tracemalloc_peak_homogeneous": mem_hom,
+            "tracemalloc_peak_heterogeneous": mem_het,
+        },
         cohorts=list(het.cohort_names),
     )
     if N < N_ACCEPT:

@@ -34,7 +34,7 @@ import time
 
 import numpy as np
 import pytest
-from conftest import run_once, write_bench_artifact
+from conftest import run_measured, run_once, write_bench_artifact
 
 from repro.core.flc import build_handover_flc
 from repro.fuzzy import available_flc_backends
@@ -144,12 +144,20 @@ def test_x16_kernel_speedup_lut():
             f"  {name:<9} {t * 1e3:9.2f} ms  ({t_ref / t:.1f}x)"
         )
     print("\n".join(lines))
+    _, _, mem_ref = run_measured(
+        FLC.evaluate_batch, INPUTS, backend="reference"
+    )
+    _, _, mem_lut = run_measured(FLC.evaluate_batch, INPUTS, backend="lut")
     write_bench_artifact(
         "x16",
         n=N_SAMPLES,
         backend="lut",
         timings_s=timings,
         speedups={"lut_vs_reference_evaluate_batch": speedup},
+        memory={
+            "tracemalloc_peak_reference": mem_ref,
+            "tracemalloc_peak_lut": mem_lut,
+        },
         fleet_size=N,
     )
 
@@ -170,10 +178,11 @@ def test_x16_fleet_speedup_and_identical_decisions():
     on the lut backend than on the PR 4 reference path, with
     byte-identical per-UE handover and ping-pong counts (asserted at
     the full fleet size; the count identity holds at every size)."""
-    # one warm-up pass each (imports, allocator, LUT compile), then
-    # interleaved best-of timings so clock drift hits both paths alike
-    ref = run_cohort_fleet("reference")
-    lut = run_cohort_fleet("lut")
+    # one warm-up pass each (imports, allocator, LUT compile) — traced
+    # so the artifact gets per-path peaks — then interleaved best-of
+    # timings so clock drift hits both paths alike
+    ref, _, mem_fleet_ref = run_measured(run_cohort_fleet, "reference")
+    lut, _, mem_fleet_lut = run_measured(run_cohort_fleet, "lut")
     decisions_identical = bool(
         np.array_equal(ref.handovers_per_ue, lut.handovers_per_ue)
         and np.array_equal(ref.ping_pongs_per_ue, lut.ping_pongs_per_ue)
@@ -204,6 +213,10 @@ def test_x16_fleet_speedup_and_identical_decisions():
         backend="lut",
         timings_s={"reference": t_ref, "lut": t_lut},
         speedups={"lut_vs_reference_fleet": speedup},
+        memory={
+            "tracemalloc_peak_reference": mem_fleet_ref,
+            "tracemalloc_peak_lut": mem_fleet_lut,
+        },
         n_handovers=int(ref.n_handovers),
         n_ping_pongs=int(ref.n_ping_pongs),
         decisions_identical=decisions_identical,

@@ -21,10 +21,9 @@ Environment knobs: ``X17_FLEET_SIZE`` (default 2000), ``X17_SHARDS``
 """
 
 import os
-import time
 
 import pytest
-from conftest import run_once, write_bench_artifact
+from conftest import run_measured, run_once, write_bench_artifact
 
 from repro.sim import (
     DistributedExecutor,
@@ -75,13 +74,11 @@ def test_x17_speedup_distributed():
     4 localhost socket workers (asserted where the hardware allows);
     byte-identical merged metrics at every size."""
     with local_worker_pool(WORKERS) as hosts:
-        t0 = time.perf_counter()
-        distributed = run_distributed(hosts)
-        t_distributed = time.perf_counter() - t0
+        distributed, t_distributed, mem_distributed = run_measured(
+            run_distributed, hosts
+        )
 
-    t0 = time.perf_counter()
-    serial = run_serial()
-    t_serial = time.perf_counter() - t0
+    serial, t_serial, mem_serial = run_measured(run_serial)
 
     # distribution must never change the physics, whatever the size
     assert distributed == serial
@@ -97,6 +94,10 @@ def test_x17_speedup_distributed():
         n=N,
         timings_s={"serial": t_serial, "distributed": t_distributed},
         speedups={"distributed_vs_serial": speedup},
+        memory={
+            "tracemalloc_peak_serial": mem_serial,
+            "tracemalloc_peak_distributed": mem_distributed,
+        },
         shards=SHARDS,
         workers=WORKERS,
         transport="tcp-localhost",

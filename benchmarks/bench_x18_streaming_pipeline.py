@@ -1,0 +1,172 @@
+"""X18 — epoch-tiled streaming measurement vs the materialized pipeline.
+
+The same fleet spec through ``run_fleet`` with the measurement pass
+materialized up front (``tile_epochs=0``, the pre-PR-7 behaviour) and
+streamed through ``X18_TILE``-epoch tiles (``tile_epochs=16``).  The
+streamed path keeps only the mobility arrays and one recycled
+``(N, tile, cells)`` power buffer resident, so its peak footprint is
+O(N·tile·cells) in place of the materialized O(N·T·cells) power cube.
+
+``test_x18_streaming_memory_and_runtime`` is the ISSUE-7 acceptance
+check, asserted at the full N = 20000 × T ≈ 200 workload: peak traced
+memory at least 4× below the materialized path, end-to-end runtime no
+worse than 1.05× — and byte-identical ``FleetMetrics`` at every size.
+``test_x18_tile_identity`` pins the identity across
+``tile_epochs ∈ {1, 3, 64}`` against the auto policy (``None``) at a
+size every CI run affords.  ``test_x18_scale_datapoint`` records the
+repo's first N = 10^5 fleet run (tiny horizon, streamed) into the same
+``BENCH_x18.json``.
+
+Environment knobs: ``X18_FLEET_SIZE`` (default 20000), ``X18_WALKS``
+(default 17, ≈ 204 measurement epochs), ``X18_TILE`` (default 16),
+``X18_SCALE_UES`` (default 100000), ``X18_SCALE_WALKS`` (default 2).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from conftest import bench_artifact_path, run_measured, write_bench_artifact
+
+from repro.sim import FleetSpec, SimulationParameters, run_fleet
+
+N = int(os.environ.get("X18_FLEET_SIZE", "20000"))
+WALKS = int(os.environ.get("X18_WALKS", "17"))
+TILE = int(os.environ.get("X18_TILE", "16"))
+SCALE_UES = int(os.environ.get("X18_SCALE_UES", "100000"))
+SCALE_WALKS = int(os.environ.get("X18_SCALE_WALKS", "2"))
+N_ACCEPT = 20000        # the acceptance-criterion fleet size
+MEMORY_RATIO = 4.0      # materialized peak / streamed peak, at least
+RUNTIME_RATIO = 1.05    # streamed / materialized wall-clock, at most
+
+PARAMS = SimulationParameters(n_walks=WALKS)
+SPEC = FleetSpec(n_ues=N, n_walks=WALKS, base_seed=3000, params=PARAMS)
+
+
+def run_materialized():
+    return run_fleet(SPEC, n_shards=1, tile_epochs=0)
+
+
+def run_streamed():
+    return run_fleet(SPEC, n_shards=1, tile_epochs=TILE)
+
+
+def assert_identical_metrics(got, ref):
+    """Byte-identity down to the per-UE arrays (dataclass ``==`` only
+    covers the scalar aggregates)."""
+    assert got == ref
+    for name in (
+        "handovers_per_ue",
+        "ping_pongs_per_ue",
+        "necessary_per_ue",
+        "epochs_per_ue",
+        "wrong_epochs_per_ue",
+        "outage_epochs_per_ue",
+        "dwell_epochs_per_ue",
+        "dwell_count_per_ue",
+        "output_sum_per_ue",
+        "output_count_per_ue",
+        "output_max_per_ue",
+    ):
+        np.testing.assert_array_equal(
+            getattr(got, name), getattr(ref, name), err_msg=name
+        )
+
+
+@pytest.mark.streaming
+def test_x18_tile_identity():
+    """Streaming is a memory knob, not a physics knob: every tile width
+    reproduces the auto-policy metrics bit-for-bit (asserted at a size
+    every CI run affords)."""
+    params = SimulationParameters(n_walks=8)
+    spec = FleetSpec(n_ues=32, n_walks=8, base_seed=3000, params=params)
+    ref = run_fleet(spec, n_shards=1, tile_epochs=None)
+    for k in (1, 3, 64):
+        assert_identical_metrics(
+            run_fleet(spec, n_shards=1, tile_epochs=k), ref
+        )
+
+
+@pytest.mark.streaming
+def test_x18_streaming_memory_and_runtime():
+    """ISSUE-7 acceptance: >= 4x lower peak memory and <= 1.05x runtime
+    vs the materialized pipeline at N = 20000 x T ~ 200, byte-identical
+    metrics at every size."""
+    streamed, t_streamed, mem_streamed = run_measured(run_streamed)
+    materialized, t_mat, mem_mat = run_measured(run_materialized)
+
+    # streaming must never change the physics, whatever the fleet size
+    assert_identical_metrics(streamed, materialized)
+
+    mem_ratio = mem_mat / mem_streamed
+    time_ratio = t_streamed / t_mat
+    print(
+        f"\nx18: materialized {t_mat:.2f} s / {mem_mat / 2**20:.0f} MiB "
+        f"peak, streamed (tile={TILE}) {t_streamed:.2f} s / "
+        f"{mem_streamed / 2**20:.0f} MiB peak over {N} UEs "
+        f"-> {mem_ratio:.1f}x less memory, {time_ratio:.3f}x runtime"
+    )
+    # persist the record before any assert: the perf trajectory matters
+    # most on exactly the runs where a pin fails
+    write_bench_artifact(
+        "x18",
+        n=N,
+        timings_s={"materialized": t_mat, "streamed": t_streamed},
+        speedups={
+            "memory_reduction_streamed": mem_ratio,
+            "runtime_streamed_vs_materialized_ratio": time_ratio,
+        },
+        memory={
+            "tracemalloc_peak_materialized": mem_mat,
+            "tracemalloc_peak_streamed": mem_streamed,
+        },
+        walks=WALKS,
+        tile_epochs=TILE,
+    )
+    if N < N_ACCEPT:
+        pytest.skip(
+            f"pins asserted at N={N_ACCEPT}, ran N={N} (smoke mode)"
+        )
+    assert mem_ratio >= MEMORY_RATIO, (
+        f"streamed peak memory only {mem_ratio:.2f}x below the "
+        f"materialized path (target {MEMORY_RATIO}x at N={N})"
+    )
+    assert time_ratio <= RUNTIME_RATIO, (
+        f"streamed runtime {time_ratio:.3f}x the materialized path "
+        f"(budget {RUNTIME_RATIO}x at N={N})"
+    )
+
+
+@pytest.mark.streaming
+def test_x18_scale_datapoint():
+    """The ROADMAP's N = 10^5 scaling datapoint: a tiny-horizon fleet
+    through the streamed pipeline, merged into ``BENCH_x18.json``."""
+    params = SimulationParameters(n_walks=SCALE_WALKS)
+    spec = FleetSpec(
+        n_ues=SCALE_UES, n_walks=SCALE_WALKS, base_seed=3000, params=params
+    )
+    fleet, t, mem = run_measured(
+        run_fleet, spec, n_shards=1, tile_epochs=TILE
+    )
+    assert fleet.n_ues == SCALE_UES
+    print(
+        f"\nx18 scale: {SCALE_UES} UEs x {SCALE_WALKS} walks streamed in "
+        f"{t:.2f} s, {mem / 2**20:.0f} MiB peak "
+        f"({fleet.n_handovers} handovers)"
+    )
+    # read-modify-write: ride in the pin test's artifact when it exists
+    # (fresh file otherwise, e.g. running this test alone)
+    path = bench_artifact_path("x18")
+    if not path.exists():
+        write_bench_artifact("x18", n=N, walks=WALKS, tile_epochs=TILE)
+    payload = json.loads(path.read_text())
+    payload["scale"] = {
+        "n_ues": SCALE_UES,
+        "walks": SCALE_WALKS,
+        "tile_epochs": TILE,
+        "elapsed_s": float(t),
+        "tracemalloc_peak_streamed": int(mem),
+        "n_handovers": int(fleet.n_handovers),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

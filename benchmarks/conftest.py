@@ -14,11 +14,18 @@ of scrollback.
 
 import json
 import os
+import time
+import tracemalloc
 from pathlib import Path
 
 import pytest
 
 from repro.sim import SimulationParameters
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
 
 #: Bump when the artifact layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
@@ -39,6 +46,44 @@ def run_once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
+def _max_rss_kb() -> int | None:
+    """Process max-RSS in KiB so far (``None`` where unavailable).
+
+    High-water mark of the whole process — it only ever grows, so the
+    *difference* across a workload is a lower bound on that workload's
+    footprint, and the absolute value is the honest "what did this CI
+    job peak at" number the artifacts record.
+    """
+    if resource is None:
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_measured(fn, *args, **kwargs):
+    """Run ``fn`` under tracemalloc; return ``(result, s, peak_bytes)``.
+
+    ``peak_bytes`` is the tracemalloc high-water mark of Python-level
+    allocations *during the call* (numpy array buffers included), which
+    — unlike max-RSS — resets per call and is therefore comparable
+    between two pipeline variants run in the same process.  Tracing
+    slows allocation-heavy code somewhat, so timing-headline numbers
+    should come from an untraced run and memory numbers from this one.
+    """
+    tracing_already = tracemalloc.is_tracing()
+    if not tracing_already:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    t0 = time.perf_counter()
+    try:
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not tracing_already:
+            tracemalloc.stop()
+    return result, elapsed, int(peak)
+
+
 def write_bench_artifact(
     bench: str,
     *,
@@ -46,6 +91,7 @@ def write_bench_artifact(
     backend: str | None = None,
     timings_s: dict | None = None,
     speedups: dict | None = None,
+    memory: dict | None = None,
     **extra,
 ) -> Path:
     """Persist one bench's headline numbers as ``BENCH_<bench>.json``.
@@ -58,6 +104,9 @@ def write_bench_artifact(
     * ``backend`` — the backend under test, when the bench pits one;
     * ``timings_s`` — ``{label: seconds}`` wall-clock map;
     * ``speedups`` — ``{label: ratio}`` headline ratios;
+    * ``memory`` — peak-memory numbers: the emitter always records the
+      process ``max_rss_kb`` at write time; pass per-phase tracemalloc
+      peaks (e.g. from :func:`run_measured`) to extend the map;
     * any extra keyword fields, verbatim (counts, knobs, notes).
 
     Files land in ``$REPRO_BENCH_DIR`` (default
@@ -65,11 +114,8 @@ def write_bench_artifact(
     each bench overwrites its own file, so the directory always holds
     the latest run per bench.  Returns the written path.
     """
-    out_dir = Path(
-        os.environ.get(BENCH_DIR_ENV_VAR)
-        or Path(__file__).parent / "artifacts"
-    )
-    out_dir.mkdir(parents=True, exist_ok=True)
+    path = bench_artifact_path(bench)
+    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema": BENCH_SCHEMA_VERSION,
         "bench": bench,
@@ -77,8 +123,18 @@ def write_bench_artifact(
         "backend": backend,
         "timings_s": {k: float(v) for k, v in (timings_s or {}).items()},
         "speedups": {k: float(v) for k, v in (speedups or {}).items()},
+        "memory": {"max_rss_kb": _max_rss_kb(), **(memory or {})},
     }
     payload.update(extra)
-    path = out_dir / f"BENCH_{bench}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def bench_artifact_path(bench: str) -> Path:
+    """Where ``write_bench_artifact(bench, ...)`` lands its JSON file
+    (the file may not exist yet)."""
+    out_dir = Path(
+        os.environ.get(BENCH_DIR_ENV_VAR)
+        or Path(__file__).parent / "artifacts"
+    )
+    return out_dir / f"BENCH_{bench}.json"

@@ -14,7 +14,7 @@ Commands
     Run the full pipeline on a frozen paper scenario.
 ``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
 [--population MIX] [--shards N] [--workers W] [--hosts H:P,...]
-[--backend B] [--flc-backend F]``
+[--backend B] [--flc-backend F] [--tile-epochs K]``
     Run a whole UE population through the vectorised batch engine —
     optionally partitioned into shards over a process pool or a set of
     ``repro worker`` socket hosts, on a chosen pathloss-kernel backend
@@ -63,6 +63,7 @@ from .experiments import (
 from .sim import (
     PAPER_SPEEDS_KMH,
     POPULATION_MIXES,
+    TILE_EPOCHS_ENV_VAR,
     SimulationParameters,
     run_trace,
 )
@@ -155,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "the hot path; handover decisions are "
                               "identical on every backend.  Validated "
                               "at first use")
+    p_fleet.add_argument("--tile-epochs", type=int, default=None,
+                         metavar="K",
+                         help="epoch-tile policy of the measurement "
+                              "pipeline: 0 materialises the full power "
+                              "cube, K >= 1 streams K-epoch tiles "
+                              "(constant memory in the horizon, "
+                              "byte-identical metrics).  Default: the "
+                              f"{TILE_EPOCHS_ENV_VAR} env var, then "
+                              "auto from the workload size")
 
     p_worker = sub.add_parser(
         "worker", help="serve fleet shards over TCP (distributed executor)"
@@ -292,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
             backend=args.backend,
             flc_backend=args.flc_backend,
             hosts=hosts,
+            tile_epochs=args.tile_epochs,
         )
         elapsed = time.perf_counter() - t0
         epochs = fleet.n_epochs_total

@@ -217,6 +217,7 @@ class FleetScenario:
         backend: str | None = None,
         flc_backend: str | None = None,
         hosts: list[str] | None = None,
+        tile_epochs: int | None = None,
     ):
         """Partition the fleet into shards, run them (in-process, over
         a worker pool, or across ``repro worker`` socket hosts) and
@@ -228,9 +229,12 @@ class FleetScenario:
         kernel (:mod:`repro.radio.backends` name) the measurement
         passes use, ``flc_backend`` the FLC inference kernel
         (:mod:`repro.fuzzy.compiled` name — handover decisions are
-        identical on every FLC backend), and ``hosts`` runs the shards
+        identical on every FLC backend), ``hosts`` runs the shards
         on the fault-tolerant distributed backend
-        (:class:`~repro.sim.distributed.DistributedExecutor`).
+        (:class:`~repro.sim.distributed.DistributedExecutor`), and
+        ``tile_epochs`` pins the epoch-tile policy of the shards'
+        measurement passes (``0`` materialises, ``>= 1`` streams —
+        byte-identical metrics, constant memory in the horizon).
         """
         from ..sim.fleet import run_fleet
         from ..sim.metrics import DEFAULT_WINDOW_KM
@@ -243,6 +247,7 @@ class FleetScenario:
             backend=backend,
             flc_backend=flc_backend,
             hosts=hosts,
+            tile_epochs=tile_epochs,
         )
 
 

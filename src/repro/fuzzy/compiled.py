@@ -100,6 +100,7 @@ __all__ = [
     "validate_backend_pin",
     "variables_fingerprint",
     "build_lut",
+    "lut_build_count",
     "lut_axis_grid",
     "DEFAULT_FLC_BACKEND",
     "FLC_BACKEND_ENV_VAR",
@@ -461,6 +462,18 @@ _BUILD_CHUNK = 8192
 # wrapper all reuse one compiled surface per controller structure
 _LUT_CACHE: dict[tuple, DecisionLUT] = {}
 
+#: Process-wide count of *actual* LUT compilations (cache misses).
+#: Observable via :func:`lut_build_count`; the distributed warm-path
+#: tests pin that a rejoining worker serves repeat fingerprints from
+#: the cache instead of recompiling.
+_LUT_BUILDS = 0
+
+
+def lut_build_count() -> int:
+    """How many decision LUTs this process has actually compiled
+    (cache hits do not count)."""
+    return _LUT_BUILDS
+
 
 def _sample_surface(
     controller, names: tuple[str, ...], grids: tuple[np.ndarray, ...]
@@ -524,6 +537,8 @@ def build_lut(
         cached = _LUT_CACHE.get(key)
         if cached is not None:
             return cached
+    global _LUT_BUILDS
+    _LUT_BUILDS += 1
     names = tuple(controller.input_names)
     grids = tuple(
         lut_axis_grid(v, points_per_segment)

@@ -22,7 +22,12 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["ShadowFading", "speed_penalty_db", "apply_speed_penalty"]
+__all__ = [
+    "ShadowFading",
+    "ShadowFadingStream",
+    "speed_penalty_db",
+    "apply_speed_penalty",
+]
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -139,3 +144,87 @@ class ShadowFading:
             f"ShadowFading(sigma_db={self.sigma_db:g}, "
             f"decorrelation_km={self.decorrelation_km:g})"
         )
+
+
+class ShadowFadingStream:
+    """Tile-resumable view of :meth:`ShadowFading.sample_along`.
+
+    Feeding consecutive chunks of one cumulative-distance vector through
+    :meth:`sample_next` reproduces, bit for bit, the samples a single
+    :meth:`ShadowFading.sample_along` call over the concatenated vector
+    would draw.  Two facts make that possible:
+
+    * ``Generator.normal`` fills arrays sequentially from the bit
+      stream, so splitting the one-shot innovation draw
+      ``normal(0, 1, (n-1, n_sources))`` into row-chunks consumes the
+      generator identically;
+    * the AR(1) recursion only needs the previous output row and the
+      previous cumulative distance (for the boundary step's ``rho``),
+      which the stream carries across tiles.
+
+    The stream *owns* the process's rng consumption: interleaving
+    ``sample_next`` with direct ``sample_along`` calls on the same
+    process, or running two streams over one process, changes the draw
+    order and breaks the equivalence — each UE needs its own process
+    (the per-global-UE-index seeding the fleet layer already provides).
+    """
+
+    def __init__(self, process: ShadowFading) -> None:
+        self.process = process
+        self._last: np.ndarray | None = None
+        self._last_distance_km = 0.0
+        self._started = False
+
+    def sample_next(
+        self, distances_km: np.ndarray, n_sources: int = 1
+    ) -> np.ndarray:
+        """The next ``(len(distances_km), n_sources)`` dB offsets.
+
+        ``distances_km`` must continue the cumulative-distance vector of
+        the previous call (the boundary step between tiles is taken from
+        the carried last distance).
+        """
+        p = self.process
+        d = np.asarray(distances_km, dtype=float)
+        if d.ndim != 1:
+            raise ValueError(f"distances must be 1-D, got shape {d.shape}")
+        if n_sources < 1:
+            raise ValueError(f"n_sources must be >= 1, got {n_sources}")
+        n = d.shape[0]
+        if n == 0:
+            return np.zeros((0, n_sources))
+        if p.sigma_db == 0.0:
+            return np.zeros((n, n_sources))
+        if p.decorrelation_km == 0.0:
+            # i.i.d. fading: the one-shot draw is a single sequential
+            # array fill, so chunked draws consume the rng identically
+            return p.rng.normal(0.0, p.sigma_db, size=(n, n_sources))
+        out = np.empty((n, n_sources))
+        if not self._started:
+            self._started = True
+            steps = np.abs(np.diff(d))
+            rho = np.exp(-steps / p.decorrelation_km)
+            out[0] = p.rng.normal(0.0, p.sigma_db, size=n_sources)
+            innovations = p.rng.normal(0.0, 1.0, size=(n - 1, n_sources))
+            scale = p.sigma_db * np.sqrt(1.0 - rho * rho)
+            for k in range(1, n):
+                out[k] = (
+                    rho[k - 1] * out[k - 1]
+                    + scale[k - 1] * innovations[k - 1]
+                )
+        else:
+            # continuation tile: every row consumes one innovation; the
+            # first row's rho spans the tile boundary
+            steps = np.abs(
+                np.diff(np.concatenate(([self._last_distance_km], d)))
+            )
+            rho = np.exp(-steps / p.decorrelation_km)
+            innovations = p.rng.normal(0.0, 1.0, size=(n, n_sources))
+            scale = p.sigma_db * np.sqrt(1.0 - rho * rho)
+            prev = self._last
+            for k in range(n):
+                out[k] = rho[k] * prev + scale[k] * innovations[k]
+                prev = out[k]
+        self._last = out[-1].copy()
+        self._last_distance_km = float(d[-1])
+        return out

@@ -9,9 +9,15 @@ layer, and the sweep and sharded-fleet runners built on it.
 
 from .config import PAPER_SPEEDS_KMH, SimulationParameters
 from .measurement import (
+    DEFAULT_TILE_EPOCHS,
+    TILE_EPOCHS_ENV_VAR,
     BatchMeasurementSeries,
     MeasurementSampler,
     MeasurementSeries,
+    MeasurementTile,
+    TiledBatchMeasurement,
+    auto_tile_epochs,
+    resolve_tile_epochs,
 )
 from .engine import HandoverEvent, SimulationResult, Simulator
 from .batch import BatchSimulationResult, BatchSimulator
@@ -38,7 +44,13 @@ from .executor import (
     default_workers,
     make_executor,
 )
-from .fleet import FleetShard, FleetSpec, partition_fleet, run_fleet
+from .fleet import (
+    FleetShard,
+    FleetSpec,
+    partition_fleet,
+    run_fleet,
+    warm_system_stats,
+)
 from .distributed import (
     DistributedExecutionError,
     DistributedExecutor,
@@ -78,6 +90,12 @@ __all__ = [
     "MeasurementSampler",
     "MeasurementSeries",
     "BatchMeasurementSeries",
+    "MeasurementTile",
+    "TiledBatchMeasurement",
+    "resolve_tile_epochs",
+    "auto_tile_epochs",
+    "TILE_EPOCHS_ENV_VAR",
+    "DEFAULT_TILE_EPOCHS",
     "Simulator",
     "SimulationResult",
     "HandoverEvent",
@@ -112,6 +130,7 @@ __all__ = [
     "FleetShard",
     "partition_fleet",
     "run_fleet",
+    "warm_system_stats",
     "DistributedExecutor",
     "DistributedExecutionError",
     "WorkerServer",

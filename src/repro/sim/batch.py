@@ -34,9 +34,34 @@ from ..core.system import Decision, FuzzyHandoverSystem, Stage
 from ..geometry.layout import CellLayout
 from ..radio.fading import speed_penalty_db
 from .engine import HandoverEvent, SimulationResult
-from .measurement import BatchMeasurementSeries
+from .measurement import (
+    BatchMeasurementSeries,
+    MeasurementTile,
+    TiledBatchMeasurement,
+)
 
 __all__ = ["BatchSimulator", "BatchSimulationResult"]
+
+#: A measurement source the epoch loop can drive: the fully materialised
+#: series, or the epoch-tiled stream (constant-memory large-N path).
+MeasurementSource = Union[BatchMeasurementSeries, TiledBatchMeasurement]
+
+
+def _measurement_tiles(source: MeasurementSource) -> Iterator[MeasurementTile]:
+    """The source's epoch tiles: a materialised series is one full-width
+    tile of views, a tiled stream yields its generator."""
+    if isinstance(source, TiledBatchMeasurement):
+        return source.tiles()
+    return iter(
+        (
+            MeasurementTile(
+                start=0,
+                positions_km=source.positions_km,
+                distance_km=source.distance_km,
+                power_dbw=source.power_dbw,
+            ),
+        )
+    )
 
 Cell = tuple[int, int]
 
@@ -241,11 +266,9 @@ class _FleetLogRecorder:
     accumulate from them) and never retain a reference across epochs.
     """
 
-    def begin(
-        self, series: BatchMeasurementSeries, speeds: np.ndarray
-    ) -> None:
-        n, t_max = series.n_ues, series.max_epochs
-        self._series = series
+    def begin(self, source: MeasurementSource, speeds: np.ndarray) -> None:
+        n, t_max = source.n_ues, source.max_epochs
+        self._series = source
         self._speeds = speeds
         self._serving_hist = np.full((n, t_max), -1, dtype=np.intp)
         self._stages = np.full((n, t_max), -1, dtype=np.int8)
@@ -291,6 +314,7 @@ class _FleetLogRecorder:
         sources: np.ndarray,
         targets: np.ndarray,
         outputs: np.ndarray,
+        distances: np.ndarray,
     ) -> None:
         self._stages[ues, k] = _HANDOVER
         self._ev_ue.append(ues)
@@ -300,7 +324,11 @@ class _FleetLogRecorder:
         self._ev_out.append(outputs)
 
     def end_epoch(
-        self, k: int, active: np.ndarray, serving: np.ndarray
+        self,
+        k: int,
+        active: np.ndarray,
+        serving: np.ndarray,
+        power_k: np.ndarray,
     ) -> None:
         self._serving_hist[active, k] = serving[active]
 
@@ -373,11 +401,17 @@ class BatchSimulator:
     # ------------------------------------------------------------------
     def run(self, series: BatchMeasurementSeries) -> BatchSimulationResult:
         """Simulate the whole fleet, one vectorised epoch at a time."""
+        if isinstance(series, TiledBatchMeasurement):
+            raise TypeError(
+                "run() materialises the full fleet log and requires a "
+                "BatchMeasurementSeries; drive a tile stream through "
+                "run_metrics() (or materialize() it first)"
+            )
         return self._drive(series, _FleetLogRecorder())
 
     def run_metrics(
         self,
-        series: BatchMeasurementSeries,
+        series: MeasurementSource,
         window_km: Optional[float] = None,
         outage_dbw: Optional[float] = None,
     ):
@@ -385,8 +419,11 @@ class BatchSimulator:
         :class:`~repro.sim.metrics.FleetMetrics` — streaming per-epoch
         counters, O(n_ues) memory, no ``(n_ues, n_epochs)`` histories.
 
-        Bit-identical to ``compute_fleet_metrics(self.run(series))``;
-        this is the path shard workers take, so a sharded fleet merges
+        Accepts the materialised series or an epoch-tiled
+        :class:`~repro.sim.measurement.TiledBatchMeasurement` (the
+        constant-memory large-N path); both produce bit-identical
+        metrics, equal to ``compute_fleet_metrics(self.run(series))``.
+        This is the path shard workers take, so a sharded fleet merges
         to exactly the unsharded metrics.  ``outage_dbw`` sets the
         serving-power sensitivity below which an epoch counts as outage
         (default :data:`~repro.sim.metrics.DEFAULT_OUTAGE_DBW`).
@@ -405,7 +442,7 @@ class BatchSimulator:
             ),
         )
 
-    def _drive(self, series: BatchMeasurementSeries, consumer):
+    def _drive(self, source: MeasurementSource, consumer):
         """The vectorised epoch loop, feeding a log/metrics consumer.
 
         The loop owns a set of preallocated ``(n_ues,)`` scratch buffers
@@ -414,11 +451,16 @@ class BatchSimulator:
         the data-dependent FLC-subset arrays.  Consumers therefore must
         not retain the mask arrays across callbacks (see
         :class:`_FleetLogRecorder`).
+
+        The loop walks the source's measurement tiles (a materialised
+        series is one full-width tile), so the per-UE simulation state —
+        serving cell, CSSP history window — flows across tile boundaries
+        and the streamed path is bit-identical to the materialised one.
         """
-        n, t_max = series.n_ues, series.max_epochs
+        n, t_max = source.n_ues, source.max_epochs
         if t_max == 0:
             raise ValueError("cannot simulate an empty measurement series")
-        layout = series.layout
+        layout = source.layout
         sys = self.system
         if self._speeds.shape[0] == 1:
             speeds = np.full(n, self._speeds[0])
@@ -433,14 +475,16 @@ class BatchSimulator:
 
         nbr_idx, nbr_mask, nbr_deg = _neighbor_table(layout)
         bs = layout.bs_positions
-        lengths = series.lengths
+        lengths = source.lengths
         lag = sys.cssp_lag
-        n_bs = series.power_dbw.shape[2]
+        n_bs = layout.n_cells
 
         if self.initial_cell is not None:
             serving = np.full(n, layout.index_of(self.initial_cell), np.intp)
         else:
-            serving = series.power_dbw[:, 0, :].argmax(axis=1).astype(np.intp)
+            # initialised from the first tile's first epoch below (the
+            # tiled source has no power cube to argmax up front)
+            serving = None
 
         # per-UE serving-power history window (scalar system's _history):
         # oldest sample first, `hist_len` valid entries, cleared on
@@ -448,7 +492,7 @@ class BatchSimulator:
         hist = np.zeros((n, lag))
         hist_len = np.zeros(n, dtype=np.intp)
 
-        consumer.begin(series, speeds)
+        consumer.begin(source, speeds)
 
         arange = np.arange(n)
         # hoisted per-epoch scratch (rewritten in place every epoch)
@@ -463,108 +507,124 @@ class BatchSimulator:
         window_mask = np.empty(n, dtype=bool)
         deg_buf = np.empty(n, dtype=np.intp)
         gather = np.empty(n, dtype=np.intp)
-        # serving-power gather without a per-epoch fancy-indexing copy:
-        # flatten the (contiguous float64) power cube once and np.take
-        # into the p_serv scratch through a precomputed per-UE row base
-        # (other layouts/dtypes keep the fancy-indexing fallback)
-        power_cube = series.power_dbw
-        power_flat = (
-            power_cube.reshape(-1)
-            if power_cube.flags.c_contiguous
-            and power_cube.dtype == np.float64
-            else None
-        )
-        row_base = arange * (t_max * n_bs)
+        row_base = np.empty(n, dtype=np.intp)
+        tile_width = -1
 
-        for k in range(t_max):
-            np.less(k, lengths, out=active)
-            power_k = power_cube[:, k, :]
-            if power_flat is not None:
-                np.add(row_base, k * n_bs, out=gather)
-                np.add(gather, serving, out=gather)
-                np.take(power_flat, gather, out=p_serv)
-            else:  # pragma: no cover - non-contiguous measurement cube
-                p_serv[:] = power_k[arange, serving]
+        for tile in _measurement_tiles(source):
+            power_cube = tile.power_dbw
+            k_t = tile.n_epochs
+            # serving-power gather without a per-epoch fancy-indexing
+            # copy: flatten the (contiguous float64) tile cube and
+            # np.take into the p_serv scratch through a per-UE row base
+            # (other layouts/dtypes keep the fancy-indexing fallback)
+            power_flat = (
+                power_cube.reshape(-1)
+                if power_cube.flags.c_contiguous
+                and power_cube.dtype == np.float64
+                else None
+            )
+            if k_t != tile_width:
+                np.multiply(arange, k_t * n_bs, out=row_base)
+                tile_width = k_t
+            if serving is None:
+                serving = power_cube[:, 0, :].argmax(axis=1).astype(np.intp)
 
-            np.equal(hist_len, 0, out=warm)
-            np.logical_and(warm, active, out=warm)
-            np.logical_not(warm, out=considered)
-            np.logical_and(considered, active, out=considered)
-            np.take(nbr_deg, serving, out=deg_buf)
-            np.equal(deg_buf, 0, out=no_nbr)
-            np.logical_and(no_nbr, considered, out=no_nbr)
-            np.logical_not(no_nbr, out=flc_mask)  # reused as ~no_nbr
-            np.logical_and(considered, flc_mask, out=considered)
-            np.greater_equal(p_serv, sys.potlc_gate_dbw, out=gated)
-            np.logical_and(gated, considered, out=gated)
-            np.logical_not(gated, out=flc_mask)
-            np.logical_and(flc_mask, considered, out=flc_mask)
+            for j in range(k_t):
+                k = tile.start + j
+                np.less(k, lengths, out=active)
+                power_k = power_cube[:, j, :]
+                if power_flat is not None:
+                    np.add(row_base, j * n_bs, out=gather)
+                    np.add(gather, serving, out=gather)
+                    np.take(power_flat, gather, out=p_serv)
+                else:  # pragma: no cover - non-contiguous measurement cube
+                    p_serv[:] = power_k[arange, serving]
 
-            consumer.on_stage_masks(k, warm, no_nbr, gated)
+                np.equal(hist_len, 0, out=warm)
+                np.logical_and(warm, active, out=warm)
+                np.logical_not(warm, out=considered)
+                np.logical_and(considered, active, out=considered)
+                np.take(nbr_deg, serving, out=deg_buf)
+                np.equal(deg_buf, 0, out=no_nbr)
+                np.logical_and(no_nbr, considered, out=no_nbr)
+                np.logical_not(no_nbr, out=flc_mask)  # reused as ~no_nbr
+                np.logical_and(considered, flc_mask, out=considered)
+                np.greater_equal(p_serv, sys.potlc_gate_dbw, out=gated)
+                np.logical_and(gated, considered, out=gated)
+                np.logical_not(gated, out=flc_mask)
+                np.logical_and(flc_mask, considered, out=flc_mask)
 
-            np.copyto(remembered, active)
-            if flc_mask.any():
-                idx = np.nonzero(flc_mask)[0]
-                m = idx.shape[0]
-                reference = hist[idx, 0]
-                previous = hist[idx, hist_len[idx] - 1]
-                srv = serving[idx]
-                nb = nbr_idx[srv]                       # (m, max_degree)
-                nb_p = np.where(
-                    nbr_mask[srv], power_k[idx[:, None], nb], -np.inf
-                )
-                best_col = nb_p.argmax(axis=1)          # first max: the
-                best_idx = nb[np.arange(m), best_col]   # scalar tie-break
-                best_p = nb_p[np.arange(m), best_col]
-                delta = series.positions_km[idx, k] - bs[srv]
-                d_serv = np.hypot(delta[:, 0], delta[:, 1])
+                consumer.on_stage_masks(k, warm, no_nbr, gated)
 
-                cssp = p_serv[idx] - reference
-                ssn = best_p - penalty[idx]
-                dmb = d_serv / sys.cell_radius_km
-                # the guard-banded decision path: compiled FLC kernels
-                # (lut/numba) evaluate the bulk, borderline outputs are
-                # re-evaluated exactly — decisions match the reference
-                # backend on every registered kernel
-                out = sys.decision_outputs_batch(cssp, ssn, dmb)
-
-                rej_flc = out <= sys.threshold
-                rej_prtlc = ~rej_flc
-                if sys.prtlc_enabled:
-                    rej_prtlc &= p_serv[idx] >= previous
-                else:
-                    rej_prtlc &= False
-                handed = ~rej_flc & ~rej_prtlc
-
-                consumer.on_flc(
-                    k, idx, cssp, ssn, dmb, out, rej_flc, rej_prtlc
-                )
-
-                if handed.any():
-                    ho = idx[handed]
-                    targets = best_idx[handed]
-                    consumer.on_handover(
-                        k, ho, serving[ho].copy(), targets, out[handed]
+                np.copyto(remembered, active)
+                if flc_mask.any():
+                    idx = np.nonzero(flc_mask)[0]
+                    m = idx.shape[0]
+                    reference = hist[idx, 0]
+                    previous = hist[idx, hist_len[idx] - 1]
+                    srv = serving[idx]
+                    nb = nbr_idx[srv]                     # (m, max_degree)
+                    nb_p = np.where(
+                        nbr_mask[srv], power_k[idx[:, None], nb], -np.inf
                     )
-                    serving[ho] = targets
-                    hist_len[ho] = 0        # history restarts, and the
-                    remembered[ho] = False  # handover epoch is not kept
+                    best_col = nb_p.argmax(axis=1)         # first max: the
+                    best_idx = nb[np.arange(m), best_col]  # scalar tie-break
+                    best_p = nb_p[np.arange(m), best_col]
+                    delta = tile.positions_km[idx, j] - bs[srv]
+                    d_serv = np.hypot(delta[:, 0], delta[:, 1])
 
-            # _remember() for every non-handover active UE: slide the
-            # lag window (full rows shift, short rows append).
-            np.equal(hist_len, lag, out=window_mask)
-            np.logical_and(window_mask, remembered, out=window_mask)
-            if window_mask.any():
-                hist[window_mask, :-1] = hist[window_mask, 1:]
-                hist[window_mask, -1] = p_serv[window_mask]
-            np.less(hist_len, lag, out=window_mask)
-            np.logical_and(window_mask, remembered, out=window_mask)
-            if window_mask.any():
-                rows = np.nonzero(window_mask)[0]
-                hist[rows, hist_len[rows]] = p_serv[rows]
-                hist_len[rows] += 1
+                    cssp = p_serv[idx] - reference
+                    ssn = best_p - penalty[idx]
+                    dmb = d_serv / sys.cell_radius_km
+                    # the guard-banded decision path: compiled FLC
+                    # kernels (lut/numba) evaluate the bulk, borderline
+                    # outputs are re-evaluated exactly — decisions match
+                    # the reference backend on every registered kernel
+                    out = sys.decision_outputs_batch(cssp, ssn, dmb)
 
-            consumer.end_epoch(k, active, serving)
+                    rej_flc = out <= sys.threshold
+                    rej_prtlc = ~rej_flc
+                    if sys.prtlc_enabled:
+                        rej_prtlc &= p_serv[idx] >= previous
+                    else:
+                        rej_prtlc &= False
+                    handed = ~rej_flc & ~rej_prtlc
+
+                    consumer.on_flc(
+                        k, idx, cssp, ssn, dmb, out, rej_flc, rej_prtlc
+                    )
+
+                    if handed.any():
+                        ho = idx[handed]
+                        targets = best_idx[handed]
+                        consumer.on_handover(
+                            k,
+                            ho,
+                            serving[ho].copy(),
+                            targets,
+                            out[handed],
+                            tile.distance_km[ho, j],
+                        )
+                        serving[ho] = targets
+                        hist_len[ho] = 0        # history restarts, and
+                        remembered[ho] = False  # the handover epoch is
+                        #                         not kept
+
+                # _remember() for every non-handover active UE: slide
+                # the lag window (full rows shift, short rows append).
+                np.equal(hist_len, lag, out=window_mask)
+                np.logical_and(window_mask, remembered, out=window_mask)
+                if window_mask.any():
+                    hist[window_mask, :-1] = hist[window_mask, 1:]
+                    hist[window_mask, -1] = p_serv[window_mask]
+                np.less(hist_len, lag, out=window_mask)
+                np.logical_and(window_mask, remembered, out=window_mask)
+                if window_mask.any():
+                    rows = np.nonzero(window_mask)[0]
+                    hist[rows, hist_len[rows]] = p_serv[rows]
+                    hist_len[rows] += 1
+
+                consumer.end_epoch(k, active, serving, power_k)
 
         return consumer.finalize()
 

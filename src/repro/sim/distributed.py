@@ -699,10 +699,15 @@ class _ApplicationError(Exception):
 
 
 def _describe_task(idx: int, item: object) -> str:
+    # a fleet task is (FleetShard, ...) — name its UE range outright
+    # rather than hoping the range survives repr truncation
+    parts = item if isinstance(item, tuple) else (item,)
+    for part in parts:
+        lo, hi = getattr(part, "lo", None), getattr(part, "hi", None)
+        if isinstance(lo, int) and isinstance(hi, int):
+            return f"task {idx} (shard lo={lo}, hi={hi})"
     desc = repr(item)
     if len(desc) > 200:
-        # keep the tail: a FleetShard repr carries its UE range
-        # (lo=..., hi=...) after the long embedded spec
         desc = desc[:120] + " ... " + desc[-75:]
     return f"task {idx} ({desc})"
 

@@ -52,7 +52,11 @@ from .config import (
     SimulationParameters,
 )
 from .executor import Executor, make_executor
-from .measurement import BatchMeasurementSeries, MeasurementSampler
+from .measurement import (
+    BatchMeasurementSeries,
+    MeasurementSampler,
+    resolve_tile_epochs,
+)
 from .metrics import (
     DEFAULT_OUTAGE_DBW,
     DEFAULT_WINDOW_KM,
@@ -60,7 +64,13 @@ from .metrics import (
     merge_fleet_metrics,
 )
 
-__all__ = ["FleetSpec", "FleetShard", "partition_fleet", "run_fleet"]
+__all__ = [
+    "FleetSpec",
+    "FleetShard",
+    "partition_fleet",
+    "run_fleet",
+    "warm_system_stats",
+]
 
 
 def partition_fleet(n_ues: int, n_shards: int) -> list[tuple[int, int]]:
@@ -197,6 +207,13 @@ class FleetSpec:
         """
         return self._with_params(self.params.with_(flc_backend=flc_backend))
 
+    def with_tile_epochs(self, tile_epochs: Optional[int]) -> "FleetSpec":
+        """A copy of this spec pinned to an epoch-tile policy
+        (see :data:`repro.sim.config.SimulationParameters.tile_epochs`:
+        ``0`` materialises, ``>= 1`` streams tiles of that many epochs —
+        byte-identical metrics either way)."""
+        return self._with_params(self.params.with_(tile_epochs=tile_epochs))
+
     def _with_params(self, params: SimulationParameters) -> "FleetSpec":
         population = (
             self.population.with_params(params)
@@ -289,6 +306,36 @@ class FleetShard:
             return sampler.measure_batch(batch, fading_rngs=rngs)
         return sampler.measure_batch(batch)
 
+    def measure_streamed(self, tile_epochs: Optional[int] = None):
+        """This shard's measurements under the epoch-tile policy:
+        the materialised series or a
+        :class:`~repro.sim.measurement.TiledBatchMeasurement`, per
+        :func:`~repro.sim.measurement.resolve_tile_epochs` (explicit
+        argument > spec ``params.tile_epochs`` > ``REPRO_TILE_EPOCHS`` >
+        auto-from-size).  Byte-identical per UE to :meth:`measure`
+        either way — the fleet's per-global-UE-index fading seeding is
+        exactly the per-UE-process shape the tile stream requires.
+        """
+        spec = self.spec
+        if spec.population is not None:
+            return spec.population.measure_streamed(
+                self.lo, self.hi, tile_epochs=tile_epochs
+            )
+        batch = spec.params.make_walk(spec.n_walks).generate_batch_seeded(
+            self.walk_seeds()
+        )
+        sampler = spec.make_sampler()
+        rngs = None
+        if sampler.fading is not None:
+            rngs = [
+                spec.fading_base_seed + i for i in range(self.lo, self.hi)
+            ]
+        return sampler.measure_batch_streamed(
+            batch,
+            resolve_tile_epochs(tile_epochs, spec.params.tile_epochs),
+            fading_rngs=rngs,
+        )
+
     def simulator(
         self, system: Optional[FuzzyHandoverSystem] = None
     ) -> BatchSimulator:
@@ -324,11 +371,15 @@ class FleetShard:
         window_km: float = DEFAULT_WINDOW_KM,
         system: Optional[FuzzyHandoverSystem] = None,
         outage_dbw: float = DEFAULT_OUTAGE_DBW,
+        tile_epochs: Optional[int] = None,
     ) -> FleetMetrics:
         """Streaming shard metrics — never materialises the full log.
 
         Population shards return cohort-labelled metrics (one vectorised
-        pass per distinct cohort policy, reassembled in UE order)."""
+        pass per distinct cohort policy, reassembled in UE order).  The
+        measurement side follows the epoch-tile policy (see
+        :meth:`measure_streamed`), so large shards stream their power
+        cube tile by tile with byte-identical metrics."""
         pop = self.spec.population
         if pop is not None:
             return pop.run_metrics(
@@ -337,16 +388,83 @@ class FleetShard:
                 window_km=window_km,
                 outage_dbw=outage_dbw,
                 system=system,
+                tile_epochs=tile_epochs,
             )
         return self.simulator(system).run_metrics(
-            self.measure(), window_km=window_km, outage_dbw=outage_dbw
+            self.measure_streamed(tile_epochs),
+            window_km=window_km,
+            outage_dbw=outage_dbw,
         )
 
 
-def _shard_metrics(task: tuple[FleetShard, float, float]) -> FleetMetrics:
-    """Top-level worker (must be module-level to be picklable)."""
-    shard, window_km, outage_dbw = task
-    return shard.metrics(window_km, outage_dbw=outage_dbw)
+# ----------------------------------------------------------------------
+# worker-side warm caches
+# ----------------------------------------------------------------------
+#: Process-wide cache of fully built handover systems, keyed by the FLC
+#: structural fingerprint a shard payload ships (plus the system knobs
+#: that configure the pipeline around it).  A long-lived ``repro
+#: worker`` process — including one that dropped off and rejoined the
+#: executor — reuses the compiled decision tables of every shard it has
+#: already served instead of recompiling per task.  Sharing one system
+#: across shards is safe: :class:`~repro.sim.batch.BatchSimulator`
+#: never mutates the system object.
+_WARM_SYSTEMS: dict[tuple, FuzzyHandoverSystem] = {}
+_WARM_STATS = {"hits": 0, "misses": 0}
+
+
+def warm_system_stats() -> dict[str, int]:
+    """Hit/miss counters of the worker-side warm-system cache (a copy;
+    observable by the distributed warm-path regression tests)."""
+    return dict(_WARM_STATS)
+
+
+def _warm_fingerprint(spec: FleetSpec) -> Optional[tuple]:
+    """The shard payload's FLC fingerprint: the controller's structural
+    key plus the system knobs, or ``None`` when the spec cannot be
+    fingerprinted (population specs build per-cohort systems and rely on
+    the process-wide LUT cache instead)."""
+    if spec.population is not None:
+        return None
+    try:
+        system = spec.make_system()
+        skey = getattr(system.flc, "_structural_key", None)
+        if not callable(skey):
+            return None
+        return (
+            skey(),
+            float(spec.params.cell_radius_km),
+            spec.params.flc_backend,
+        )
+    except Exception:  # pragma: no cover - defensive: fall back to cold
+        return None
+
+
+def _warm_system(spec: FleetSpec, flc_key: Optional[tuple]):
+    """The cached system for a fingerprinted shard payload (building and
+    caching on first sight), or ``None`` for unfingerprinted specs."""
+    if flc_key is None:
+        return None
+    cached = _WARM_SYSTEMS.get(flc_key)
+    if cached is not None:
+        _WARM_STATS["hits"] += 1
+        return cached
+    _WARM_STATS["misses"] += 1
+    system = spec.make_system()
+    _WARM_SYSTEMS[flc_key] = system
+    return system
+
+
+def _shard_metrics(task: tuple) -> FleetMetrics:
+    """Top-level worker (must be module-level to be picklable).
+
+    Accepts the 3-tuple payload of older callers and the 4-tuple
+    ``(shard, window_km, outage_dbw, flc_key)`` that ships the FLC
+    structural fingerprint, letting a rejoining worker reuse its
+    process-wide compiled-table cache across reconnects.
+    """
+    shard, window_km, outage_dbw, *rest = task
+    system = _warm_system(shard.spec, rest[0]) if rest else None
+    return shard.metrics(window_km, system=system, outage_dbw=outage_dbw)
 
 
 def run_fleet(
@@ -359,6 +477,7 @@ def run_fleet(
     outage_dbw: float = DEFAULT_OUTAGE_DBW,
     flc_backend: Optional[str] = None,
     hosts: Optional[Sequence[str]] = None,
+    tile_epochs: Optional[int] = None,
 ) -> FleetMetrics:
     """Run a fleet in ``n_shards`` partitions and merge the metrics.
 
@@ -384,14 +503,30 @@ def run_fleet(
     worker resolves backend names on its own host, so the merged
     metrics stay byte-identical to the serial run even when a dead
     worker forces shard reissue.
+
+    ``tile_epochs`` pins the epoch-tile policy of every shard's
+    measurement pass (``0`` materialises, ``>= 1`` streams tiles of
+    that many epochs — byte-identical metrics, O(shard·K·cells) peak
+    memory in the power term); ``None`` defers to ``spec.params``, the
+    ``REPRO_TILE_EPOCHS`` environment of the executing host, then the
+    auto-from-size heuristic.
+
+    Shard payloads also carry the spec's FLC structural fingerprint, so
+    a long-lived worker process — including a ``repro worker`` that
+    rejoined after a disconnect — serves repeat rule bases from its
+    process-wide compiled-table cache instead of recompiling per task.
     """
     if backend is not None:
         spec = spec.with_backend(backend)
     if flc_backend is not None:
         spec = spec.with_flc_backend(flc_backend)
+    if tile_epochs is not None:
+        spec = spec.with_tile_epochs(tile_epochs)
     shards = spec.shard(n_shards)
+    flc_key = _warm_fingerprint(spec)
     tasks = [
-        (shard, float(window_km), float(outage_dbw)) for shard in shards
+        (shard, float(window_km), float(outage_dbw), flc_key)
+        for shard in shards
     ]
     if executor is None:
         executor = make_executor(max_workers, n_tasks=len(tasks), hosts=hosts)

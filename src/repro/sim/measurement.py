@@ -6,25 +6,99 @@ time series the handover policies consume: for every measurement epoch
 power from *every* BS of the layout, optionally impaired by shadow
 fading.  The whole power matrix is computed in one vectorised
 propagation call — no per-epoch Python work.
+
+For large fleets the fully materialised ``(n_ues, n_epochs, n_cells)``
+power cube dominates peak memory.  :meth:`MeasurementSampler.
+measure_batch_tiles` instead produces a :class:`TiledBatchMeasurement`
+— an epoch-tiled stream whose tiles run the pathloss kernel and the
+per-UE fading continuation on demand, into one recycled
+``(n_ues, tile_epochs, n_cells)`` buffer — byte-identical to the
+materialised path (same per-UE RNG draw order, pinned by the streaming
+test suite).  The tile size policy (explicit pin > ``REPRO_TILE_EPOCHS``
+> auto-from-size heuristic) lives in :func:`resolve_tile_epochs` /
+:func:`auto_tile_epochs`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
 
-from typing import Sequence, Union
-
 from ..geometry.layout import CellLayout
 from ..mobility.base import Trace, TraceBatch
-from ..radio.fading import ShadowFading
+from ..radio.fading import ShadowFading, ShadowFadingStream
 from ..radio.propagation import PropagationModel
 
-__all__ = ["MeasurementSeries", "BatchMeasurementSeries", "MeasurementSampler"]
+__all__ = [
+    "MeasurementSeries",
+    "BatchMeasurementSeries",
+    "MeasurementSampler",
+    "MeasurementTile",
+    "TiledBatchMeasurement",
+    "resolve_tile_epochs",
+    "auto_tile_epochs",
+    "TILE_EPOCHS_ENV_VAR",
+    "DEFAULT_TILE_EPOCHS",
+]
 
 Cell = tuple[int, int]
+
+#: Environment override for the epoch-tile policy: an integer tile size,
+#: or ``0`` to force the fully materialised path.
+TILE_EPOCHS_ENV_VAR = "REPRO_TILE_EPOCHS"
+
+#: Tile size the auto heuristic streams with.  Small enough that the
+#: per-tile power buffer stays a fraction of the resident positions /
+#: distance arrays, large enough that per-tile Python overhead is noise.
+DEFAULT_TILE_EPOCHS = 16
+
+#: Auto heuristic cut-over: power cubes up to this many float64 entries
+#: (~32 MB) are cheaper to materialise than to stream.
+AUTO_TILE_THRESHOLD = 4_000_000
+
+
+def resolve_tile_epochs(*pins: Optional[int]) -> Optional[int]:
+    """Resolve the epoch-tile policy: first explicit pin, then the
+    :data:`TILE_EPOCHS_ENV_VAR` environment variable, else ``None``
+    (auto — decide from the workload size at measure time).
+
+    A resolved value of ``0`` forces the materialised path; ``>= 1`` is
+    a tile size in epochs.
+    """
+    for pin in pins:
+        if pin is not None:
+            k = int(pin)
+            if k != pin or k < 0:
+                raise ValueError(
+                    f"tile_epochs must be an integer >= 0, got {pin!r}"
+                )
+            return k
+    env = os.environ.get(TILE_EPOCHS_ENV_VAR)
+    if env is not None and env.strip():
+        try:
+            k = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{TILE_EPOCHS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if k < 0:
+            raise ValueError(
+                f"{TILE_EPOCHS_ENV_VAR} must be >= 0, got {env!r}"
+            )
+        return k
+    return None
+
+
+def auto_tile_epochs(n_ues: int, max_epochs: int, n_cells: int) -> int:
+    """The auto policy's tile size for a workload: ``0`` (materialise)
+    when the full power cube is small, :data:`DEFAULT_TILE_EPOCHS`
+    otherwise."""
+    if n_ues * max_epochs * n_cells <= AUTO_TILE_THRESHOLD:
+        return 0
+    return min(DEFAULT_TILE_EPOCHS, max_epochs)
 
 
 @dataclass(frozen=True)
@@ -171,12 +245,36 @@ class BatchMeasurementSeries:
         (padded epochs carry the repeated final position's argmax)."""
         return self.power_dbw.argmax(axis=2)
 
+    def epoch_slice(self, start: int, stop: int) -> "BatchMeasurementSeries":
+        """The sub-series of epochs ``[start, stop)``, as *views*.
+
+        No array data is copied — the result shares memory with this
+        series (read-only downstream use only).  ``lengths`` are clipped
+        to the slice, so consumers mask exactly the epochs that are
+        valid inside it.
+        """
+        if not (0 <= start < stop <= self.max_epochs):
+            raise ValueError(
+                f"epoch slice [{start}, {stop}) out of range for "
+                f"{self.max_epochs} epochs"
+            )
+        return BatchMeasurementSeries(
+            positions_km=self.positions_km[:, start:stop],
+            distance_km=self.distance_km[:, start:stop],
+            power_dbw=self.power_dbw[:, start:stop],
+            lengths=np.clip(self.lengths - start, 0, stop - start),
+            layout=self.layout,
+        )
+
     def select(self, indices: np.ndarray) -> "BatchMeasurementSeries":
         """The sub-fleet of the given UE rows, in the given order.
 
-        Per-UE rows are copied verbatim, so simulating a selection is
-        bit-identical per UE to simulating the full batch — the property
-        the population layer's policy grouping relies on.
+        Per-UE row *values* are identical to the full batch's, so
+        simulating a selection is bit-identical per UE to simulating the
+        full batch — the property the population layer's policy grouping
+        relies on.  A contiguous ascending selection returns views (no
+        copies, read-only downstream use); any other selection copies
+        via fancy indexing.
         """
         idx = np.asarray(indices, dtype=np.intp)
         if idx.ndim != 1 or idx.shape[0] < 1:
@@ -188,13 +286,283 @@ class BatchMeasurementSeries:
                 f"indices must lie in [0, {self.n_ues}), "
                 f"got [{idx.min()}, {idx.max()}]"
             )
-        # fancy indexing already yields fresh arrays — no extra copies
+        lo, hi = int(idx[0]), int(idx[-1]) + 1
+        if hi - lo == idx.shape[0] and (np.diff(idx) == 1).all():
+            idx = slice(lo, hi)  # type: ignore[assignment]
         return BatchMeasurementSeries(
             positions_km=self.positions_km[idx],
             distance_km=self.distance_km[idx],
             power_dbw=self.power_dbw[idx],
             lengths=self.lengths[idx],
             layout=self.layout,
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementTile:
+    """One epoch tile of a :class:`TiledBatchMeasurement` stream.
+
+    ``positions_km`` / ``distance_km`` are views into the stream's
+    resident mobility arrays; ``power_dbw`` is the stream's recycled
+    per-tile buffer.  A tile is valid until the next tile is requested
+    from the generator — consumers must finish (or copy) it before
+    advancing.
+    """
+
+    #: global epoch index of the tile's first row
+    start: int
+    positions_km: np.ndarray  # (n_ues, k, 2)
+    distance_km: np.ndarray  # (n_ues, k)
+    power_dbw: np.ndarray  # (n_ues, k, n_cells)
+
+    @property
+    def n_epochs(self) -> int:
+        return self.distance_km.shape[1]
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.n_epochs
+
+
+class TiledBatchMeasurement:
+    """An epoch-tiled measurement stream for a whole fleet.
+
+    The structural twin of :class:`BatchMeasurementSeries` minus the
+    materialised power cube: mobility stays resident (positions and
+    cumulative distances are 3 floats per UE-epoch), while received
+    power — ``n_cells`` floats per UE-epoch, the dominant term — is
+    computed tile by tile into one recycled ``(n_ues, tile_epochs,
+    n_cells)`` buffer as :meth:`tiles` is consumed.  Peak memory is
+    therefore O(N·K·cells) in the power term regardless of horizon.
+
+    Byte-identity with the materialised path holds per construction:
+    the pathloss kernel is elementwise per (UE, epoch), and per-UE
+    fading continues across tiles through
+    :class:`~repro.radio.fading.ShadowFadingStream` (same RNG draw
+    order as the one-shot ``sample_along``).
+
+    With fading, :meth:`tiles` is single-shot — consuming it advances
+    the per-UE fading generators, so a second pass (or a pass over a
+    parent stream after :meth:`select`) would silently draw different
+    noise; the stream guards both with a :class:`RuntimeError`.
+    """
+
+    def __init__(
+        self,
+        positions_km: np.ndarray,
+        distance_km: np.ndarray,
+        lengths: np.ndarray,
+        layout: CellLayout,
+        propagation: PropagationModel,
+        tile_epochs: int,
+        fading_profiles: Optional[
+            Sequence[Optional[ShadowFading]]
+        ] = None,
+    ) -> None:
+        n, t = positions_km.shape[:2]
+        if positions_km.shape != (n, t, 2):
+            raise ValueError(
+                f"positions_km must be (n, t, 2), got {positions_km.shape}"
+            )
+        if distance_km.shape != (n, t):
+            raise ValueError(
+                f"distance_km must be ({n}, {t}), got {distance_km.shape}"
+            )
+        if lengths.shape != (n,):
+            raise ValueError(f"lengths must be ({n},), got {lengths.shape}")
+        if tile_epochs < 1:
+            raise ValueError(
+                f"tile_epochs must be >= 1, got {tile_epochs}"
+            )
+        if fading_profiles is not None and len(fading_profiles) != n:
+            raise ValueError(
+                f"{n} UEs but {len(fading_profiles)} fading profiles"
+            )
+        self.positions_km = positions_km
+        self.distance_km = distance_km
+        self.lengths = lengths
+        self.layout = layout
+        self.propagation = propagation
+        self.tile_epochs = int(tile_epochs)
+        self._profiles = (
+            list(fading_profiles) if fading_profiles is not None else None
+        )
+        self._consumed = False
+        # rows whose fading generators were handed to a sub-stream via
+        # select(); disjoint selections stay independent (every UE owns
+        # its generator), overlapping ones would double-draw
+        self._donated: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ues(self) -> int:
+        return self.positions_km.shape[0]
+
+    @property
+    def max_epochs(self) -> int:
+        return self.positions_km.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_ues
+
+    @property
+    def _has_fading(self) -> bool:
+        return self._profiles is not None and any(
+            p is not None and p.sigma_db > 0.0 for p in self._profiles
+        )
+
+    def _claim(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "this tile stream's fading generators were already "
+                "consumed; rebuild the stream from the sampler"
+            )
+        if self._donated:
+            raise RuntimeError(
+                "this tile stream donated fading generators to "
+                "select() sub-streams; consume those instead, or "
+                "rebuild the stream from the sampler"
+            )
+        if self._has_fading:
+            self._consumed = True
+
+    # ------------------------------------------------------------------
+    def select(self, indices: np.ndarray) -> "TiledBatchMeasurement":
+        """The sub-fleet's tile stream, in the given row order.
+
+        Mobility rows are shared (views for contiguous selections);
+        fading generators move to the sub-stream.  Disjoint selections —
+        the population layer's policy groups — stay independent because
+        every UE owns its own generator; selecting a fading UE twice, or
+        consuming the parent after a donation, would double-draw and is
+        rejected.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.ndim != 1 or idx.shape[0] < 1:
+            raise ValueError(
+                f"indices must be a non-empty 1-D array, got shape {idx.shape}"
+            )
+        if not (0 <= idx.min() and idx.max() < self.n_ues):
+            raise ValueError(
+                f"indices must lie in [0, {self.n_ues}), "
+                f"got [{idx.min()}, {idx.max()}]"
+            )
+        if self._consumed:
+            raise RuntimeError(
+                "cannot select from a consumed tile stream; rebuild the "
+                "stream from the sampler"
+            )
+        donating: set[int] = set()
+        if self._profiles is not None:
+            donating = {
+                int(i)
+                for i in idx
+                if self._profiles[int(i)] is not None
+                and self._profiles[int(i)].sigma_db > 0.0
+            }
+            overlap = donating & self._donated
+            if overlap:
+                raise RuntimeError(
+                    f"fading generators of UEs {sorted(overlap)[:5]} were "
+                    "already donated to another select() sub-stream; "
+                    "selections must be disjoint"
+                )
+        take = idx
+        lo, hi = int(idx[0]), int(idx[-1]) + 1
+        if hi - lo == idx.shape[0] and (np.diff(idx) == 1).all():
+            take = slice(lo, hi)  # type: ignore[assignment]
+        sub = TiledBatchMeasurement(
+            positions_km=self.positions_km[take],
+            distance_km=self.distance_km[take],
+            lengths=self.lengths[take],
+            layout=self.layout,
+            propagation=self.propagation,
+            tile_epochs=self.tile_epochs,
+            fading_profiles=(
+                [self._profiles[int(i)] for i in idx]
+                if self._profiles is not None
+                else None
+            ),
+        )
+        self._donated |= donating
+        return sub
+
+    def tiles(self) -> Iterator[MeasurementTile]:
+        """Generate the measurement tiles, in epoch order."""
+        self._claim()
+        return self._tiles()
+
+    def _tiles(self) -> Iterator[MeasurementTile]:
+        n, t_max = self.n_ues, self.max_epochs
+        tile = self.tile_epochs
+        n_cells = self.layout.n_cells
+        bs = self.layout.bs_positions
+        lengths = self.lengths
+        streams: Optional[list[Optional[ShadowFadingStream]]] = None
+        if self._profiles is not None:
+            streams = [
+                ShadowFadingStream(p)
+                if p is not None and p.sigma_db > 0.0
+                else None
+                for p in self._profiles
+            ]
+            if not any(s is not None for s in streams):
+                streams = None
+        # one preallocated per-tile power buffer, recycled every tile
+        # (the short tail tile gets its own exact-size buffer so every
+        # yielded cube stays C-contiguous for the consumer's flat
+        # serving-power gather)
+        power_buf = np.empty((n, min(tile, t_max), n_cells))
+        for lo in range(0, t_max, tile):
+            hi = min(lo + tile, t_max)
+            k = hi - lo
+            positions = self.positions_km[:, lo:hi]
+            distance = self.distance_km[:, lo:hi]
+            buf = (
+                power_buf
+                if k == power_buf.shape[1]
+                else np.empty((n, k, n_cells))
+            )
+            buf[...] = self.propagation.power_from_sites_batch(bs, positions)
+            if streams is not None:
+                for i, stream in enumerate(streams):
+                    if stream is None:
+                        continue
+                    t_i = min(int(lengths[i]), hi) - lo
+                    if t_i <= 0:
+                        continue
+                    buf[i, :t_i] += stream.sample_next(
+                        distance[i, :t_i], n_sources=n_cells
+                    )
+            yield MeasurementTile(
+                start=lo,
+                positions_km=positions,
+                distance_km=distance,
+                power_dbw=buf,
+            )
+
+    def materialize(self) -> BatchMeasurementSeries:
+        """Assemble the full :class:`BatchMeasurementSeries` from the
+        tile stream (reference/debug path — reinstates the O(N·T·cells)
+        cube the stream exists to avoid)."""
+        power = np.empty(
+            (self.n_ues, self.max_epochs, self.layout.n_cells)
+        )
+        for t in self.tiles():
+            power[:, t.start : t.stop] = t.power_dbw
+        return BatchMeasurementSeries(
+            positions_km=self.positions_km,
+            distance_km=self.distance_km,
+            power_dbw=power,
+            lengths=self.lengths,
+            layout=self.layout,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TiledBatchMeasurement(n_ues={self.n_ues}, "
+            f"max_epochs={self.max_epochs}, "
+            f"tile_epochs={self.tile_epochs})"
         )
 
 
@@ -297,6 +665,41 @@ class MeasurementSampler:
             with ``fading_rngs``.
         """
         dense = batch.densify(self.spacing_km)
+        profiles = self._fading_profiles_for(
+            dense, fading_rngs, fading_profiles
+        )
+        power = self.propagation.power_from_sites_batch(
+            self.layout.bs_positions, dense.positions
+        )
+        distance = dense.cumulative_distances()
+        if profiles is not None:
+            for i in range(dense.n_traces):
+                process = profiles[i]
+                if process is None or process.sigma_db <= 0.0:
+                    continue
+                t = int(dense.lengths[i])
+                power[i, :t] += process.sample_along(
+                    distance[i, :t], n_sources=self.layout.n_cells
+                )
+        return BatchMeasurementSeries(
+            positions_km=dense.positions,
+            distance_km=distance,
+            power_dbw=power,
+            lengths=dense.lengths,
+            layout=self.layout,
+        )
+
+    def _fading_profiles_for(
+        self,
+        dense: TraceBatch,
+        fading_rngs,
+        fading_profiles,
+    ) -> Optional[list[Optional[ShadowFading]]]:
+        """Validate the fading arguments and normalise the legacy
+        shared-process / per-rng paths into the per-UE profile vector
+        (ShadowFading construction draws nothing, so pre-building the
+        list is bit-identical to constructing inside the sampling
+        loop)."""
         if fading_rngs is not None and fading_profiles is not None:
             raise ValueError(
                 "pass either fading_rngs or fading_profiles, not both"
@@ -313,50 +716,176 @@ class MeasurementSampler:
                     f"{dense.n_traces} traces but {len(fading_rngs)} "
                     "fading rngs"
                 )
-        if fading_profiles is not None and (
-            len(fading_profiles) != dense.n_traces
-        ):
-            raise ValueError(
-                f"{dense.n_traces} traces but {len(fading_profiles)} "
-                "fading profiles"
-            )
-        power = self.propagation.power_from_sites_batch(
-            self.layout.bs_positions, dense.positions
-        )
-        distance = dense.cumulative_distances()
-        # normalise the legacy shared-process / per-rng paths into the
-        # per-UE profile vector, then apply fading through one loop
-        # (ShadowFading construction draws nothing, so pre-building the
-        # list is bit-identical to constructing inside the loop)
-        if fading_profiles is None and (
-            self.fading is not None and self.fading.sigma_db > 0.0
-        ):
-            if fading_rngs is None:
-                fading_profiles = [self.fading] * dense.n_traces
-            else:
-                fading_profiles = [
-                    ShadowFading(
-                        sigma_db=self.fading.sigma_db,
-                        decorrelation_km=self.fading.decorrelation_km,
-                        rng=rng,
-                    )
-                    for rng in fading_rngs
-                ]
         if fading_profiles is not None:
-            for i in range(dense.n_traces):
-                process = fading_profiles[i]
-                if process is None or process.sigma_db <= 0.0:
-                    continue
-                t = int(dense.lengths[i])
-                power[i, :t] += process.sample_along(
-                    distance[i, :t], n_sources=self.layout.n_cells
+            if len(fading_profiles) != dense.n_traces:
+                raise ValueError(
+                    f"{dense.n_traces} traces but {len(fading_profiles)} "
+                    "fading profiles"
                 )
-        return BatchMeasurementSeries(
+            return list(fading_profiles)
+        if self.fading is not None and self.fading.sigma_db > 0.0:
+            if fading_rngs is None:
+                return [self.fading] * dense.n_traces
+            return [
+                ShadowFading(
+                    sigma_db=self.fading.sigma_db,
+                    decorrelation_km=self.fading.decorrelation_km,
+                    rng=rng,
+                )
+                for rng in fading_rngs
+            ]
+        return None
+
+    @staticmethod
+    def _tileable(
+        profiles: Optional[list[Optional[ShadowFading]]],
+    ) -> bool:
+        """Whether the fading vector can stream per tile: every active
+        process must be owned by exactly one UE.  A process shared
+        across UEs (the legacy sequential shared-rng path, or duplicate
+        profile objects) draws UE-by-UE in the materialised path — an
+        order tiling cannot reproduce."""
+        if profiles is None:
+            return True
+        active = [
+            id(p) for p in profiles if p is not None and p.sigma_db > 0.0
+        ]
+        return len(active) == len(set(active))
+
+    def measure_batch_tiles(
+        self,
+        batch: TraceBatch,
+        tile_epochs: Optional[int] = None,
+        fading_rngs: Optional[
+            Sequence[Union[int, np.random.Generator, None]]
+        ] = None,
+        fading_profiles: Optional[Sequence[Optional[ShadowFading]]] = None,
+    ) -> TiledBatchMeasurement:
+        """The epoch-tiled streaming counterpart of :meth:`measure_batch`.
+
+        Mobility is densified once (positions and cumulative distances
+        stay resident); the power cube is generated tile by tile as the
+        returned :class:`TiledBatchMeasurement` is consumed —
+        byte-identical per UE to the materialised path, at
+        O(N·tile_epochs·cells) peak memory in the power term.
+
+        ``tile_epochs`` pins the tile size (``None`` resolves the
+        :data:`TILE_EPOCHS_ENV_VAR` override, then the auto heuristic,
+        with :data:`DEFAULT_TILE_EPOCHS` as the floor — this method
+        always tiles; use :meth:`measure_batch_streamed` to let the
+        policy fall back to the materialised path).  Fading requires
+        per-UE processes (``fading_rngs`` / ``fading_profiles``): the
+        sampler's shared sequential process draws UE-by-UE, an order a
+        tile stream cannot reproduce, and is rejected.
+        """
+        k = resolve_tile_epochs(tile_epochs)
+        if k == 0:
+            raise ValueError(
+                "tile_epochs=0 requests the materialised path; call "
+                "measure_batch (or measure_batch_streamed) instead"
+            )
+        dense = batch.densify(self.spacing_km)
+        profiles = self._fading_profiles_for(
+            dense, fading_rngs, fading_profiles
+        )
+        if not self._tileable(profiles):
+            raise ValueError(
+                "tiled measurement requires per-UE fading processes "
+                "(fading_rngs or fading_profiles); the sampler's shared "
+                "process draws sequentially across UEs, which a tile "
+                "stream cannot reproduce byte-identically"
+            )
+        if k is None:
+            k = (
+                auto_tile_epochs(
+                    dense.n_traces, dense.max_points, self.layout.n_cells
+                )
+                or DEFAULT_TILE_EPOCHS
+            )
+        return TiledBatchMeasurement(
             positions_km=dense.positions,
-            distance_km=distance,
-            power_dbw=power,
+            distance_km=dense.cumulative_distances(),
             lengths=dense.lengths,
             layout=self.layout,
+            propagation=self.propagation,
+            tile_epochs=min(k, dense.max_points),
+            fading_profiles=profiles,
+        )
+
+    def measure_batch_streamed(
+        self,
+        batch: TraceBatch,
+        tile_epochs: Optional[int] = None,
+        fading_rngs: Optional[
+            Sequence[Union[int, np.random.Generator, None]]
+        ] = None,
+        fading_profiles: Optional[Sequence[Optional[ShadowFading]]] = None,
+    ) -> Union[BatchMeasurementSeries, TiledBatchMeasurement]:
+        """Measure a fleet under the epoch-tile *policy*.
+
+        Resolves ``tile_epochs`` (explicit pin > ``REPRO_TILE_EPOCHS`` >
+        auto-from-size heuristic) and returns either the materialised
+        :class:`BatchMeasurementSeries` (resolved ``0``, small
+        workloads, or fading without per-UE processes) or a
+        :class:`TiledBatchMeasurement`.  Both are accepted directly by
+        :meth:`repro.sim.batch.BatchSimulator.run_metrics` and produce
+        byte-identical metrics.
+        """
+        k = resolve_tile_epochs(tile_epochs)
+        if k == 0:
+            return self.measure_batch(batch, fading_rngs, fading_profiles)
+        dense = batch.densify(self.spacing_km)
+        profiles = self._fading_profiles_for(
+            dense, fading_rngs, fading_profiles
+        )
+        tileable = self._tileable(profiles)
+        if k is None:
+            k = (
+                auto_tile_epochs(
+                    dense.n_traces, dense.max_points, self.layout.n_cells
+                )
+                if tileable
+                else 0
+            )
+        if k > 0 and not tileable:
+            raise ValueError(
+                "tiled measurement requires per-UE fading processes "
+                "(fading_rngs or fading_profiles); the sampler's shared "
+                "process draws sequentially across UEs, which a tile "
+                "stream cannot reproduce byte-identically — pin "
+                "tile_epochs=0 for the materialised path"
+            )
+        if k == 0:
+            # reuse the already-densified batch through the materialised
+            # sampling loop (same float ops as measure_batch)
+            power = self.propagation.power_from_sites_batch(
+                self.layout.bs_positions, dense.positions
+            )
+            distance = dense.cumulative_distances()
+            if profiles is not None:
+                for i in range(dense.n_traces):
+                    process = profiles[i]
+                    if process is None or process.sigma_db <= 0.0:
+                        continue
+                    t = int(dense.lengths[i])
+                    power[i, :t] += process.sample_along(
+                        distance[i, :t], n_sources=self.layout.n_cells
+                    )
+            return BatchMeasurementSeries(
+                positions_km=dense.positions,
+                distance_km=distance,
+                power_dbw=power,
+                lengths=dense.lengths,
+                layout=self.layout,
+            )
+        return TiledBatchMeasurement(
+            positions_km=dense.positions,
+            distance_km=dense.cumulative_distances(),
+            lengths=dense.lengths,
+            layout=self.layout,
+            propagation=self.propagation,
+            tile_epochs=min(k, dense.max_points),
+            fading_profiles=profiles,
         )
 
     def measure_points(self, points_km: np.ndarray) -> np.ndarray:

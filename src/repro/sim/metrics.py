@@ -32,7 +32,6 @@ from .engine import HandoverEvent, SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from .batch import BatchSimulationResult
-    from .measurement import BatchMeasurementSeries
 
 __all__ = [
     "count_ping_pongs",
@@ -564,12 +563,13 @@ class FleetMetricsAccumulator:
         self.outage_dbw = float(outage_dbw)
 
     # -- consumer interface -------------------------------------------
-    def begin(
-        self, series: "BatchMeasurementSeries", speeds: np.ndarray
-    ) -> None:
-        n = series.n_ues
-        self._series = series
-        self._lengths = series.lengths
+    def begin(self, source, speeds: np.ndarray) -> None:
+        # `source` is a series or tile stream; the accumulator never
+        # touches its power cube (epoch data arrives through the
+        # callback arguments), which is what lets the tiled path run at
+        # O(n_ues) memory
+        n = source.n_ues
+        self._lengths = source.lengths
         self._handovers = np.zeros(n, dtype=np.intp)
         self._ping_pongs = np.zeros(n, dtype=np.intp)
         self._necessary = np.zeros(n, dtype=np.intp)
@@ -617,9 +617,10 @@ class FleetMetricsAccumulator:
         sources: np.ndarray,
         targets: np.ndarray,
         outputs: np.ndarray,
+        distances: np.ndarray,
     ) -> None:
         self._handovers[ues] += 1
-        dist = self._series.distance_km[ues, k]
+        dist = distances
         # a bounce straight back: A->B then B->A within the window
         # (prev_tgt == -1 rows can never match a real source index)
         bounce = (
@@ -638,9 +639,12 @@ class FleetMetricsAccumulator:
         self._last_event_step[ues] = k
 
     def end_epoch(
-        self, k: int, active: np.ndarray, serving: np.ndarray
+        self,
+        k: int,
+        active: np.ndarray,
+        serving: np.ndarray,
+        power_k: np.ndarray,
     ) -> None:
-        power_k = self._series.power_dbw[:, k, :]
         strongest = power_k.argmax(axis=1)
         self._wrong += active & (serving != strongest)
         self._outage += active & (

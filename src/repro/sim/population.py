@@ -61,7 +61,11 @@ from .config import (
     DEFAULT_FADING_BASE_SEED,
     SimulationParameters,
 )
-from .measurement import BatchMeasurementSeries, MeasurementSampler
+from .measurement import (
+    BatchMeasurementSeries,
+    MeasurementSampler,
+    resolve_tile_epochs,
+)
 from .metrics import (
     DEFAULT_OUTAGE_DBW,
     DEFAULT_WINDOW_KM,
@@ -490,6 +494,28 @@ class PopulationSpec:
             self.traces(lo, hi), fading_profiles=self.fading_profiles(lo, hi)
         )
 
+    def measure_streamed(
+        self,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        tile_epochs: Optional[int] = None,
+    ):
+        """The range's measurements under the epoch-tile policy — the
+        materialised series or a
+        :class:`~repro.sim.measurement.TiledBatchMeasurement`, per
+        :func:`~repro.sim.measurement.resolve_tile_epochs` (explicit
+        argument > ``params.tile_epochs`` > ``REPRO_TILE_EPOCHS`` >
+        auto-from-size).  The population's per-UE fading profiles are
+        exactly the per-UE-process shape the tile stream requires, so
+        heterogeneous cohorts stream byte-identically.
+        """
+        lo, hi = self._range(lo, hi)
+        return self.make_sampler().measure_batch_streamed(
+            self.traces(lo, hi),
+            resolve_tile_epochs(tile_epochs, self.params.tile_epochs),
+            fading_profiles=self.fading_profiles(lo, hi),
+        )
+
     def run_metrics(
         self,
         lo: int = 0,
@@ -497,6 +523,7 @@ class PopulationSpec:
         window_km: float = DEFAULT_WINDOW_KM,
         outage_dbw: float = DEFAULT_OUTAGE_DBW,
         system: Optional[FuzzyHandoverSystem] = None,
+        tile_epochs: Optional[int] = None,
     ) -> FleetMetrics:
         """Streaming cohort-labelled metrics of UEs ``[lo, hi)``.
 
@@ -504,9 +531,14 @@ class PopulationSpec:
         cohort shares a policy), reassembled into global UE order — the
         per-UE reductions are elementwise, so the grouping never changes
         a value.  Pass ``system`` to override every cohort's policy.
+        The measurement side follows the epoch-tile policy (see
+        :meth:`measure_streamed`): policy groups select disjoint
+        sub-streams of one tile stream, each carrying its own UEs'
+        fading generators, so the grouped streamed run stays
+        byte-identical to the materialised one.
         """
         lo, hi = self._range(lo, hi)
-        series = self.measure(lo, hi)
+        series = self.measure_streamed(lo, hi, tile_epochs=tile_epochs)
         speeds = self.ue_speeds(lo, hi)
         if system is not None:
             groups: list[tuple[Optional[PolicyConfig], np.ndarray]] = [
@@ -554,6 +586,7 @@ class PopulationSpec:
         backend: Optional[str] = None,
         outage_dbw: float = DEFAULT_OUTAGE_DBW,
         flc_backend: Optional[str] = None,
+        tile_epochs: Optional[int] = None,
     ) -> FleetMetrics:
         """Partition the population with the fleet layer and merge the
         cohort-labelled shard metrics (bit-identical for any shard
@@ -568,6 +601,7 @@ class PopulationSpec:
             backend=backend,
             outage_dbw=outage_dbw,
             flc_backend=flc_backend,
+            tile_epochs=tile_epochs,
         )
 
 

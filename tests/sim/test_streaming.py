@@ -1,0 +1,375 @@
+"""Epoch-tiled streaming measurement: byte-identity and memory pins.
+
+The PR-7 contract in one file: streaming is a *memory* knob, never a
+physics knob.  Every tile width, shard count and population mix must
+reproduce the materialised pipeline bit-for-bit (same RNG draw order
+per UE), and the streamed ``run_metrics`` pass must not allocate
+proportionally to the horizon.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import FuzzyHandoverSystem
+from repro.mobility import GaussMarkov, TraceBatch
+from repro.radio.fading import ShadowFading, ShadowFadingStream
+from repro.sim import (
+    DEFAULT_TILE_EPOCHS,
+    TILE_EPOCHS_ENV_VAR,
+    BatchSimulator,
+    FleetSpec,
+    MeasurementSampler,
+    SimulationParameters,
+    auto_tile_epochs,
+    resolve_tile_epochs,
+    run_fleet,
+)
+from repro.sim.population import PolicyConfig, PopulationSpec, UECohort
+
+PER_UE_ARRAYS = (
+    "handovers_per_ue",
+    "ping_pongs_per_ue",
+    "necessary_per_ue",
+    "epochs_per_ue",
+    "wrong_epochs_per_ue",
+    "outage_epochs_per_ue",
+    "dwell_epochs_per_ue",
+    "dwell_count_per_ue",
+    "output_sum_per_ue",
+    "output_count_per_ue",
+    "output_max_per_ue",
+)
+
+
+def assert_identical(got, ref):
+    """FleetMetrics byte-identity down to per-UE arrays and cohort
+    labels (dataclass ``==`` only covers the scalar aggregates)."""
+    assert got == ref
+    for name in PER_UE_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(got, name), getattr(ref, name), err_msg=name
+        )
+    assert got.cohort_names == ref.cohort_names
+    if ref.cohort_ids_per_ue is not None:
+        np.testing.assert_array_equal(
+            got.cohort_ids_per_ue, ref.cohort_ids_per_ue
+        )
+
+
+def make_sampler(params, with_fading=False):
+    return MeasurementSampler(
+        params.make_layout(),
+        params.make_propagation(),
+        spacing_km=params.measurement_spacing_km,
+        fading=params.make_fading() if with_fading else None,
+    )
+
+
+def make_batch(params, n, base_seed=100, uneven=False):
+    """``n`` seeded walks; ``uneven`` varies leg counts per UE so the
+    per-UE trace lengths differ."""
+    traces = []
+    for i in range(n):
+        legs = params.n_walks + (i % 3 if uneven else 0)
+        traces.append(params.make_walk(legs).generate_seeded(base_seed + i))
+    return TraceBatch.from_traces(traces)
+
+
+# ----------------------------------------------------------------------
+# the fading stream: tile-resumable sample_along
+# ----------------------------------------------------------------------
+class TestShadowFadingStream:
+    def _pair(self, sigma=4.0, dec=0.1, seed=7):
+        """Two identically seeded processes: one for the one-shot
+        reference, one to drive through the stream."""
+        return (
+            ShadowFading(sigma, dec, np.random.default_rng(seed)),
+            ShadowFading(sigma, dec, np.random.default_rng(seed)),
+        )
+
+    def _distances(self, n=24, seed=3):
+        rng = np.random.default_rng(seed)
+        return np.cumsum(rng.uniform(0.01, 0.2, size=n))
+
+    @pytest.mark.parametrize("dec", [0.0, 0.1, 2.5])
+    @pytest.mark.parametrize(
+        "bounds", [(24,), (5, 24), (1, 2, 3, 24), (11, 12, 24)]
+    )
+    def test_chunked_draws_match_one_shot(self, dec, bounds):
+        ref_p, stream_p = self._pair(dec=dec)
+        d = self._distances()
+        expected = ref_p.sample_along(d, n_sources=19)
+        stream = ShadowFadingStream(stream_p)
+        lo = 0
+        chunks = []
+        for hi in bounds:
+            chunks.append(stream.sample_next(d[lo:hi], n_sources=19))
+            lo = hi
+        np.testing.assert_array_equal(np.concatenate(chunks), expected)
+
+    def test_zero_sigma_is_zeros_and_draws_nothing(self):
+        p = ShadowFading(0.0, 0.1, np.random.default_rng(9))
+        stream = ShadowFadingStream(p)
+        out = stream.sample_next(self._distances(6), n_sources=3)
+        assert out.shape == (6, 3)
+        assert not out.any()
+        # the rng was never consumed: a fresh draw matches a twin's
+        twin = np.random.default_rng(9)
+        np.testing.assert_array_equal(p.rng.normal(size=4), twin.normal(size=4))
+
+
+# ----------------------------------------------------------------------
+# the tile policy: explicit > env > auto
+# ----------------------------------------------------------------------
+class TestTilePolicy:
+    def test_first_pin_wins(self, monkeypatch):
+        monkeypatch.delenv(TILE_EPOCHS_ENV_VAR, raising=False)
+        assert resolve_tile_epochs(3, 7) == 3
+        assert resolve_tile_epochs(None, 7) == 7
+        assert resolve_tile_epochs(None, None) is None
+        assert resolve_tile_epochs(0, 7) == 0
+
+    def test_env_var_between_pins_and_auto(self, monkeypatch):
+        monkeypatch.setenv(TILE_EPOCHS_ENV_VAR, "5")
+        assert resolve_tile_epochs(None, None) == 5
+        assert resolve_tile_epochs(2, None) == 2
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        monkeypatch.delenv(TILE_EPOCHS_ENV_VAR, raising=False)
+        with pytest.raises(ValueError):
+            resolve_tile_epochs(-1)
+        with pytest.raises(ValueError):
+            resolve_tile_epochs(2.5)
+        monkeypatch.setenv(TILE_EPOCHS_ENV_VAR, "nope")
+        with pytest.raises(ValueError):
+            resolve_tile_epochs(None)
+
+    def test_auto_threshold(self):
+        # below the threshold: materialise; above: the default tile,
+        # clamped to the horizon
+        assert auto_tile_epochs(10, 20, 19) == 0
+        assert auto_tile_epochs(100_000, 200, 19) == DEFAULT_TILE_EPOCHS
+        assert auto_tile_epochs(1_000_000, 3, 19) == 3
+
+
+# ----------------------------------------------------------------------
+# the tiled measurement source
+# ----------------------------------------------------------------------
+class TestTiledMeasurement:
+    PARAMS = SimulationParameters(n_walks=3)
+    FADING_PARAMS = SimulationParameters(
+        n_walks=3, shadow_sigma_db=4.0, shadow_decorrelation_km=0.1
+    )
+
+    def test_tiles_match_materialized_slices(self):
+        sampler = make_sampler(self.PARAMS)
+        batch = make_batch(self.PARAMS, 5)
+        ref = sampler.measure_batch(batch)
+        tiled = sampler.measure_batch_tiles(batch, tile_epochs=3)
+        stop = 0
+        for tile in tiled.tiles():
+            assert tile.start == stop
+            stop = tile.stop
+            sl = slice(tile.start, stop)
+            np.testing.assert_array_equal(
+                tile.power_dbw, ref.power_dbw[:, sl]
+            )
+            np.testing.assert_array_equal(
+                tile.positions_km, ref.positions_km[:, sl]
+            )
+            np.testing.assert_array_equal(
+                tile.distance_km, ref.distance_km[:, sl]
+            )
+        assert stop == ref.power_dbw.shape[1]
+
+    @pytest.mark.parametrize("k", [1, 3, 64])
+    def test_materialize_identity_with_fading(self, k):
+        rngs = [500 + i for i in range(5)]
+        batch = make_batch(self.FADING_PARAMS, 5, uneven=True)
+        ref = make_sampler(self.FADING_PARAMS, with_fading=True).measure_batch(
+            batch, fading_rngs=rngs
+        )
+        tiled = make_sampler(
+            self.FADING_PARAMS, with_fading=True
+        ).measure_batch_tiles(batch, tile_epochs=k, fading_rngs=rngs)
+        got = tiled.materialize()
+        np.testing.assert_array_equal(got.power_dbw, ref.power_dbw)
+        np.testing.assert_array_equal(got.positions_km, ref.positions_km)
+        np.testing.assert_array_equal(got.distance_km, ref.distance_km)
+        np.testing.assert_array_equal(got.lengths, ref.lengths)
+
+    @pytest.mark.parametrize("k", [1, 3, 64])
+    def test_run_metrics_identity_uneven_lengths(self, k):
+        rngs = [700 + i for i in range(7)]
+        batch = make_batch(self.FADING_PARAMS, 7, uneven=True)
+        sampler = make_sampler(self.FADING_PARAMS, with_fading=True)
+        system = FuzzyHandoverSystem(
+            cell_radius_km=self.FADING_PARAMS.cell_radius_km
+        )
+        speeds = np.arange(7, dtype=float) * 10.0
+        ref = BatchSimulator(system, speed_kmh=speeds).run_metrics(
+            sampler.measure_batch(batch, fading_rngs=rngs)
+        )
+        tiled = make_sampler(
+            self.FADING_PARAMS, with_fading=True
+        ).measure_batch_tiles(batch, tile_epochs=k, fading_rngs=rngs)
+        got = BatchSimulator(system, speed_kmh=speeds).run_metrics(tiled)
+        assert_identical(got, ref)
+
+    def test_fading_tiles_are_single_shot(self):
+        sampler = make_sampler(self.FADING_PARAMS, with_fading=True)
+        tiled = sampler.measure_batch_tiles(
+            make_batch(self.FADING_PARAMS, 3),
+            tile_epochs=4,
+            fading_rngs=[1, 2, 3],
+        )
+        for _ in tiled.tiles():
+            pass
+        with pytest.raises(RuntimeError):
+            next(iter(tiled.tiles()))
+
+    def test_select_disjoint_groups_then_overlap_rejected(self):
+        sampler = make_sampler(self.FADING_PARAMS, with_fading=True)
+        tiled = sampler.measure_batch_tiles(
+            make_batch(self.FADING_PARAMS, 6),
+            tile_epochs=4,
+            fading_rngs=list(range(6)),
+        )
+        a = tiled.select(np.array([0, 1, 2]))
+        b = tiled.select(np.array([3, 5]))
+        # disjoint groups each own their UEs' fading generators
+        assert a.materialize().power_dbw.shape[0] == 3
+        assert b.materialize().power_dbw.shape[0] == 2
+        # row 3's generator is donated: re-selecting it is an error
+        with pytest.raises(RuntimeError):
+            tiled.select(np.array([3]))
+        # and so is consuming the parent after any donation
+        with pytest.raises(RuntimeError):
+            next(iter(tiled.tiles()))
+
+    def test_shared_fading_process_not_tileable(self):
+        sampler = make_sampler(self.FADING_PARAMS, with_fading=True)
+        batch = make_batch(self.FADING_PARAMS, 4)
+        # no per-UE rngs/profiles: the legacy path shares one process
+        # across UEs, whose draw order a tile stream cannot reproduce
+        with pytest.raises(ValueError):
+            sampler.measure_batch_tiles(batch, tile_epochs=2)
+        # the auto policy degrades to the materialised series instead
+        series = sampler.measure_batch_streamed(batch, None)
+        assert hasattr(series, "power_dbw")
+
+    def test_zero_tile_epochs_rejected(self):
+        sampler = make_sampler(self.PARAMS)
+        with pytest.raises(ValueError):
+            sampler.measure_batch_tiles(
+                make_batch(self.PARAMS, 2), tile_epochs=0
+            )
+
+
+# ----------------------------------------------------------------------
+# fleet-level byte-identity matrix
+# ----------------------------------------------------------------------
+@pytest.mark.streaming
+class TestStreamingFleetIdentity:
+    PARAMS = SimulationParameters(
+        n_walks=3, shadow_sigma_db=4.0, shadow_decorrelation_km=0.1
+    )
+
+    @pytest.mark.parametrize("n", [1, 7, 32])
+    def test_tile_and_shard_matrix(self, n):
+        spec = FleetSpec(
+            n_ues=n, n_walks=3, base_seed=900, params=self.PARAMS
+        )
+        ref = run_fleet(spec, n_shards=1, tile_epochs=0)
+        for k in (1, 3, 64, None):
+            for shards in (1, 4):
+                got = run_fleet(spec, n_shards=shards, tile_epochs=k)
+                assert_identical(got, ref)
+
+    def test_heterogeneous_population(self):
+        params = SimulationParameters(n_walks=3)
+        cohorts = (
+            UECohort(
+                name="ped",
+                model=params.make_walk(3),
+                count=5,
+                speeds_kmh=(4.0,),
+                shadow_sigma_db=6.0,
+                shadow_decorrelation_km=0.1,
+            ),
+            UECohort(
+                name="veh",
+                model=params.make_walk(6),
+                count=5,
+                speeds_kmh=(60.0,),
+                policy=PolicyConfig(threshold=0.5),
+            ),
+            UECohort(
+                name="gm",
+                model=GaussMarkov(n_steps=4),
+                count=5,
+                speed_range_kmh=(10.0, 30.0),
+                shadow_sigma_db=2.0,
+            ),
+        )
+        pop = PopulationSpec(
+            n_ues=15, cohorts=cohorts, params=params, base_seed=4000
+        )
+        ref = pop.run_metrics(tile_epochs=0)
+        for k in (1, 3, 64, None):
+            assert_identical(pop.run_metrics(tile_epochs=k), ref)
+        for shards in (1, 4):
+            assert_identical(
+                pop.run_sharded(n_shards=shards, tile_epochs=3), ref
+            )
+
+    def test_params_tile_epochs_pin_flows_through(self):
+        spec = FleetSpec(
+            n_ues=5,
+            n_walks=3,
+            base_seed=900,
+            params=self.PARAMS.with_(tile_epochs=2),
+        )
+        ref = run_fleet(spec, n_shards=1, tile_epochs=0)
+        assert_identical(run_fleet(spec, n_shards=2), ref)
+
+
+# ----------------------------------------------------------------------
+# memory guardrail: streamed run_metrics is sublinear in the horizon
+# ----------------------------------------------------------------------
+@pytest.mark.streaming
+class TestMemoryGuardrail:
+    def _streamed_peak(self, n_walks, n=16, tile=4):
+        """Traced allocation peak of the streamed ``run_metrics`` pass
+        alone — the tile source (mobility arrays included) is built
+        before tracing, so the peak is what *consuming* the stream
+        costs."""
+        params = SimulationParameters(n_walks=n_walks)
+        sampler = make_sampler(params)
+        batch = make_batch(params, n, base_seed=50)
+        system = FuzzyHandoverSystem(cell_radius_km=params.cell_radius_km)
+        speeds = np.full(n, 30.0)
+        tiled = sampler.measure_batch_tiles(batch, tile_epochs=tile)
+        horizon = int(np.max(tiled.lengths))
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        try:
+            BatchSimulator(system, speed_kmh=speeds).run_metrics(tiled)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak, horizon
+
+    def test_run_metrics_peak_sublinear_in_horizon(self):
+        peak_small, t_small = self._streamed_peak(n_walks=4)
+        peak_big, t_big = self._streamed_peak(n_walks=32)
+        t_ratio = t_big / t_small
+        assert t_ratio > 4.0, "workloads too close to discriminate"
+        peak_ratio = peak_big / peak_small
+        assert peak_ratio <= 0.5 * t_ratio, (
+            f"streamed run_metrics peak grew {peak_ratio:.2f}x over a "
+            f"{t_ratio:.2f}x horizon increase — that is not sublinear "
+            f"({peak_small} -> {peak_big} bytes for T {t_small} -> {t_big})"
+        )
