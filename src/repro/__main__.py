@@ -32,6 +32,21 @@ Commands
     the worker announces ``listening on host:port`` on stdout.
     ``--die-after K`` arms fault injection: the process exits abruptly
     while handling its K-th task (the X17 fault-tolerance harness).
+``serve --listen HOST:PORT [--deadline S] [--ring N] [--flc-backend F]``
+    Run the streaming handover-decision service: per-UE measurement
+    reports arrive as length-prefixed JSON/pickle frames, epochs close
+    on the subscribed-fleet watermark (or the ``--deadline`` timer),
+    and each closed epoch runs one batched FLC sweep — byte-identical
+    decisions to the offline engine.  Announces ``serving on
+    host:port`` on stdout.
+``replay [--trace PATH | --record ...] [--connect H:P | --spawn]
+[--verify] [--rate R] [--codec {json,pickle}]``
+    Stream a recorded fleet trace through the service — in process by
+    default, against a live server with ``--connect``, or against a
+    freshly spawned ``repro serve`` subprocess with ``--spawn`` — and
+    print the resulting fleet metrics.  ``--verify`` re-runs the trace
+    through the offline batch engine and exits non-zero unless the two
+    paths agree exactly.
 """
 
 from __future__ import annotations
@@ -183,7 +198,243 @@ def build_parser() -> argparse.ArgumentParser:
                                "abruptly while handling the K-th task "
                                "(exercises the client's shard-reissue "
                                "path; testing aid)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the streaming handover-decision service"
+    )
+    p_serve.add_argument("--listen", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="address to bind (default 127.0.0.1:0 — "
+                              "an ephemeral port, announced on stdout "
+                              "as 'serving on host:port')")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="S",
+                         help="epoch deadline in seconds: force-close "
+                              "the current epoch once reports have "
+                              "been pending this long (default: close "
+                              "on the fleet watermark only)")
+    p_serve.add_argument("--ring", type=int, default=None, metavar="N",
+                         help="per-UE report look-ahead window in "
+                              "epochs (default 64)")
+    p_serve.add_argument("--window-km", type=float, default=None,
+                         help="ping-pong distance window in km")
+    p_serve.add_argument("--outage-dbw", type=float, default=None,
+                         help="outage sensitivity in dBW")
+    p_serve.add_argument("--flc-backend", default=None,
+                         help="FLC inference backend for the decision "
+                              "sweep (reference, lut, or numba where "
+                              "installed; decisions are identical on "
+                              "every backend)")
+
+    p_replay = sub.add_parser(
+        "replay", help="stream a recorded fleet trace through the service"
+    )
+    p_replay.add_argument("--trace", default=None, metavar="PATH",
+                          help="a trace file saved by FleetTrace.save "
+                               "(or by a previous --record --save run)")
+    p_replay.add_argument("--record", action="store_true",
+                          help="record a fresh trace instead of "
+                               "loading one (see --ues/--walks/--seed/"
+                               "--population/--fading)")
+    p_replay.add_argument("--ues", type=int, default=8,
+                          help="fleet size for --record (default 8)")
+    p_replay.add_argument("--walks", type=int, default=3,
+                          help="walk legs per UE for --record "
+                               "(default 3; homogeneous fleets only)")
+    p_replay.add_argument("--seed", type=int, default=1000,
+                          help="base walk seed for --record")
+    p_replay.add_argument("--population", default=None,
+                          choices=sorted(POPULATION_MIXES),
+                          help="record a named heterogeneous mix "
+                               "instead of the homogeneous fleet")
+    p_replay.add_argument("--fading", type=float, default=None,
+                          metavar="SIGMA",
+                          help="shadow-fading sigma in dB for --record "
+                               "(default: no fading)")
+    p_replay.add_argument("--save", default=None, metavar="PATH",
+                          help="save the recorded trace for later "
+                               "replays")
+    p_replay.add_argument("--connect", default=None, metavar="HOST:PORT",
+                          help="stream to a running `repro serve` "
+                               "instead of the in-process service")
+    p_replay.add_argument("--spawn", action="store_true",
+                          help="spawn a `repro serve` subprocess and "
+                               "stream to it over TCP (mutually "
+                               "exclusive with --connect)")
+    p_replay.add_argument("--codec", default="pickle",
+                          choices=["json", "pickle"],
+                          help="wire codec for TCP replays "
+                               "(default pickle; JSON is the "
+                               "language-neutral path and preserves "
+                               "identity too)")
+    p_replay.add_argument("--rate", type=float, default=None, metavar="R",
+                          help="pace the stream at about R reports/s "
+                               "(default: as fast as the socket "
+                               "drains)")
+    p_replay.add_argument("--verify", action="store_true",
+                          help="re-run the trace through the offline "
+                               "batch engine and exit non-zero unless "
+                               "the streamed metrics match exactly")
     return parser
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import DecisionService, ServeServer
+    from .serve.ring import DEFAULT_RING_CAPACITY
+    from .sim.distributed import parse_address
+    from .sim.metrics import DEFAULT_OUTAGE_DBW, DEFAULT_WINDOW_KM
+
+    host, port = parse_address(args.listen)
+    params = SimulationParameters()
+    if args.flc_backend is not None:
+        params = params.with_(flc_backend=args.flc_backend)
+    service = DecisionService(
+        params,
+        window_km=(
+            DEFAULT_WINDOW_KM if args.window_km is None else args.window_km
+        ),
+        outage_dbw=(
+            DEFAULT_OUTAGE_DBW if args.outage_dbw is None else args.outage_dbw
+        ),
+        ring_capacity=(
+            DEFAULT_RING_CAPACITY if args.ring is None else args.ring
+        ),
+        epoch_deadline_s=args.deadline,
+    )
+
+    async def _run() -> None:
+        server = ServeServer(service, host, port)
+        bound_host, bound_port = await server.start()
+        print(f"serving on {bound_host}:{bound_port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_replay(parser, args) -> int:
+    import asyncio
+
+    from .serve import (
+        identity_report,
+        replay_in_process,
+        replay_to_server,
+        service_for_trace,
+        spawned_server,
+    )
+    from .sim import (
+        FleetSpec,
+        FleetTrace,
+        named_population,
+        offline_reference_metrics,
+        record_fleet_trace,
+    )
+
+    if args.connect is not None and args.spawn:
+        parser.error("--connect and --spawn are mutually exclusive")
+    if args.record == (args.trace is not None):
+        parser.error("exactly one of --trace or --record is required")
+
+    if args.record:
+        params = SimulationParameters()
+        if args.fading is not None:
+            params = params.with_(shadow_sigma_db=args.fading)
+        if args.population is not None:
+            spec = named_population(
+                args.population, args.ues, params, base_seed=args.seed
+            )
+            source = f"{args.population} mix"
+        else:
+            spec = FleetSpec(
+                n_ues=args.ues,
+                n_walks=args.walks,
+                base_seed=args.seed,
+                params=params,
+            )
+            source = f"{args.walks} legs/UE"
+        trace = record_fleet_trace(spec)
+        print(f"trace    : recorded {trace.n_ues} UEs x "
+              f"{trace.max_epochs} epochs ({source})")
+        if args.save is not None:
+            path = trace.save(args.save)
+            print(f"saved    : {path}")
+    else:
+        trace = FleetTrace.load(args.trace)
+        print(f"trace    : {args.trace} ({trace.n_ues} UEs x "
+              f"{trace.max_epochs} epochs)")
+
+    n_reports = int(sum(trace.lengths))
+    t0 = time.perf_counter()
+    if args.connect is not None:
+        from .sim.distributed import parse_address
+
+        host, port = parse_address(args.connect)
+        stats, streamed = asyncio.run(
+            replay_to_server(
+                trace, host, port, codec=args.codec, rate=args.rate
+            )
+        )
+        where = f"tcp {host}:{port} ({args.codec})"
+    elif args.spawn:
+        with spawned_server() as (host, port):
+            stats, streamed = asyncio.run(
+                replay_to_server(
+                    trace, host, port, codec=args.codec, rate=args.rate
+                )
+            )
+        where = f"spawned server ({args.codec})"
+    else:
+        service, streamed = replay_in_process(
+            trace, service_for_trace(trace)
+        )
+        stats = service.stats_payload()
+        where = "in-process"
+    elapsed = time.perf_counter() - t0
+
+    latency = stats.get("latency", {})
+    print(f"replayed : {n_reports} reports in {elapsed:.3f} s "
+          f"({n_reports / elapsed:,.0f} reports/s, {where})")
+    print(f"epochs   : {stats['epochs_closed']} closed "
+          f"({stats['watermark_closes']} watermark, "
+          f"{stats['forced_closes']} forced); "
+          f"p99 decision latency "
+          f"{latency.get('p99_s', float('nan')) * 1e3:.2f} ms")
+    summary = (
+        streamed if isinstance(streamed, dict) else streamed.as_dict()
+    )
+    print(f"handovers: {summary['n_handovers']:g} "
+          f"(ping-pongs {summary['n_ping_pongs']:g}, "
+          f"necessary {summary['n_necessary']:g})")
+
+    if args.verify:
+        reference = offline_reference_metrics(trace)
+        if isinstance(streamed, dict):
+            # JSON-codec TCP replays ship the scalar summary only
+            problems = (
+                []
+                if streamed == reference.as_dict()
+                else [
+                    f"scalar summary differs: {streamed} != "
+                    f"{reference.as_dict()}"
+                ]
+            )
+        else:
+            problems = identity_report(streamed, reference)
+        if problems:
+            print("identity : FAILED")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("identity : OK (stream == offline batch engine, exact)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -237,6 +488,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  step {e.step:3d} @ {e.distance_km:5.2f} km: "
                   f"{e.source} -> {e.target} (output {e.output:.3f})")
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "replay":
+        return _cmd_replay(parser, args)
 
     if args.command == "worker":
         from .sim.distributed import FaultSpec, WorkerServer, parse_address

@@ -1,0 +1,163 @@
+"""Deterministic epoch scheduling over per-UE report rings.
+
+The :class:`EpochScheduler` is the pure (asyncio-free) core of the
+service's epoch semantics: UEs subscribe and unsubscribe, reports are
+offered into per-UE :class:`~repro.serve.ring.ReportRing` buffers, and
+the *current* epoch closes either on the **watermark** (every currently
+subscribed UE has reported it) or when the caller forces a close (the
+server's deadline timer, an explicit ``close_epoch`` request).
+
+Semantics pinned by the ``serve`` test suite:
+
+* out-of-order and ahead-of-time reports within the ring window are
+  buffered and processed when their epoch closes;
+* duplicates within an epoch: first report wins, later ones counted;
+* late reports (epoch already closed): dropped and counted;
+* unsubscribe removes a UE from the watermark immediately, but reports
+  it already buffered stay and are processed when their epochs close
+  (so a UE can stream its full trace and leave without losing its tail);
+* reports from never-subscribed or unsubscribed UEs are rejected and
+  counted (``rejected``).
+
+Everything is a deterministic function of the call sequence — no
+clocks, no tasks — which is what makes the watermark/timer semantics
+testable without real time.
+"""
+
+from __future__ import annotations
+
+from .protocol import Report
+from .ring import DEFAULT_RING_CAPACITY, ReportRing
+
+__all__ = ["EpochScheduler"]
+
+
+class EpochScheduler:
+    """Aligns per-UE report streams into closable service epochs."""
+
+    def __init__(
+        self,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        start_epoch: int = 0,
+    ) -> None:
+        if ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity must be >= 1, got {ring_capacity}"
+            )
+        if start_epoch < 0:
+            raise ValueError(f"start_epoch must be >= 0, got {start_epoch}")
+        self.ring_capacity = int(ring_capacity)
+        self.current_epoch = int(start_epoch)
+        self._subscribed: set[int] = set()
+        # rings persist past unsubscribe so already-buffered reports
+        # still close with their epochs
+        self._rings: dict[int, ReportRing] = {}
+        self.accepted = 0
+        self.late = 0
+        self.duplicate = 0
+        self.overflow = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def subscribed(self) -> frozenset[int]:
+        return frozenset(self._subscribed)
+
+    @property
+    def n_subscribed(self) -> int:
+        return len(self._subscribed)
+
+    def is_subscribed(self, ue: int) -> bool:
+        return ue in self._subscribed
+
+    def subscribe(self, ue: int) -> None:
+        ue = int(ue)
+        if ue < 0:
+            raise ValueError(f"ue must be >= 0, got {ue}")
+        if ue in self._subscribed:
+            raise ValueError(f"UE {ue} is already subscribed")
+        self._subscribed.add(ue)
+        if ue not in self._rings:
+            self._rings[ue] = ReportRing(self.ring_capacity)
+
+    def unsubscribe(self, ue: int) -> bool:
+        """Remove ``ue`` from the watermark; its buffered reports stay.
+        Returns whether the UE was subscribed."""
+        ue = int(ue)
+        if ue not in self._subscribed:
+            return False
+        self._subscribed.discard(ue)
+        return True
+
+    # ------------------------------------------------------------------
+    def offer(self, report: Report) -> str:
+        """Classify one report deterministically.
+
+        Returns ``accepted`` / ``late`` / ``duplicate`` / ``overflow``
+        / ``rejected`` (the last for UEs not currently subscribed) and
+        bumps the matching counter.
+        """
+        if report.ue not in self._subscribed:
+            self.rejected += 1
+            return "rejected"
+        status = self._rings[report.ue].push(report, self.current_epoch)
+        setattr(self, status, getattr(self, status) + 1)
+        return status
+
+    def watermark_reached(self) -> bool:
+        """Every currently subscribed UE has reported the current epoch
+        (``False`` with no subscribers — an empty fleet never closes
+        epochs on its own)."""
+        if not self._subscribed:
+            return False
+        epoch = self.current_epoch
+        return all(self._rings[ue].has(epoch) for ue in self._subscribed)
+
+    def has_current_reports(self) -> bool:
+        """At least one report is buffered for the current epoch."""
+        epoch = self.current_epoch
+        return any(ring.has(epoch) for ring in self._rings.values())
+
+    def pending_reports(self) -> int:
+        """Total buffered reports across all rings (any epoch)."""
+        return sum(ring.pending() for ring in self._rings.values())
+
+    # ------------------------------------------------------------------
+    def close_epoch(self) -> tuple[int, list[Report]]:
+        """Close the current epoch: collect its buffered reports (in
+        ascending UE order — deterministic for any arrival order) and
+        advance.  Empty closes are legal (a forced close before anyone
+        reported)."""
+        epoch = self.current_epoch
+        reports = []
+        for ue in sorted(self._rings):
+            report = self._rings[ue].pop(epoch)
+            if report is not None:
+                reports.append(report)
+        self.current_epoch = epoch + 1
+        # drop rings that are empty and no longer subscribed, so a
+        # churning fleet doesn't accumulate dead buffers
+        dead = [
+            ue
+            for ue, ring in self._rings.items()
+            if ue not in self._subscribed and not ring.pending()
+        ]
+        for ue in dead:
+            del self._rings[ue]
+        return epoch, reports
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "accepted": self.accepted,
+            "late": self.late,
+            "duplicate": self.duplicate,
+            "overflow": self.overflow,
+            "rejected": self.rejected,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochScheduler(epoch={self.current_epoch}, "
+            f"subscribed={len(self._subscribed)}, "
+            f"pending={self.pending_reports()})"
+        )

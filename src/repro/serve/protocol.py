@@ -1,0 +1,210 @@
+"""Wire protocol of the streaming decision service.
+
+Framing matches the distributed executor's idiom
+(:mod:`repro.sim.distributed`): every message is one length-prefixed
+frame — a 4-byte big-endian payload length, then the payload.  The
+payload's first byte is a codec tag (``J`` = UTF-8 JSON, ``P`` =
+pickle) followed by the encoded message body, so JSON clients (any
+language) and pickle clients (fast Python-to-Python) interoperate on
+one socket; the server answers each request in the codec it arrived in.
+
+Messages are plain dicts with a ``"type"`` key (``subscribe``,
+``report``, ``unsubscribe``, ``listen``, ``close_epoch``, ``stats``,
+``metrics`` from clients; ``ok``, ``error``, ``commands``, ``stats``,
+``metrics`` from the server).  Measurement reports travel as
+:class:`Report` payloads; JSON's ``repr``-based float serialisation
+round-trips IEEE-754 doubles exactly, which is what lets the JSON codec
+preserve the stream-vs-batch byte-identity guarantee.
+
+Truncated, oversized or undecodable frames raise :class:`FrameError` —
+the server counts them and closes only the offending connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FrameError",
+    "Report",
+    "MAX_FRAME_BYTES",
+    "CODECS",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Hard ceiling on one frame's payload — a measurement report is a few
+#: hundred bytes, a full-fleet metrics reply a few MiB; anything larger
+#: is a corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_TAG_JSON = b"J"
+_TAG_PICKLE = b"P"
+CODECS = ("json", "pickle")
+
+
+class FrameError(Exception):
+    """A malformed, truncated or undecodable wire frame."""
+
+
+def encode_frame(message: object, codec: str = "pickle") -> bytes:
+    """One complete frame (length prefix + codec tag + body)."""
+    if codec == "json":
+        payload = _TAG_JSON + json.dumps(message).encode("utf-8")
+    elif codec == "pickle":
+        payload = _TAG_PICKLE + pickle.dumps(
+            message, protocol=pickle.HIGHEST_PROTOCOL
+        )
+    else:
+        raise ValueError(f"unknown codec {codec!r}; expected one of {CODECS}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> tuple[object, str]:
+    """``(message, codec_name)`` from one frame payload."""
+    if not payload:
+        raise FrameError("empty frame payload")
+    tag, body = payload[:1], payload[1:]
+    if tag == _TAG_JSON:
+        try:
+            return json.loads(body.decode("utf-8")), "json"
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"undecodable JSON frame: {exc}") from None
+    if tag == _TAG_PICKLE:
+        try:
+            return pickle.loads(body), "pickle"
+        except Exception as exc:
+            raise FrameError(f"undecodable pickle frame: {exc}") from None
+    raise FrameError(f"unknown codec tag {tag!r}")
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[object, str]]:
+    """Read one frame: ``(message, codec)``, or ``None`` on a clean EOF
+    at a frame boundary.  EOF mid-frame raises :class:`FrameError`."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"connection closed mid-header ({len(exc.partial)}/"
+            f"{_LEN.size} bytes)"
+        ) from None
+    (length,) = _LEN.unpack(header)
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: object, codec: str = "pickle"
+) -> None:
+    """Encode and send one frame, honouring transport backpressure."""
+    writer.write(encode_frame(message, codec))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# measurement reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Report:
+    """One UE's measurement report.
+
+    ``epoch`` is the *service* epoch the report aligns to — the epoch
+    scheduler buffers and closes by it.  The decision engine keeps its
+    own per-UE local epoch counter and advances it by exactly one per
+    processed report, which is what keeps the stream byte-identical to
+    the offline lockstep run (where the two numberings coincide, since
+    every UE starts at epoch 0).
+    """
+
+    ue: int
+    epoch: int
+    position_km: np.ndarray
+    distance_km: float
+    power_dbw: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ue", int(self.ue))
+        object.__setattr__(self, "epoch", int(self.epoch))
+        object.__setattr__(
+            self, "position_km", np.asarray(self.position_km, dtype=float)
+        )
+        object.__setattr__(self, "distance_km", float(self.distance_km))
+        object.__setattr__(
+            self, "power_dbw", np.asarray(self.power_dbw, dtype=float)
+        )
+        if self.ue < 0:
+            raise ValueError(f"ue must be >= 0, got {self.ue}")
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+        if self.position_km.shape != (2,):
+            raise ValueError(
+                f"position_km must be (2,), got {self.position_km.shape}"
+            )
+        if self.power_dbw.ndim != 1 or self.power_dbw.shape[0] < 1:
+            raise ValueError(
+                f"power_dbw must be a non-empty 1-D vector, "
+                f"got shape {self.power_dbw.shape}"
+            )
+        if not np.isfinite(self.position_km).all():
+            raise ValueError("position_km must be finite")
+        if not math.isfinite(self.distance_km):
+            raise ValueError("distance_km must be finite")
+        if not np.isfinite(self.power_dbw).all():
+            raise ValueError("power_dbw must be finite")
+
+    def to_payload(self) -> dict:
+        """The report as a JSON-safe ``report`` message dict."""
+        return {
+            "type": "report",
+            "ue": self.ue,
+            "epoch": self.epoch,
+            "position_km": self.position_km.tolist(),
+            "distance_km": self.distance_km,
+            "power_dbw": self.power_dbw.tolist(),
+        }
+
+    @classmethod
+    def from_payload(cls, message: dict) -> "Report":
+        """Validate and rebuild a report from a ``report`` message."""
+        try:
+            return cls(
+                ue=message["ue"],
+                epoch=message["epoch"],
+                position_km=message["position_km"],
+                distance_km=message["distance_km"],
+                power_dbw=message["power_dbw"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"invalid report payload: {exc}") from None

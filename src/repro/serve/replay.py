@@ -1,0 +1,268 @@
+"""Replaying recorded fleet traces through the decision service.
+
+A :class:`~repro.sim.tracefile.FleetTrace` is the bridge between the
+offline engine and the service: ``BatchSimulator`` runs are recorded as
+per-UE measurement report streams, replayed through the service (in
+process, or over TCP against a live ``repro serve``), and the resulting
+:class:`~repro.sim.metrics.FleetMetrics` must be **byte-identical** to
+:func:`~repro.sim.tracefile.offline_reference_metrics` — the keystone
+property of the whole subsystem.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..sim.metrics import FleetMetrics
+from ..sim.tracefile import FleetTrace
+from .protocol import Report
+from .server import ServeClient
+from .service import DecisionService
+
+__all__ = [
+    "iter_epoch_reports",
+    "service_for_trace",
+    "replay_in_process",
+    "replay_to_server",
+    "metrics_identical",
+    "identity_report",
+    "spawned_server",
+]
+
+_PER_UE_FIELDS = (
+    "handovers_per_ue",
+    "ping_pongs_per_ue",
+    "necessary_per_ue",
+    "epochs_per_ue",
+    "wrong_epochs_per_ue",
+    "outage_epochs_per_ue",
+    "dwell_epochs_per_ue",
+    "dwell_count_per_ue",
+    "output_sum_per_ue",
+    "output_count_per_ue",
+    "output_max_per_ue",
+)
+
+
+def iter_epoch_reports(
+    trace: FleetTrace,
+) -> Iterator[tuple[int, list[Report]]]:
+    """Yield ``(epoch, reports)`` per lockstep epoch — UE ``i`` reports
+    epoch ``k`` iff ``k < lengths[i]``, matching the offline engine's
+    ``active`` mask."""
+    lengths = np.asarray(trace.lengths)
+    for k in range(trace.max_epochs):
+        reports = [
+            Report(
+                ue=i,
+                epoch=k,
+                position_km=trace.positions_km[i, k],
+                distance_km=float(trace.distance_km[i, k]),
+                power_dbw=trace.power_dbw[i, k],
+            )
+            for i in range(trace.n_ues)
+            if k < lengths[i]
+        ]
+        if reports:
+            yield k, reports
+
+
+def service_for_trace(trace: FleetTrace, **kwargs) -> DecisionService:
+    """A service configured for ``trace``'s physics, with every UE
+    subscribed under its recorded speed / cohort / policy."""
+    service = DecisionService(trace.params, **kwargs)
+    for i in range(trace.n_ues):
+        service.subscribe(
+            i,
+            speed_kmh=float(trace.speeds_kmh[i]),
+            cohort=trace.ue_cohort(i),
+            policy=trace.ue_policy(i),
+        )
+    return service
+
+
+def replay_in_process(
+    trace: FleetTrace, service: Optional[DecisionService] = None
+) -> tuple[DecisionService, FleetMetrics]:
+    """Stream the trace through an in-process service.
+
+    Each UE is unsubscribed right after submitting its final report, so
+    the watermark keeps closing epochs as shorter walks finish — the
+    ragged-fleet equivalent of the offline ``active`` mask.
+    """
+    if service is None:
+        service = service_for_trace(trace)
+    lengths = np.asarray(trace.lengths)
+    for k, reports in iter_epoch_reports(trace):
+        finished = [r.ue for r in reports if lengths[r.ue] == k + 1]
+        for report in reports:
+            service.submit(report)
+        # NB: unsubscribing *after* the submits keeps this epoch's
+        # watermark over the full reporting set
+        for ue in finished:
+            if k + 1 < trace.max_epochs:
+                service.unsubscribe(ue)
+    # the last epoch's watermark fires on its own only if every UE was
+    # still subscribed; flush whatever remains
+    while service.scheduler.has_current_reports():
+        service.force_close()
+    return service, service.metrics()
+
+
+async def replay_to_server(
+    trace: FleetTrace,
+    host: str,
+    port: int,
+    *,
+    codec: str = "pickle",
+    rate: Optional[float] = None,
+) -> tuple[dict, FleetMetrics]:
+    """Stream the trace to a live server over one TCP connection.
+
+    ``rate`` paces the stream at roughly that many reports per second
+    (``None`` = as fast as the socket drains).  Returns the server's
+    final ``(stats, metrics)``; with the JSON codec the metrics come
+    back as the scalar summary dict rather than a FleetMetrics object.
+    """
+    client = ServeClient(host, port, codec=codec)
+    await client.connect()
+    try:
+        for i in range(trace.n_ues):
+            policy = trace.ue_policy(i)
+            await client.subscribe(
+                i,
+                speed_kmh=float(trace.speeds_kmh[i]),
+                cohort=trace.ue_cohort(i),
+                policy=None if policy is None else dataclasses.asdict(policy),
+            )
+        lengths = np.asarray(trace.lengths)
+        sent = 0
+        t0 = time.monotonic()
+        for k, reports in iter_epoch_reports(trace):
+            finished = [r.ue for r in reports if lengths[r.ue] == k + 1]
+            for report in reports:
+                await client.report(report)
+                sent += 1
+                if rate is not None:
+                    target = t0 + sent / rate
+                    delay = target - time.monotonic()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+            for ue in finished:
+                if k + 1 < trace.max_epochs:
+                    await client.unsubscribe(ue)
+        # stats doubles as a flush barrier: requests are serial per
+        # connection, so once it returns every report has been
+        # ingested.  Force-close any epochs the watermark didn't
+        # finish (a ragged tail with no deadline timer).
+        stats = await client.stats()
+        while stats["pending_reports"] > 0:
+            await client.close_epoch()
+            stats = await client.stats()
+        metrics = await client.metrics()
+        return stats, metrics
+    finally:
+        await client.close()
+
+
+def metrics_identical(a: FleetMetrics, b: FleetMetrics) -> bool:
+    """Exact (byte-level) equality: scalar summary plus all per-UE
+    arrays (``FleetMetrics.__eq__`` ignores the arrays)."""
+    return not identity_report(a, b)
+
+
+def identity_report(a: FleetMetrics, b: FleetMetrics) -> list[str]:
+    """Human-readable list of mismatching fields (empty = identical)."""
+    problems = []
+    if a != b:
+        problems.append(
+            f"scalar summary differs: {a.as_dict()} != {b.as_dict()}"
+        )
+    for name in _PER_UE_FIELDS:
+        x, y = getattr(a, name), getattr(b, name)
+        if x.shape != y.shape or not np.array_equal(x, y):
+            problems.append(f"per-UE field {name!r} differs")
+    if a.cohort_names != b.cohort_names:
+        problems.append(
+            f"cohort_names differ: {a.cohort_names} != {b.cohort_names}"
+        )
+    ca, cb = a.cohort_ids_per_ue, b.cohort_ids_per_ue
+    if (ca is None) != (cb is None) or (
+        ca is not None and not np.array_equal(ca, cb)
+    ):
+        problems.append("cohort_ids differ")
+    return problems
+
+
+_ANNOUNCE_RE = re.compile(r"serving on (\S+):(\d+)")
+
+
+@contextlib.contextmanager
+def spawned_server(
+    *extra_args: str,
+    env: Optional[dict] = None,
+):
+    """Run ``repro serve`` as a subprocess; yields ``(host, port)``.
+
+    Mirrors the distributed executor's worker-pool idiom: the server
+    announces ``serving on host:port`` on stdout, we parse it, and the
+    process is terminated on exit.
+    """
+    run_env = dict(os.environ if env is None else env)
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    existing = run_env.get("PYTHONPATH")
+    run_env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=run_env,
+    )
+    try:
+        assert proc.stdout is not None
+        deadline = time.monotonic() + 30.0
+        address = None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    "repro serve exited before announcing its address "
+                    f"(rc={proc.poll()})"
+                )
+            match = _ANNOUNCE_RE.search(line)
+            if match:
+                address = (match.group(1), int(match.group(2)))
+                break
+        if address is None:
+            raise RuntimeError("timed out waiting for the serve announce line")
+        yield address
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()

@@ -77,6 +77,13 @@ from .runner import (
     summarize_outcomes,
 )
 from .parallel import expand_grid, run_grid_parallel
+from .tracefile import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    FleetTrace,
+    offline_reference_metrics,
+    record_fleet_trace,
+)
 from .session import (
     DEFAULT_HANDOVER_COST,
     DEFAULT_SENSITIVITY_DBW,
@@ -146,6 +153,11 @@ __all__ = [
     "PolicyConfig",
     "POPULATION_MIXES",
     "named_population",
+    "FleetTrace",
+    "record_fleet_trace",
+    "offline_reference_metrics",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
     "SessionMetrics",
     "evaluate_session",
     "DEFAULT_SENSITIVITY_DBW",

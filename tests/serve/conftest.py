@@ -1,0 +1,95 @@
+"""Shared fixtures of the streaming-service test suite.
+
+All traces are session-scoped: recording a trace runs the full
+measurement pipeline, and every identity test replays the same frozen
+arrays, so one recording per configuration is enough.  Async tests run
+via ``asyncio.run`` inside synchronous test functions (no asyncio
+pytest plugin in the environment).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mobility import RandomWalk
+from repro.sim import (
+    FleetSpec,
+    PolicyConfig,
+    PopulationSpec,
+    SimulationParameters,
+    UECohort,
+    record_fleet_trace,
+)
+
+#: Physics shared by the homogeneous identity traces: log-normal
+#: shadowing on, coarse spacing to keep the epoch count test-sized.
+FADING_PARAMS = SimulationParameters(
+    shadow_sigma_db=6.0, measurement_spacing_km=0.2
+)
+
+
+def record_homogeneous(n_ues: int) -> "FleetTrace":
+    spec = FleetSpec(
+        n_ues=n_ues, n_walks=3, base_seed=1000, params=FADING_PARAMS
+    )
+    return record_fleet_trace(spec)
+
+
+@pytest.fixture(scope="session")
+def trace_n1():
+    return record_homogeneous(1)
+
+
+@pytest.fixture(scope="session")
+def trace_n7():
+    return record_homogeneous(7)
+
+
+@pytest.fixture(scope="session")
+def trace_n32():
+    return record_homogeneous(32)
+
+
+@pytest.fixture(scope="session")
+def trace_mixed_policy():
+    """Two cohorts with distinct pipeline policies and per-cohort
+    fading — exercises the multi-group engine and cohort labels."""
+    params = SimulationParameters(
+        shadow_sigma_db=5.0, measurement_spacing_km=0.25
+    )
+    population = PopulationSpec(
+        n_ues=10,
+        cohorts=(
+            UECohort(
+                name="eager",
+                model=RandomWalk(n_walks=3),
+                count=6,
+                speeds_kmh=(30.0,),
+                policy=PolicyConfig(threshold=0.75, prtlc_enabled=False),
+            ),
+            UECohort(
+                name="lazy",
+                model=RandomWalk(n_walks=4),
+                count=4,
+                speeds_kmh=(5.0,),
+                shadow_sigma_db=0.0,
+            ),
+        ),
+        params=params,
+        base_seed=500,
+    )
+    return record_fleet_trace(population)
+
+
+@pytest.fixture(scope="session")
+def trace_population_mix():
+    """A registered population mix (mobility/speed heterogeneity with
+    the shared default policy)."""
+    from repro.sim import named_population
+
+    params = SimulationParameters(
+        shadow_sigma_db=4.0, measurement_spacing_km=0.25
+    )
+    return record_fleet_trace(
+        named_population("urban_mix", 12, params, base_seed=77)
+    )

@@ -1,0 +1,219 @@
+"""Bounded-queue backpressure: slow consumers shed, never block.
+
+A command listener has a fixed capacity; when its consumer falls
+behind, the *oldest* pending epoch batches are dropped and counted, and
+the decision loop's throughput and latency bookkeeping are untouched.
+Disconnecting a TCP listener (or report client) must not stall the
+epoch scheduler either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.sim import SimulationParameters
+from repro.serve import (
+    CommandListener,
+    DecisionService,
+    EpochCommands,
+    Report,
+    ServeClient,
+    ServeServer,
+)
+
+pytestmark = pytest.mark.serve
+
+N_CELLS = SimulationParameters().make_layout().n_cells
+
+
+def make_report(ue: int, epoch: int) -> Report:
+    powers = np.linspace(-120.0, -70.0, N_CELLS)
+    return Report(
+        ue=ue,
+        epoch=epoch,
+        position_km=(1.0 + 0.05 * epoch, 1.0),
+        distance_km=0.05 * epoch,
+        power_dbw=powers,
+    )
+
+
+def drive_epochs(service: DecisionService, n_epochs: int, ue: int = 0):
+    for k in range(n_epochs):
+        service.submit(make_report(ue, k))
+
+
+# ----------------------------------------------------------------------
+# listener-level shedding
+# ----------------------------------------------------------------------
+def test_listener_sheds_oldest_first():
+    listener = CommandListener(capacity=3)
+    for epoch in range(5):
+        listener.push(EpochCommands(epoch=epoch, commands=()))
+    assert listener.dropped == 2
+    assert [b.epoch for b in listener.pop_all()] == [2, 3, 4]
+
+
+def test_listener_push_never_blocks_without_consumer():
+    listener = CommandListener(capacity=1)
+    for epoch in range(100):
+        listener.push(EpochCommands(epoch=epoch, commands=()))
+    assert listener.dropped == 99
+    assert listener.pending() == 1
+
+
+def test_listener_capacity_validated():
+    with pytest.raises(ValueError):
+        CommandListener(capacity=0)
+
+
+def test_slow_consumer_does_not_affect_decision_loop():
+    service = DecisionService()
+    service.subscribe(0)
+    fast = service.attach_listener(capacity=1024)
+    slow = service.attach_listener(capacity=4)  # nobody drains it
+
+    drive_epochs(service, 32)
+
+    assert service.stats.epochs_closed == 32
+    assert service.latency_summary()["count"] == 32
+    # the slow listener shed, oldest first; the fast one kept everything
+    assert slow.dropped == 32 - 4
+    assert [b.epoch for b in slow.pop_all()] == [28, 29, 30, 31]
+    assert fast.dropped == 0
+    assert [b.epoch for b in fast.pop_all()] == list(range(32))
+    assert service.stats.commands_dropped == 28
+
+
+def test_detach_listener_stops_fanout():
+    service = DecisionService()
+    service.subscribe(0)
+    listener = service.attach_listener()
+    drive_epochs(service, 2)
+    service.detach_listener(listener)
+    assert listener.closed
+    before = listener.pending()
+    service.submit(make_report(0, 2))
+    assert listener.pending() == before
+    # double-detach is a no-op
+    service.detach_listener(listener)
+
+
+def test_async_get_all_drains_and_ends_on_close():
+    async def run():
+        listener = CommandListener(capacity=8)
+        listener.push(EpochCommands(epoch=0, commands=()))
+        batches = await listener.get_all()
+        assert [b.epoch for b in batches] == [0]
+
+        async def close_soon():
+            await asyncio.sleep(0.01)
+            listener.close()
+
+        closer = asyncio.ensure_future(close_soon())
+        assert await listener.get_all() == []
+        await closer
+
+    asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# TCP listeners and churn
+# ----------------------------------------------------------------------
+def test_tcp_listener_receives_commands_and_drop_counter():
+    async def run():
+        service = DecisionService()
+        server = ServeServer(service)
+        host, port = await server.start()
+        try:
+            feeder = await ServeClient(host, port).connect()
+            await feeder.subscribe(0, speed_kmh=10.0)
+
+            watcher = await ServeClient(host, port).connect()
+            await watcher.listen(capacity=64)
+
+            for k in range(5):
+                await feeder.report(make_report(0, k))
+            await feeder.stats()  # flush barrier
+
+            seen = []
+            while len(seen) < 5:
+                frame = await asyncio.wait_for(
+                    watcher.next_commands(), timeout=5.0
+                )
+                assert frame["type"] == "commands"
+                assert frame["dropped"] == 0
+                seen.append(frame["epoch"])
+            assert seen == list(range(5))
+
+            await watcher.close()
+            await feeder.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_listener_disconnect_does_not_stall_the_scheduler():
+    async def run():
+        service = DecisionService()
+        server = ServeServer(service)
+        host, port = await server.start()
+        try:
+            feeder = await ServeClient(host, port).connect()
+            await feeder.subscribe(0)
+
+            watcher = await ServeClient(host, port).connect()
+            await watcher.listen()
+            # the watcher vanishes without reading a single command
+            await watcher.close()
+
+            for k in range(10):
+                await feeder.report(make_report(0, k))
+            stats = await feeder.stats()
+            assert stats["epochs_closed"] == 10
+            # the dead listener is eventually detached by its handler
+            deadline = asyncio.get_event_loop().time() + 5.0
+            while service.n_listeners and (
+                asyncio.get_event_loop().time() < deadline
+            ):
+                await asyncio.sleep(0.01)
+            assert service.n_listeners == 0
+            await feeder.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_report_client_reconnect_continues_the_stream():
+    async def run():
+        service = DecisionService()
+        server = ServeServer(service)
+        host, port = await server.start()
+        try:
+            first = await ServeClient(host, port).connect()
+            await first.subscribe(0)
+            for k in range(3):
+                await first.report(make_report(0, k))
+            await first.stats()
+            await first.close()
+
+            # same UE resumes on a new connection; no re-subscribe
+            # needed (the watermark kept it) and no state lost
+            second = await ServeClient(host, port).connect()
+            for k in range(3, 6):
+                await second.report(make_report(0, k))
+            stats = await second.stats()
+            assert stats["epochs_closed"] == 6
+            assert stats["reports_accepted"] == 6
+            assert stats["connections_total"] == 2
+            metrics = await second.metrics()
+            np.testing.assert_array_equal(metrics.epochs_per_ue, [6])
+            await second.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(run())

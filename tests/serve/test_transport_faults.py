@@ -1,0 +1,242 @@
+"""Transport-layer fault injection for the serve front-end.
+
+Reuses the :class:`~repro.sim.distributed.FaultSpec` shape (``after`` /
+``mode`` ∈ exit|drop|hang) to build misbehaving clients: abrupt
+disconnects, frames truncated mid-header and mid-payload, post-connect
+hangs, garbage and oversized length prefixes, undecodable bodies.  In
+every case the server counts the error, closes *that* connection only,
+and keeps serving healthy clients — a dying client can never kill or
+stall the decision loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.sim import SimulationParameters
+from repro.sim.distributed import FaultSpec
+from repro.serve import (
+    DecisionService,
+    Report,
+    ServeClient,
+    ServeServer,
+    encode_frame,
+)
+from repro.serve.protocol import MAX_FRAME_BYTES
+
+pytestmark = pytest.mark.serve
+
+N_CELLS = SimulationParameters().make_layout().n_cells
+
+
+def make_report(ue: int, epoch: int) -> Report:
+    return Report(
+        ue=ue,
+        epoch=epoch,
+        position_km=(1.0, 1.0),
+        distance_km=0.05 * epoch,
+        power_dbw=np.linspace(-120.0, -70.0, N_CELLS),
+    )
+
+
+async def faulty_client(host: str, port: int, fault: FaultSpec) -> None:
+    """Send ``fault.after`` good report frames, then misbehave per
+    ``fault.mode`` — the serve-side analogue of a worker's FaultSpec."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await _send_ok(writer, {"type": "subscribe", "ue": 990})
+        await _read_reply(reader)
+        for k in range(fault.after):
+            writer.write(encode_frame(make_report(990, k).to_payload()))
+        await writer.drain()
+        if fault.mode == "exit":
+            return  # abrupt close, possibly mid-conversation
+        if fault.mode == "drop":
+            # truncate a frame: header promises more than is sent
+            frame = encode_frame(make_report(990, fault.after).to_payload())
+            writer.write(frame[: len(frame) // 2])
+            await writer.drain()
+            return
+        if fault.mode == "hang":
+            await asyncio.sleep(0.2)  # connect, say nothing, leave
+            return
+        raise AssertionError(f"unknown fault mode {fault.mode}")
+    finally:
+        writer.close()
+
+
+async def _send_ok(writer, message) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+async def _read_reply(reader):
+    from repro.serve.protocol import read_frame
+
+    frame = await read_frame(reader)
+    assert frame is not None
+    return frame[0]
+
+
+def run_with_server(coro_factory):
+    async def run():
+        service = DecisionService()
+        server = ServeServer(service)
+        host, port = await server.start()
+        try:
+            await coro_factory(service, host, port)
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+async def _await_transport_errors(service, n: int) -> None:
+    deadline = asyncio.get_event_loop().time() + 5.0
+    while service.stats.transport_errors < n:
+        assert asyncio.get_event_loop().time() < deadline, (
+            f"transport_errors stuck at {service.stats.transport_errors}, "
+            f"wanted {n}"
+        )
+        await asyncio.sleep(0.01)
+
+
+@pytest.mark.parametrize("mode", ["exit", "drop", "hang"])
+def test_faulty_client_cannot_stall_healthy_traffic(mode):
+    """A client that dies/truncates/hangs mid-stream: healthy clients'
+    reports keep closing epochs, and truncation is counted."""
+
+    async def scenario(service, host, port):
+        await faulty_client(host, port, FaultSpec(after=2, mode=mode))
+        if mode == "drop":
+            await _await_transport_errors(service, 1)
+
+        healthy = await ServeClient(host, port).connect()
+        await healthy.subscribe(1)
+        for k in range(4):
+            await healthy.report(make_report(1, k))
+        stats = await healthy.stats()
+        assert stats["reports_accepted"] >= 4
+        # UE 990 left the watermark? No — it never unsubscribed.  Its
+        # silence must not stall UE 1's epochs: epoch closes here are
+        # *forced* by the healthy client if needed.
+        while stats["pending_reports"] > 0:
+            await healthy.close_epoch()
+            stats = await healthy.stats()
+        assert stats["epochs_closed"] >= 4
+        await healthy.close()
+
+    run_with_server(scenario)
+
+
+def test_truncated_header_counts_as_transport_error():
+    async def scenario(service, host, port):
+        _reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b"\x00\x00")  # half a length prefix
+        await writer.drain()
+        writer.close()
+        await _await_transport_errors(service, 1)
+
+    run_with_server(scenario)
+
+
+def test_garbage_length_prefix_closes_only_that_connection():
+    async def scenario(service, host, port):
+        _reader, writer = await asyncio.open_connection(host, port)
+        # length prefix far beyond MAX_FRAME_BYTES
+        writer.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        writer.write(b"junk")
+        await writer.drain()
+        await _await_transport_errors(service, 1)
+        writer.close()
+
+        healthy = await ServeClient(host, port).connect()
+        await healthy.subscribe(0)
+        await healthy.report(make_report(0, 0))
+        stats = await healthy.stats()
+        assert stats["epochs_closed"] == 1
+        await healthy.close()
+
+    run_with_server(scenario)
+
+
+def test_zero_length_frame_is_a_transport_error():
+    async def scenario(service, host, port):
+        _reader, writer = await asyncio.open_connection(host, port)
+        writer.write(struct.pack(">I", 0))
+        await writer.drain()
+        await _await_transport_errors(service, 1)
+        writer.close()
+
+    run_with_server(scenario)
+
+
+def test_undecodable_body_is_a_transport_error():
+    async def scenario(service, host, port):
+        _reader, writer = await asyncio.open_connection(host, port)
+        body = b"Jnot json at all"
+        writer.write(struct.pack(">I", len(body)) + body)
+        await writer.drain()
+        await _await_transport_errors(service, 1)
+        writer.close()
+
+    run_with_server(scenario)
+
+
+def test_unknown_message_type_gets_error_reply():
+    async def scenario(service, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        await _send_ok(writer, {"type": "frobnicate"})
+        reply = await _read_reply(reader)
+        assert reply["type"] == "error"
+        assert "frobnicate" in reply["error"]
+        writer.close()
+        # a protocol error is not a transport error
+        assert service.stats.transport_errors == 0
+
+    run_with_server(scenario)
+
+
+def test_malformed_report_payload_gets_error_reply():
+    async def scenario(service, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        await _send_ok(writer, {"type": "subscribe", "ue": 0})
+        await _read_reply(reader)
+        await _send_ok(
+            writer, {"type": "report", "ue": 0}  # missing every field
+        )
+        reply = await _read_reply(reader)
+        assert reply["type"] == "error"
+        writer.close()
+        # nothing was buffered
+        assert service.scheduler.pending_reports() == 0
+
+    run_with_server(scenario)
+
+
+def test_wrong_cell_count_report_rejected_not_buffered():
+    async def scenario(service, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        await _send_ok(writer, {"type": "subscribe", "ue": 0})
+        await _read_reply(reader)
+        payload = make_report(0, 0).to_payload()
+        payload["power_dbw"] = payload["power_dbw"][:3]
+        await _send_ok(writer, payload)
+        reply = await _read_reply(reader)
+        assert reply["type"] == "error"
+        assert service.scheduler.pending_reports() == 0
+        writer.close()
+
+        # the fleet is unharmed: the same UE can report correctly on a
+        # fresh connection
+        healthy = await ServeClient(host, port).connect()
+        await healthy.report(make_report(0, 0))
+        stats = await healthy.stats()
+        assert stats["epochs_closed"] == 1
+        await healthy.close()
+
+    run_with_server(scenario)
