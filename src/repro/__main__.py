@@ -14,7 +14,9 @@ Commands
     Run the full pipeline on a frozen paper scenario.
 ``fleet [--ues N] [--walks K] [--seed S] [--speeds V ...]
 [--population MIX] [--shards N] [--workers W] [--hosts H:P,...]
-[--backend B] [--flc-backend F] [--tile-epochs K]``
+[--backend B] [--flc-backend F] [--tile-epochs K]
+[--checkpoint DIR] [--metrics-out PATH] [--heartbeat-interval S]
+[--heartbeat-timeout S] [--max-retries N] [--no-serial-fallback]``
     Run a whole UE population through the vectorised batch engine —
     optionally partitioned into shards over a process pool or a set of
     ``repro worker`` socket hosts, on a chosen pathloss-kernel backend
@@ -24,7 +26,12 @@ Commands
     ``--population`` selects a named heterogeneous mix
     (pedestrians/vehicles/stationary cohorts, see
     :data:`repro.sim.population.POPULATION_MIXES`) and adds a
-    per-cohort metrics breakdown.
+    per-cohort metrics breakdown.  ``--checkpoint DIR`` runs
+    crash-safe: resumable state is snapshotted at epoch-tile
+    boundaries and re-running the command after a kill resumes
+    byte-identical; ``--heartbeat-*``/``--max-retries``/
+    ``--no-serial-fallback`` tune the distributed executor's fault
+    tolerance when ``--hosts`` is given.
 ``worker --listen HOST:PORT [--max-tasks N] [--die-after K]``
     Serve fleet shards (or any executor tasks) over TCP to a
     :class:`~repro.sim.distributed.DistributedExecutor` — the unit of
@@ -153,6 +160,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "distributed executor instead of a local "
                               "pool (mutually exclusive with --workers; "
                               "metrics stay identical to the local run)")
+    p_fleet.add_argument("--heartbeat-interval", type=float, default=None,
+                         metavar="S",
+                         help="distributed executor tuning (requires "
+                              "--hosts): workers frame a heartbeat "
+                              "every S seconds while computing")
+    p_fleet.add_argument("--heartbeat-timeout", type=float, default=None,
+                         metavar="S",
+                         help="distributed executor tuning (requires "
+                              "--hosts): declare a worker dead after S "
+                              "seconds of heartbeat silence")
+    p_fleet.add_argument("--max-retries", type=int, default=None,
+                         metavar="N",
+                         help="distributed executor tuning (requires "
+                              "--hosts): reissue a transport-failed "
+                              "shard at most N times before giving up")
+    p_fleet.add_argument("--no-serial-fallback", action="store_true",
+                         help="distributed executor tuning (requires "
+                              "--hosts): fail the run when every worker "
+                              "dies instead of finishing the remaining "
+                              "shards serially in-process")
+    p_fleet.add_argument("--checkpoint", default=None, metavar="DIR",
+                         help="crash-safe mode: snapshot resumable "
+                              "state into DIR/fleet.ckpt at epoch-tile "
+                              "boundaries; re-running the same command "
+                              "after a kill (even SIGKILL) resumes "
+                              "from the last snapshot and produces "
+                              "byte-identical metrics (homogeneous "
+                              "fleets, in-process execution only)")
+    p_fleet.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="pickle the merged FleetMetrics to PATH "
+                              "(exact-identity comparisons across "
+                              "runs)")
     p_fleet.add_argument("--backend", default=None,
                          help="pathloss kernel backend: reference, "
                               "numpy, or numba/jax where installed "
@@ -225,6 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "sweep (reference, lut, or numba where "
                               "installed; decisions are identical on "
                               "every backend)")
+    p_serve.add_argument("--silent-after", type=int, default=None,
+                         metavar="M",
+                         help="degraded mode: treat a subscribed UE as "
+                              "silent after it misses M consecutive "
+                              "deadline-forced epoch closes (default: "
+                              "never)")
+    p_serve.add_argument("--silent-policy", default="unsubscribe",
+                         choices=["unsubscribe", "hold"],
+                         help="what to do with a silent UE: drop it "
+                              "from the epoch watermark (unsubscribe, "
+                              "default) or keep replaying its last "
+                              "seen report (hold)")
 
     p_replay = sub.add_parser(
         "replay", help="stream a recorded fleet trace through the service"
@@ -290,6 +341,16 @@ def _cmd_serve(args) -> int:
     params = SimulationParameters()
     if args.flc_backend is not None:
         params = params.with_(flc_backend=args.flc_backend)
+    if args.silent_after is not None and args.silent_after < 1:
+        raise SystemExit(
+            f"repro serve: error: --silent-after must be >= 1, "
+            f"got {args.silent_after}"
+        )
+    if args.silent_after is not None and args.deadline is None:
+        raise SystemExit(
+            "repro serve: error: --silent-after counts missed deadline "
+            "closes and requires --deadline"
+        )
     service = DecisionService(
         params,
         window_km=(
@@ -302,6 +363,8 @@ def _cmd_serve(args) -> int:
             DEFAULT_RING_CAPACITY if args.ring is None else args.ring
         ),
         epoch_deadline_s=args.deadline,
+        silent_after=args.silent_after,
+        silent_policy=args.silent_policy,
     )
 
     async def _run() -> None:
@@ -541,6 +604,48 @@ def main(argv: list[str] | None = None) -> int:
             legs = f"{walks} legs/UE"
         from .sim import partition_fleet
 
+        tuning_flags = (
+            args.heartbeat_interval is not None
+            or args.heartbeat_timeout is not None
+            or args.max_retries is not None
+            or args.no_serial_fallback
+        )
+        if tuning_flags and args.hosts is None:
+            parser.error(
+                "--heartbeat-interval/--heartbeat-timeout/--max-retries/"
+                "--no-serial-fallback tune the distributed executor and "
+                "require --hosts"
+            )
+        if (
+            args.heartbeat_interval is not None
+            and args.heartbeat_interval <= 0
+        ):
+            parser.error(
+                f"--heartbeat-interval must be positive, "
+                f"got {args.heartbeat_interval}"
+            )
+        if args.heartbeat_timeout is not None and args.heartbeat_timeout <= 0:
+            parser.error(
+                f"--heartbeat-timeout must be positive, "
+                f"got {args.heartbeat_timeout}"
+            )
+        if args.max_retries is not None and args.max_retries < 0:
+            parser.error(
+                f"--max-retries must be >= 0, got {args.max_retries}"
+            )
+        if args.checkpoint is not None:
+            if args.population is not None:
+                parser.error(
+                    "--checkpoint supports homogeneous fleets only, "
+                    "not --population mixes"
+                )
+            if args.hosts is not None or args.workers is not None:
+                parser.error(
+                    "--checkpoint runs shards serially in-process "
+                    "(checkpointing owns the execution order); drop "
+                    "--hosts/--workers"
+                )
+
         hosts = None
         if args.hosts is not None:
             if args.workers is not None:
@@ -550,17 +655,59 @@ def main(argv: list[str] | None = None) -> int:
             hosts = [
                 f"{h}:{p}" for h, p in parse_hosts(args.hosts)
             ]
+        executor = None
+        if hosts is not None and tuning_flags:
+            from .sim.distributed import DistributedExecutor
+
+            tuning = {}
+            if args.heartbeat_interval is not None:
+                tuning["heartbeat_interval"] = args.heartbeat_interval
+            if args.heartbeat_timeout is not None:
+                tuning["heartbeat_timeout"] = args.heartbeat_timeout
+            if args.max_retries is not None:
+                tuning["max_retries"] = args.max_retries
+            if args.no_serial_fallback:
+                tuning["serial_fallback"] = False
+            executor = DistributedExecutor(hosts, **tuning)
         n_shards = len(partition_fleet(args.ues, args.shards))
         t0 = time.perf_counter()
-        fleet = scenario.run_sharded(
-            SimulationParameters(),
-            n_shards=args.shards,
-            max_workers=args.workers,
-            backend=args.backend,
-            flc_backend=args.flc_backend,
-            hosts=hosts,
-            tile_epochs=args.tile_epochs,
-        )
+        if args.checkpoint is not None:
+            from .resilience import run_fleet_checkpointed
+            from .sim import FleetSpec
+
+            # the homogeneous spec directly (not the population
+            # expansion): checkpointed runs snapshot per-stream fading
+            # state, which the homogeneous tiled path owns
+            spec = FleetSpec(
+                n_ues=args.ues,
+                n_walks=walks,
+                base_seed=args.seed,
+                speeds_kmh=(
+                    tuple(args.speeds) if args.speeds else PAPER_SPEEDS_KMH
+                ),
+                params=SimulationParameters(),
+            )
+            if args.backend is not None:
+                spec = spec.with_backend(args.backend)
+            if args.flc_backend is not None:
+                spec = spec.with_flc_backend(args.flc_backend)
+            fleet = run_fleet_checkpointed(
+                spec,
+                checkpoint_dir=args.checkpoint,
+                n_shards=args.shards,
+                tile_epochs=args.tile_epochs,
+            )
+        else:
+            fleet = scenario.run_sharded(
+                SimulationParameters(),
+                n_shards=args.shards,
+                max_workers=args.workers,
+                backend=args.backend,
+                flc_backend=args.flc_backend,
+                hosts=None if executor is not None else hosts,
+                tile_epochs=args.tile_epochs,
+                executor=executor,
+            )
         elapsed = time.perf_counter() - t0
         epochs = fleet.n_epochs_total
         # display-only name resolution: never run the "auto" timing
@@ -577,11 +724,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"backend  : {label} pathloss kernel, "
               f"{flc_label} FLC kernel")
         print(f"fleet    : {fleet.n_ues} UEs, {epochs} measurement epochs")
-        where = (
-            f"{len(hosts)} socket worker{'s' if len(hosts) != 1 else ''}"
-            if hosts is not None
-            else "local"
-        )
+        if args.checkpoint is not None:
+            where = f"checkpointed in {args.checkpoint}"
+        elif hosts is not None:
+            where = (
+                f"{len(hosts)} socket worker{'s' if len(hosts) != 1 else ''}"
+            )
+        else:
+            where = "local"
         print(f"wall     : {elapsed:.3f} s "
               f"({epochs / elapsed:,.0f} UE-epochs/s, "
               f"{n_shards} shard{'s' if n_shards != 1 else ''}, {where})")
@@ -598,6 +748,12 @@ def main(argv: list[str] | None = None) -> int:
             width = max(len(n) for n in fleet.cohort_names)
             for cm in fleet.per_cohort():
                 print(f"  {cm.describe(width)}")
+        if args.metrics_out is not None:
+            import pickle
+
+            with open(args.metrics_out, "wb") as fh:
+                pickle.dump(fleet, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            print(f"metrics  : saved to {args.metrics_out}")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

@@ -218,6 +218,7 @@ class FleetScenario:
         flc_backend: str | None = None,
         hosts: list[str] | None = None,
         tile_epochs: int | None = None,
+        executor=None,
     ):
         """Partition the fleet into shards, run them (in-process, over
         a worker pool, or across ``repro worker`` socket hosts) and
@@ -234,7 +235,10 @@ class FleetScenario:
         (:class:`~repro.sim.distributed.DistributedExecutor`), and
         ``tile_epochs`` pins the epoch-tile policy of the shards'
         measurement passes (``0`` materialises, ``>= 1`` streams —
-        byte-identical metrics, constant memory in the horizon).
+        byte-identical metrics, constant memory in the horizon), and
+        ``executor`` supplies a pre-built execution backend — e.g. a
+        :class:`~repro.sim.distributed.DistributedExecutor` with tuned
+        heartbeat/retry knobs — instead of ``max_workers``/``hosts``.
         """
         from ..sim.fleet import run_fleet
         from ..sim.metrics import DEFAULT_WINDOW_KM
@@ -248,6 +252,7 @@ class FleetScenario:
             flc_backend=flc_backend,
             hosts=hosts,
             tile_epochs=tile_epochs,
+            executor=executor,
         )
 
 

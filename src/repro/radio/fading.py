@@ -228,3 +228,27 @@ class ShadowFadingStream:
         self._last = out[-1].copy()
         self._last_distance_km = float(d[-1])
         return out
+
+    # -- checkpoint support --------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything a resumed stream needs to continue the exact draw
+        sequence: the generator's bit state plus the carried AR(1)
+        boundary row/distance."""
+        return {
+            "rng_state": self.process.rng.bit_generator.state,
+            "last": None if self._last is None else self._last.copy(),
+            "last_distance_km": self._last_distance_km,
+            "started": self._started,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot; subsequent
+        :meth:`sample_next` calls are byte-identical to the stream the
+        snapshot was taken from."""
+        self.process.rng.bit_generator.state = state["rng_state"]
+        last = state["last"]
+        self._last = None if last is None else np.asarray(
+            last, dtype=float
+        ).copy()
+        self._last_distance_km = float(state["last_distance_km"])
+        self._started = bool(state["started"])

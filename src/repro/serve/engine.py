@@ -87,6 +87,14 @@ class _PolicyGroup:
     """One policy's vectorised per-UE state block (a growable,
     slot-addressed mini ``BatchSimulator`` + metrics accumulator)."""
 
+    #: every mutable per-slot array — the snapshot/restore unit
+    _STATE_ARRAYS = (
+        "speeds", "penalty", "serving", "hist", "hist_len", "epochs",
+        "handovers", "ping_pongs", "necessary", "wrong", "outage",
+        "dwell_sum", "dwell_count", "last_event", "prev_src", "prev_tgt",
+        "prev_dist", "out_sum", "out_count", "out_max", "prev_strongest",
+    )
+
     def __init__(self, system: FuzzyHandoverSystem) -> None:
         self.system = system
         self.lag = int(system.cssp_lag)
@@ -410,6 +418,73 @@ class StreamingFleetEngine:
         group.hist_len[slots] = hist_len
         group.epochs[slots] = local_k + 1
         return commands
+
+    # ------------------------------------------------------------------
+    # crash-recovery snapshots (the supervisor's restore unit)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """A deep snapshot of every mutable per-UE array and registry.
+
+        Policy-group *systems* are configuration, not state, and stay
+        attached to the live engine; :meth:`load_state_dict` restores
+        into the same engine instance (same group structure), which is
+        exactly the supervisor's restart-from-last-epoch-boundary path.
+        """
+        groups = []
+        for group in self._groups:
+            k = group.n
+            groups.append(
+                {
+                    "n": k,
+                    "ue_ids": list(group.ue_ids),
+                    "arrays": {
+                        name: getattr(group, name)[:k].copy()
+                        for name in _PolicyGroup._STATE_ARRAYS
+                    },
+                }
+            )
+        return {
+            "epochs_processed": self.epochs_processed,
+            "ues": dict(self._ues),
+            "order": list(self._order),
+            "cohorts": dict(self._cohorts),
+            "groups": groups,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The engine must have the same policy-group structure the
+        snapshot was taken under (it always does on the supervisor's
+        restart path — groups are only ever appended, and the
+        supervisor re-snapshots after every registration)."""
+        groups = state["groups"]
+        if len(groups) != len(self._groups):
+            raise ValueError(
+                f"snapshot has {len(groups)} policy groups, "
+                f"engine has {len(self._groups)}"
+            )
+        for group, snap in zip(self._groups, groups):
+            k = int(snap["n"])
+            cap = 8
+            while cap < k:
+                cap *= 2
+            # reallocate from scratch so slots beyond the snapshot's n
+            # come back with pristine fill values (serving=-1, ...)
+            group.n = 0
+            group._cap = 0
+            group._allocate(cap)
+            group.n = k
+            group.ue_ids = list(snap["ue_ids"])
+            for name in _PolicyGroup._STATE_ARRAYS:
+                getattr(group, name)[:k] = snap["arrays"][name]
+        self._ues = {
+            int(ue): (int(g), int(slot))
+            for ue, (g, slot) in state["ues"].items()
+        }
+        self._order = list(state["order"])
+        self._cohorts = dict(state["cohorts"])
+        self.epochs_processed = int(state["epochs_processed"])
 
     # ------------------------------------------------------------------
     def metrics(self) -> FleetMetrics:

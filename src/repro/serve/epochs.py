@@ -122,6 +122,12 @@ class EpochScheduler:
         """Total buffered reports across all rings (any epoch)."""
         return sum(ring.pending() for ring in self._rings.values())
 
+    def current_report_count(self) -> int:
+        """How many reports are buffered for the current epoch (the
+        count a close would collect right now)."""
+        epoch = self.current_epoch
+        return sum(1 for ring in self._rings.values() if ring.has(epoch))
+
     # ------------------------------------------------------------------
     def close_epoch(self) -> tuple[int, list[Report]]:
         """Close the current epoch: collect its buffered reports (in

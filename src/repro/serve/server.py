@@ -25,9 +25,10 @@ Request messages (dicts with a ``"type"`` key):
     blocks the decision loop.
 ``close_epoch``
     forces the current epoch closed; acked with the closed index.
-``stats`` / ``metrics``
+``stats`` / ``metrics`` / ``health``
     snapshot requests; because requests are serial per connection they
-    double as flush barriers after a burst of reports.
+    double as flush barriers after a burst of reports.  ``health``
+    returns the readiness payload (``ok`` vs ``degraded``).
 
 A malformed or truncated frame (:class:`~repro.serve.protocol.FrameError`)
 increments ``transport_errors`` and closes *that* connection only; a
@@ -157,6 +158,15 @@ class ServeServer:
                             {
                                 "type": "stats",
                                 "stats": self.service.stats_payload(),
+                            },
+                            codec,
+                        )
+                    elif kind == "health":
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "health",
+                                "health": self.service.health_payload(),
                             },
                             codec,
                         )
@@ -296,6 +306,13 @@ class ServeClient:
         await self._send({"type": "stats"})
         reply = await self._recv()
         return reply["stats"]
+
+    async def health(self) -> dict:
+        """The service's health/readiness payload (``status`` is
+        ``"ok"`` or ``"degraded"``)."""
+        await self._send({"type": "health"})
+        reply = await self._recv()
+        return reply["health"]
 
     async def metrics(self):
         await self._send({"type": "metrics"})

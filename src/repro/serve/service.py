@@ -20,11 +20,12 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import asyncio
 
 from ..core.system import FuzzyHandoverSystem
+from ..resilience.faults import FaultPlan, make_clock
 from ..sim.config import SimulationParameters
 from ..sim.metrics import DEFAULT_OUTAGE_DBW, DEFAULT_WINDOW_KM, FleetMetrics
 from ..sim.population import PolicyConfig
@@ -65,6 +66,12 @@ class ServiceStats:
     commands_dropped: int = 0
     transport_errors: int = 0
     connections_total: int = 0
+    # degraded-mode counters: the silent-UE policy and the supervisor's
+    # crash-recovery loop
+    ues_silenced: int = 0
+    reports_held: int = 0
+    loop_restarts: int = 0
+    reports_dropped_crash: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -80,6 +87,10 @@ class ServiceStats:
             "commands_dropped": self.commands_dropped,
             "transport_errors": self.transport_errors,
             "connections_total": self.connections_total,
+            "ues_silenced": self.ues_silenced,
+            "reports_held": self.reports_held,
+            "loop_restarts": self.loop_restarts,
+            "reports_dropped_crash": self.reports_dropped_crash,
         }
 
 
@@ -174,6 +185,24 @@ class DecisionService:
         explicit ``close_epoch``) only.
     listener_capacity:
         Default bound for attached command listeners.
+    silent_after / silent_policy:
+        Degraded-mode serving.  When ``silent_after=M`` is set, a
+        subscribed UE that misses M consecutive *forced* epoch closes
+        (it never misses watermark closes by definition) is treated as
+        silent: policy ``"unsubscribe"`` drops it from the watermark so
+        the rest of the fleet stops waiting on it
+        (:attr:`ServiceStats.ues_silenced`), policy ``"hold"`` keeps it
+        subscribed and replays its last seen report into each closing
+        epoch (:attr:`ServiceStats.reports_held`).
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan`.
+        ``"deadline"``-scope jitter rules perturb the effective epoch
+        deadline per epoch; ``"clock"``-scope skew rules scale the
+        service's monotonic clock.  Both are deterministic in the plan
+        seed and affect *timing* only — never decisions or metrics.
+    clock:
+        Injectable monotonic time source (tests); defaults to
+        :func:`time.monotonic`, composed with any clock-skew rules.
     """
 
     def __init__(
@@ -186,6 +215,10 @@ class DecisionService:
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         epoch_deadline_s: Optional[float] = None,
         listener_capacity: int = DEFAULT_LISTENER_CAPACITY,
+        silent_after: Optional[int] = None,
+        silent_policy: str = "unsubscribe",
+        fault_plan: Optional[FaultPlan] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.params = params if params is not None else SimulationParameters()
         if system is None:
@@ -197,6 +230,15 @@ class DecisionService:
             raise ValueError(
                 f"epoch_deadline_s must be positive, got {epoch_deadline_s}"
             )
+        if silent_after is not None and silent_after < 1:
+            raise ValueError(
+                f"silent_after must be >= 1, got {silent_after}"
+            )
+        if silent_policy not in ("unsubscribe", "hold"):
+            raise ValueError(
+                f"silent_policy must be 'unsubscribe' or 'hold', "
+                f"got {silent_policy!r}"
+            )
         self.engine = StreamingFleetEngine(
             self.params.make_layout(),
             system,
@@ -207,10 +249,22 @@ class DecisionService:
         self.stats = ServiceStats()
         self.epoch_deadline_s = epoch_deadline_s
         self.listener_capacity = int(listener_capacity)
+        self.silent_after = silent_after
+        self.silent_policy = silent_policy
+        self.fault_plan = fault_plan
+        self._clock = make_clock(
+            fault_plan, base=clock if clock is not None else time.monotonic
+        )
+        self._deadline_injector = (
+            fault_plan.injector("deadline") if fault_plan is not None else None
+        )
         self._policy_groups: dict[PolicyConfig, int] = {}
         self._listeners: list[CommandListener] = []
         self._latencies: list[float] = []
         self._epoch_opened_at: Optional[float] = None
+        self._missed: dict[int, int] = {}
+        self._last_report: dict[int, Report] = {}
+        self._started_at = self._clock()
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -285,7 +339,7 @@ class DecisionService:
                 self._epoch_opened_at is None
                 and self.scheduler.has_current_reports()
             ):
-                self._epoch_opened_at = time.monotonic()
+                self._epoch_opened_at = self._clock()
             while self.scheduler.watermark_reached():
                 self._close_now(watermark=True)
         return status
@@ -301,18 +355,35 @@ class DecisionService:
         pending report (0.0 when idle)."""
         if self._epoch_opened_at is None:
             return 0.0
-        return time.monotonic() - self._epoch_opened_at
+        return self._clock() - self._epoch_opened_at
+
+    def effective_deadline_s(self, epoch: Optional[int] = None) -> Optional[float]:
+        """The deadline applied to ``epoch`` (default: the current one)
+        after any ``"deadline"``-scope jitter rules.  Jitter is a
+        deterministic per-epoch perturbation of *when* the watchdog
+        fires, clamped positive so a deadline never fires instantly."""
+        if self.epoch_deadline_s is None:
+            return None
+        if self._deadline_injector is None:
+            return self.epoch_deadline_s
+        if epoch is None:
+            epoch = self.scheduler.current_epoch
+        frac = self._deadline_injector.jitter(int(epoch))
+        return max(self.epoch_deadline_s * (1.0 + frac), 1e-6)
 
     def deadline_expired(self) -> bool:
+        deadline = self.effective_deadline_s()
         return (
-            self.epoch_deadline_s is not None
+            deadline is not None
             and self._epoch_opened_at is not None
-            and self.epoch_age_s() >= self.epoch_deadline_s
+            and self.epoch_age_s() >= deadline
         )
 
     def _close_now(self, watermark: bool) -> int:
         t0 = time.perf_counter()
         epoch, reports = self.scheduler.close_epoch()
+        if self.silent_after is not None:
+            reports = self._apply_silent_policy(reports, watermark)
         commands = self.engine.step_epoch(reports, epoch=epoch)
         elapsed = time.perf_counter() - t0
         if len(self._latencies) < _MAX_LATENCY_SAMPLES:
@@ -329,9 +400,54 @@ class DecisionService:
         # restart the deadline clock for the (possibly pre-filled) next
         # epoch
         self._epoch_opened_at = (
-            time.monotonic() if self.scheduler.has_current_reports() else None
+            self._clock() if self.scheduler.has_current_reports() else None
         )
         return epoch
+
+    def _apply_silent_policy(
+        self, reports: list[Report], watermark: bool
+    ) -> list[Report]:
+        """Track per-UE missed closes and degrade silent UEs.
+
+        Watermark closes reset every reporter's miss counter (and, by
+        definition, have no missing subscribers).  Forced closes charge
+        each subscribed non-reporter one miss; at ``silent_after``
+        misses the UE is either unsubscribed or its last seen report is
+        held into the closing epoch, depending on ``silent_policy``.
+        Held reports keep the merged list in ascending UE order so the
+        engine sweep stays deterministic.
+        """
+        reported = {r.ue for r in reports}
+        if self.silent_policy == "hold":
+            for r in reports:
+                self._last_report[r.ue] = r
+        for ue in reported:
+            self._missed.pop(ue, None)
+        if watermark:
+            return reports
+        held: list[Report] = []
+        for ue in sorted(self.scheduler.subscribed):
+            if ue in reported:
+                continue
+            misses = self._missed.get(ue, 0) + 1
+            self._missed[ue] = misses
+            if misses < self.silent_after:
+                continue
+            if self.silent_policy == "unsubscribe":
+                if self.scheduler.unsubscribe(ue):
+                    self.stats.ues_silenced += 1
+                self._missed.pop(ue, None)
+            else:
+                if misses == self.silent_after:
+                    # first crossing into silence: count the UE once
+                    self.stats.ues_silenced += 1
+                last = self._last_report.get(ue)
+                if last is not None:
+                    held.append(last)
+                    self.stats.reports_held += 1
+        if not held:
+            return reports
+        return sorted(list(reports) + held, key=lambda r: r.ue)
 
     # ------------------------------------------------------------------
     # fan-out
@@ -393,4 +509,34 @@ class DecisionService:
             "subscribed": self.scheduler.n_subscribed,
             "known_ues": self.engine.n_ues,
             "latency": self.latency_summary(),
+        }
+
+    def health_payload(self) -> dict:
+        """Health/readiness snapshot for orchestration probes.
+
+        ``status`` is ``"ok"`` until the service has degraded a UE or
+        restarted its decision loop after a crash, then ``"degraded"``
+        — still ``ready``, since degraded mode keeps serving the
+        responsive fleet.
+        """
+        degraded = (
+            self.stats.ues_silenced > 0 or self.stats.loop_restarts > 0
+        )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "ready": True,
+            "uptime_s": self._clock() - self._started_at,
+            "current_epoch": self.scheduler.current_epoch,
+            "subscribed": self.scheduler.n_subscribed,
+            "known_ues": self.engine.n_ues,
+            "pending_reports": self.scheduler.pending_reports(),
+            "epochs_closed": self.stats.epochs_closed,
+            "ues_silenced": self.stats.ues_silenced,
+            "reports_held": self.stats.reports_held,
+            "loop_restarts": self.stats.loop_restarts,
+            "silent_after": self.silent_after,
+            "silent_policy": (
+                self.silent_policy if self.silent_after is not None else None
+            ),
+            "epoch_deadline_s": self.epoch_deadline_s,
         }

@@ -442,7 +442,41 @@ class BatchSimulator:
             ),
         )
 
-    def _drive(self, source: MeasurementSource, consumer):
+    def drive_metrics(
+        self,
+        source: MeasurementSource,
+        accumulator,
+        *,
+        resume: Optional[dict] = None,
+        on_tile_end=None,
+    ):
+        """The checkpointable metrics drive (see
+        :mod:`repro.resilience.checkpoint`).
+
+        Drives a caller-built
+        :class:`~repro.sim.metrics.FleetMetricsAccumulator` so the
+        caller keeps a handle on the accumulation state.  After every
+        completed measurement tile, ``on_tile_end(next_epoch, serving,
+        hist, hist_len)`` receives the loop-local per-UE state (the
+        arrays are live loop buffers — snapshot with ``.copy()``).
+        ``resume`` restarts the loop from a tile boundary: a dict with
+        ``next_epoch``, ``serving`` / ``hist`` / ``hist_len`` copies,
+        the accumulator's ``state_dict`` under ``"consumer"``, and the
+        tile stream's ``fading_state``; the resumed drive is
+        byte-identical to the uninterrupted one.
+        """
+        return self._drive(
+            source, accumulator, resume=resume, on_tile_end=on_tile_end
+        )
+
+    def _drive(
+        self,
+        source: MeasurementSource,
+        consumer,
+        *,
+        resume: Optional[dict] = None,
+        on_tile_end=None,
+    ):
         """The vectorised epoch loop, feeding a log/metrics consumer.
 
         The loop owns a set of preallocated ``(n_ues,)`` scratch buffers
@@ -494,6 +528,29 @@ class BatchSimulator:
 
         consumer.begin(source, speeds)
 
+        if resume is not None:
+            if not isinstance(source, TiledBatchMeasurement):
+                raise TypeError(
+                    "resume requires a TiledBatchMeasurement (checkpoints "
+                    "are taken at tile boundaries)"
+                )
+            serving = np.asarray(resume["serving"], dtype=np.intp).copy()
+            hist = np.asarray(resume["hist"], dtype=float).copy()
+            hist_len = np.asarray(resume["hist_len"], dtype=np.intp).copy()
+            if serving.shape != (n,) or hist.shape != (n, lag):
+                raise ValueError(
+                    "resume state does not match this fleet/system "
+                    f"(serving {serving.shape}, hist {hist.shape}; "
+                    f"expected ({n},) and ({n}, {lag}))"
+                )
+            consumer.load_state_dict(resume["consumer"])
+            tiles = source.tiles(
+                start_epoch=int(resume["next_epoch"]),
+                fading_state=resume.get("fading_state"),
+            )
+        else:
+            tiles = _measurement_tiles(source)
+
         arange = np.arange(n)
         # hoisted per-epoch scratch (rewritten in place every epoch)
         p_serv = np.empty(n)
@@ -510,7 +567,7 @@ class BatchSimulator:
         row_base = np.empty(n, dtype=np.intp)
         tile_width = -1
 
-        for tile in _measurement_tiles(source):
+        for tile in tiles:
             power_cube = tile.power_dbw
             k_t = tile.n_epochs
             # serving-power gather without a per-epoch fancy-indexing
@@ -625,6 +682,9 @@ class BatchSimulator:
                     hist_len[rows] += 1
 
                 consumer.end_epoch(k, active, serving, power_k)
+
+            if on_tile_end is not None:
+                on_tile_end(tile.stop, serving, hist, hist_len)
 
         return consumer.finalize()
 

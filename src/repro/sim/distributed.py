@@ -55,11 +55,14 @@ immediately and is never retried (matching
 
 Fault injection
 ---------------
-:class:`FaultSpec` arms a :class:`WorkerServer` to fail on command —
-exit the process mid-task (``python -m repro worker ... --die-after
-N``), drop the connection, or hang silently — which is how the X17
-bench and the ``distributed`` test suite prove merged metrics stay
-byte-identical through worker death and shard reissue.
+:class:`FaultSpec` (re-exported from :mod:`repro.resilience.faults`,
+its home since the deterministic FaultPlan runtime subsumed it) arms a
+:class:`WorkerServer` to fail on command — exit the process mid-task
+(``python -m repro worker ... --die-after N``), drop the connection, or
+hang silently — which is how the X17 bench and the ``distributed`` test
+suite prove merged metrics stay byte-identical through worker death and
+shard reissue.  A :class:`~repro.resilience.faults.FaultPlan` arms the
+same server with a seeded multi-rule schedule instead.
 """
 
 from __future__ import annotations
@@ -75,7 +78,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
 
 from .executor import Executor
 
@@ -84,6 +87,7 @@ __all__ = [
     "DistributedExecutionError",
     "WorkerServer",
     "FaultSpec",
+    "FaultPlan",
     "parse_address",
     "parse_hosts",
     "local_worker_pool",
@@ -160,33 +164,9 @@ def parse_hosts(hosts: str | Sequence[str]) -> tuple[tuple[str, int], ...]:
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class FaultSpec:
-    """Arms a :class:`WorkerServer` to fail while handling a task.
-
-    ``after``
-        Trigger on the N-th task the server *receives* (1-based), i.e.
-        mid-shard: the task arrived but its result never will.
-    ``mode``
-        ``"exit"`` kills the worker process (``os._exit``) — the
-        production fault.  ``"drop"`` closes just the connection and
-        keeps serving (usable from in-process test servers, and
-        exercises client reconnect).  ``"hang"`` goes silent without
-        closing — only heartbeat-silence detection catches it.
-    ``repeat``
-        Trigger on *every* task from ``after`` on (drives the
-        retries-exhausted path) instead of once.
-    """
-
-    after: int = 1
-    mode: str = "exit"
-    repeat: bool = False
-
-    def __post_init__(self) -> None:
-        if self.after < 1:
-            raise ValueError(f"after must be >= 1, got {self.after}")
-        if self.mode not in ("exit", "drop", "hang"):
-            raise ValueError(f"unknown fault mode {self.mode!r}")
+# FaultSpec grew into the declarative FaultPlan runtime and moved to
+# repro.resilience.faults; re-exported here for compatibility.
+from ..resilience.faults import FaultInjector, FaultPlan, FaultSpec  # noqa: E402
 
 
 class WorkerServer:
@@ -208,12 +188,23 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_tasks: Optional[int] = None,
-        fault: Optional[FaultSpec] = None,
+        fault: Optional[Union[FaultSpec, FaultPlan]] = None,
     ) -> None:
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self.max_tasks = max_tasks
         self.fault = fault
+        # both the legacy single-fault spec and a full plan drive the
+        # same counting injector over the worker's task-event stream
+        self.fault_injector: Optional[FaultInjector] = None
+        if isinstance(fault, FaultSpec):
+            self.fault_injector = fault.as_plan().injector("worker")
+        elif isinstance(fault, FaultPlan):
+            self.fault_injector = fault.injector("worker")
+        elif fault is not None:
+            raise TypeError(
+                f"fault must be a FaultSpec or FaultPlan, got {fault!r}"
+            )
         self.tasks_seen = 0
         self._done = 0
         self._stop = threading.Event()
@@ -270,8 +261,13 @@ class WorkerServer:
             elif kind == "task":
                 _, task_id, fn, arg, hb_s = message
                 self.tasks_seen += 1
-                if self._fault_due():
-                    if not self._trip_fault(conn):
+                rule = (
+                    self.fault_injector.poll()
+                    if self.fault_injector is not None
+                    else None
+                )
+                if rule is not None:
+                    if not self._trip_fault(conn, rule.mode):
                         return  # connection-level fault: drop client
                     continue  # "hang" consumed the fault silently
                 try:
@@ -317,20 +313,9 @@ class WorkerServer:
             send_frame(conn, ("result", task_id, box["result"]))
 
     # -- fault injection ----------------------------------------------
-    def _fault_due(self) -> bool:
-        f = self.fault
-        if f is None:
-            return False
-        return (
-            self.tasks_seen >= f.after
-            if f.repeat
-            else self.tasks_seen == f.after
-        )
-
-    def _trip_fault(self, conn: socket.socket) -> bool:
-        """Execute the armed fault.  Returns True when the connection
+    def _trip_fault(self, conn: socket.socket, mode: str) -> bool:
+        """Execute a fired fault rule.  Returns True when the connection
         survives (``"hang"``), False when the client must be dropped."""
-        mode = self.fault.mode
         if mode == "exit":
             os._exit(17)
         if mode == "hang":
@@ -517,6 +502,9 @@ class DistributedExecutor(Executor):
         self.backoff_cap = backoff_cap
         self.connect_timeout = connect_timeout
         self.serial_fallback = serial_fallback
+        #: observables of the most recent map() (attempt counts, serial
+        #: fallback size); None until the first map completes
+        self.last_map_stats: Optional[dict] = None
 
     def __repr__(self) -> str:
         hosts = ",".join(f"{h}:{p}" for h, p in self.addresses)
@@ -550,6 +538,14 @@ class DistributedExecutor(Executor):
         if queue.error is not None:
             raise queue.error
         remaining = queue.remaining()
+        # replay-comparable observables of this map: per-task attempt
+        # counts and how many tasks the serial fallback absorbed (the
+        # chaos tests pin these across reruns of one FaultPlan)
+        self.last_map_stats = {
+            "tasks": len(items),
+            "attempts": [queue.attempts(i) for i in range(len(items))],
+            "serial_fallback_tasks": len(remaining),
+        }
         if remaining:
             # every worker is gone; the shards are still just picklable
             # tasks, so degrade to in-process execution rather than

@@ -53,6 +53,7 @@ from .config import (
 )
 from .executor import Executor, make_executor
 from .measurement import (
+    DEFAULT_TILE_EPOCHS,
     BatchMeasurementSeries,
     MeasurementSampler,
     resolve_tile_epochs,
@@ -335,6 +336,34 @@ class FleetShard:
             resolve_tile_epochs(tile_epochs, spec.params.tile_epochs),
             fading_rngs=rngs,
         )
+
+    def measure_tiled(self, tile_epochs: Optional[int] = None):
+        """This shard's measurements as a
+        :class:`~repro.sim.measurement.TiledBatchMeasurement`,
+        unconditionally tiled — the checkpoint/resume path needs tile
+        boundaries to snapshot at, so the materialised fallback of
+        :meth:`measure_streamed` is not an option.  Population specs
+        (shared per-cohort processes) are not supported here.
+        """
+        spec = self.spec
+        if spec.population is not None:
+            raise ValueError(
+                "checkpointed (tiled) measurement supports homogeneous "
+                "fleet specs only, not populations"
+            )
+        batch = spec.params.make_walk(spec.n_walks).generate_batch_seeded(
+            self.walk_seeds()
+        )
+        sampler = spec.make_sampler()
+        rngs = None
+        if sampler.fading is not None:
+            rngs = [
+                spec.fading_base_seed + i for i in range(self.lo, self.hi)
+            ]
+        k = resolve_tile_epochs(tile_epochs, spec.params.tile_epochs)
+        if k == 0 or k is None:
+            k = DEFAULT_TILE_EPOCHS
+        return sampler.measure_batch_tiles(batch, k, fading_rngs=rngs)
 
     def simulator(
         self, system: Optional[FuzzyHandoverSystem] = None

@@ -392,6 +392,8 @@ class TiledBatchMeasurement:
         # select(); disjoint selections stay independent (every UE owns
         # its generator), overlapping ones would double-draw
         self._donated: set[int] = set()
+        # the active pass's per-UE fading streams (checkpoint capture)
+        self._streams: Optional[list[Optional[ShadowFadingStream]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -487,33 +489,95 @@ class TiledBatchMeasurement:
         self._donated |= donating
         return sub
 
-    def tiles(self) -> Iterator[MeasurementTile]:
-        """Generate the measurement tiles, in epoch order."""
-        self._claim()
-        return self._tiles()
+    def tiles(
+        self,
+        start_epoch: int = 0,
+        fading_state: Optional[list[Optional[dict]]] = None,
+    ) -> Iterator[MeasurementTile]:
+        """Generate the measurement tiles, in epoch order.
 
-    def _tiles(self) -> Iterator[MeasurementTile]:
+        ``start_epoch`` (a multiple of ``tile_epochs``, or exactly
+        ``max_epochs`` for an already-finished stream) resumes tiling
+        mid-horizon — the checkpoint/resume path.  A resumed fading
+        stream needs ``fading_state``: the per-UE
+        :meth:`~repro.radio.fading.ShadowFadingStream.state_dict` list a
+        previous pass captured via :meth:`fading_state` at that tile
+        boundary; with it, the resumed tiles are byte-identical to the
+        uninterrupted pass.
+        """
+        if start_epoch < 0 or start_epoch > self.max_epochs:
+            raise ValueError(
+                f"start_epoch must lie in [0, {self.max_epochs}], "
+                f"got {start_epoch}"
+            )
+        if start_epoch % self.tile_epochs != 0 and start_epoch != self.max_epochs:
+            raise ValueError(
+                f"start_epoch must be a tile boundary (multiple of "
+                f"{self.tile_epochs}), got {start_epoch}"
+            )
+        self._claim()
+        streams = self._make_streams()
+        if fading_state is not None:
+            if streams is None:
+                raise ValueError(
+                    "fading_state given but this stream has no fading"
+                )
+            if len(fading_state) != len(streams):
+                raise ValueError(
+                    f"{len(streams)} fading streams but "
+                    f"{len(fading_state)} states"
+                )
+            for stream, state in zip(streams, fading_state):
+                if stream is not None and state is not None:
+                    stream.load_state_dict(state)
+        elif start_epoch > 0 and streams is not None:
+            raise ValueError(
+                "resuming a fading stream mid-horizon requires the "
+                "fading_state captured at that tile boundary"
+            )
+        self._streams = streams
+        return self._tiles(start_epoch, streams)
+
+    def fading_state(self) -> Optional[list[Optional[dict]]]:
+        """The per-UE fading-stream states at the current point of the
+        active :meth:`tiles` pass (``None`` for a fading-free stream).
+        Capture it at a tile boundary; pass it back through
+        :meth:`tiles` on a rebuilt stream to resume byte-identically."""
+        if self._streams is None:
+            return None
+        return [
+            None if s is None else s.state_dict() for s in self._streams
+        ]
+
+    def _make_streams(self) -> Optional[list[Optional[ShadowFadingStream]]]:
+        if self._profiles is None:
+            return None
+        streams = [
+            ShadowFadingStream(p)
+            if p is not None and p.sigma_db > 0.0
+            else None
+            for p in self._profiles
+        ]
+        if not any(s is not None for s in streams):
+            return None
+        return streams
+
+    def _tiles(
+        self,
+        start_epoch: int,
+        streams: Optional[list[Optional[ShadowFadingStream]]],
+    ) -> Iterator[MeasurementTile]:
         n, t_max = self.n_ues, self.max_epochs
         tile = self.tile_epochs
         n_cells = self.layout.n_cells
         bs = self.layout.bs_positions
         lengths = self.lengths
-        streams: Optional[list[Optional[ShadowFadingStream]]] = None
-        if self._profiles is not None:
-            streams = [
-                ShadowFadingStream(p)
-                if p is not None and p.sigma_db > 0.0
-                else None
-                for p in self._profiles
-            ]
-            if not any(s is not None for s in streams):
-                streams = None
         # one preallocated per-tile power buffer, recycled every tile
         # (the short tail tile gets its own exact-size buffer so every
         # yielded cube stays C-contiguous for the consumer's flat
         # serving-power gather)
         power_buf = np.empty((n, min(tile, t_max), n_cells))
-        for lo in range(0, t_max, tile):
+        for lo in range(start_epoch, t_max, tile):
             hi = min(lo + tile, t_max)
             k = hi - lo
             positions = self.positions_km[:, lo:hi]

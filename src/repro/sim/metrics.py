@@ -654,6 +654,59 @@ class FleetMetricsAccumulator:
             self._necessary += active & (strongest != self._prev_strongest)
         self._prev_strongest = strongest
 
+    # -- checkpoint support --------------------------------------------
+    #: every mutable per-UE reduction array the epoch callbacks touch
+    #: (``_lengths`` / ``_arange`` are derived from the source by
+    #: ``begin`` and need no snapshotting)
+    _STATE_ARRAYS = (
+        "_handovers",
+        "_ping_pongs",
+        "_necessary",
+        "_wrong",
+        "_outage",
+        "_dwell_sum",
+        "_dwell_count",
+        "_last_event_step",
+        "_prev_src",
+        "_prev_tgt",
+        "_prev_dist",
+        "_out_sum",
+        "_out_count",
+        "_out_max",
+    )
+
+    def state_dict(self) -> dict:
+        """A deep snapshot of the accumulation state (taken *before*
+        :meth:`finalize`, which folds dwell tails in place).  Restoring
+        it into a freshly ``begin``-initialised accumulator and
+        replaying the remaining epochs is byte-identical to the
+        uninterrupted run."""
+        state = {
+            name: getattr(self, name).copy() for name in self._STATE_ARRAYS
+        }
+        state["_prev_strongest"] = (
+            None
+            if self._prev_strongest is None
+            else self._prev_strongest.copy()
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.  :meth:`begin` must
+        have run first (it sizes the arrays from the source)."""
+        for name in self._STATE_ARRAYS:
+            mine = getattr(self, name)
+            theirs = state[name]
+            if mine.shape != theirs.shape:
+                raise ValueError(
+                    f"checkpoint array {name} has shape {theirs.shape}, "
+                    f"expected {mine.shape} — the snapshot belongs to a "
+                    "different fleet"
+                )
+            mine[...] = theirs
+        prev = state["_prev_strongest"]
+        self._prev_strongest = None if prev is None else prev.copy()
+
     def finalize(self) -> FleetMetrics:
         tail = self._lengths - self._last_event_step
         has_tail = tail > 0

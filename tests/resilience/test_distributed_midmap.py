@@ -1,0 +1,141 @@
+"""Mid-map serial fallback and fault-plan replay determinism for the
+distributed executor.
+
+The scenario ROADMAP calls out: every worker dies *after* completing
+part of the map, the executor finishes the remainder serially in the
+calling process, and the merged fleet metrics stay byte-identical to
+the all-serial run.  The same seeded FaultPlan replayed against the
+same workload produces identical fired/attempt counters end to end.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultRule
+from repro.sim import FleetSpec, SimulationParameters, run_fleet
+from repro.sim.distributed import (
+    DistributedExecutionError,
+    DistributedExecutor,
+    WorkerServer,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+def frozen(obj) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@contextmanager
+def worker_pool(n, fault=None, max_tasks=None):
+    """``n`` in-thread socket workers (all armed identically)."""
+    servers = [
+        WorkerServer(fault=fault, max_tasks=max_tasks) for _ in range(n)
+    ]
+    threads = [
+        threading.Thread(target=s.serve_forever, daemon=True)
+        for s in servers
+    ]
+    for t in threads:
+        t.start()
+    try:
+        yield servers, [f"{s.address[0]}:{s.address[1]}" for s in servers]
+    finally:
+        for s in servers:
+            s.stop()
+        for t in threads:
+            t.join(timeout=5.0)
+
+
+def executor_for(hosts, **overrides):
+    kwargs = dict(
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.5,
+        max_retries=2,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        connect_timeout=2.0,
+    )
+    kwargs.update(overrides)
+    return DistributedExecutor(hosts, **kwargs)
+
+
+SPEC = FleetSpec(
+    n_ues=8, n_walks=2, base_seed=1000, params=SimulationParameters()
+)
+N_SHARDS = 8
+
+
+def test_serial_fallback_engages_mid_map_and_merges_identically():
+    """Both workers retire after one task each — partial completion —
+    and the remaining shards finish serially, byte-identical."""
+    reference = run_fleet(SPEC, n_shards=N_SHARDS)
+    with worker_pool(2, max_tasks=1) as (_servers, hosts):
+        executor = executor_for(hosts)
+        fleet = run_fleet(SPEC, n_shards=N_SHARDS, executor=executor)
+    stats = executor.last_map_stats
+    assert stats is not None and stats["tasks"] == N_SHARDS
+    # the workers completed some shards before dying...
+    assert stats["serial_fallback_tasks"] < N_SHARDS
+    # ...and everything left ran serially in-process
+    assert stats["serial_fallback_tasks"] > 0
+    assert frozen(fleet) == frozen(reference)
+
+
+def test_no_serial_fallback_raises_instead():
+    with worker_pool(2, max_tasks=1) as (_servers, hosts):
+        executor = executor_for(hosts, serial_fallback=False)
+        with pytest.raises(DistributedExecutionError):
+            run_fleet(SPEC, n_shards=N_SHARDS, executor=executor)
+
+
+def test_fallback_metrics_identical_under_connection_chaos():
+    """A plan that drops one connection mid-map (retried) on top of
+    retiring workers: metrics still merge byte-identical."""
+    plan = FaultPlan(
+        seed=21,
+        rules=(FaultRule(scope="worker", mode="drop", after=1),),
+    )
+    reference = run_fleet(SPEC, n_shards=N_SHARDS)
+    with worker_pool(2, fault=plan, max_tasks=2) as (_servers, hosts):
+        executor = executor_for(hosts)
+        fleet = run_fleet(SPEC, n_shards=N_SHARDS, executor=executor)
+    assert frozen(fleet) == frozen(reference)
+
+
+def test_same_plan_replays_identical_counters():
+    """End-to-end determinism pin: one worker (deterministic task
+    order), a plan that drops its 2nd task's connection, two runs —
+    identical injector counters, attempt vectors, fallback split, and
+    byte-identical metrics."""
+    plan = FaultPlan(
+        seed=5,
+        rules=(FaultRule(scope="worker", mode="drop", after=2),),
+    )
+
+    def chaos_run():
+        with worker_pool(1, fault=plan) as (servers, hosts):
+            executor = executor_for(hosts)
+            fleet = run_fleet(SPEC, n_shards=N_SHARDS, executor=executor)
+            counters = servers[0].fault_injector.counters()
+        return frozen(fleet), executor.last_map_stats, counters
+
+    first = chaos_run()
+    second = chaos_run()
+    assert first == second
+    fleet_bytes, stats, counters = first
+    # the drop fired exactly once and cost exactly one extra attempt
+    assert counters["fired"] == {0: 1}
+    assert stats["serial_fallback_tasks"] == 0
+    assert sum(stats["attempts"]) == stats["tasks"] + 1
+    assert fleet_bytes == frozen(run_fleet(SPEC, n_shards=N_SHARDS))
+
+
+def test_worker_rejects_non_fault_arming():
+    with pytest.raises(TypeError, match="fault"):
+        WorkerServer(fault=object())

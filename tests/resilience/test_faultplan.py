@@ -1,0 +1,285 @@
+"""The FaultPlan runtime: validation, JSON schema, deterministic
+replay, and the FaultSpec compatibility bridge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    FAULT_SCOPES,
+    FaultPlan,
+    FaultRule,
+    FaultSpec,
+    make_clock,
+    silence_filter,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault scope"):
+            FaultRule(scope="universe", mode="exit")
+
+    def test_mode_must_match_scope(self):
+        with pytest.raises(ValueError, match="not valid for scope"):
+            FaultRule(scope="worker", mode="jitter")
+
+    @pytest.mark.parametrize("after", [0, -3])
+    def test_after_must_be_positive(self, after):
+        with pytest.raises(ValueError, match="after"):
+            FaultRule(scope="worker", mode="exit", after=after)
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.5])
+    def test_probability_bounds(self, probability):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule(
+                scope="worker", mode="exit", probability=probability
+            )
+
+    def test_magnitude_must_be_finite_nonnegative(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultRule(scope="deadline", mode="jitter", magnitude=-0.5)
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultRule(
+                scope="deadline", mode="jitter", magnitude=float("nan")
+            )
+
+    def test_plan_seed_nonnegative(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(seed=-1)
+
+    def test_plan_rules_must_be_rules(self):
+        with pytest.raises(TypeError, match="FaultRule"):
+            FaultPlan(rules=({"scope": "worker"},))
+
+    def test_injector_rejects_unknown_scope(self):
+        with pytest.raises(ValueError, match="unknown fault scope"):
+            FaultPlan().injector("universe")
+
+    def test_every_scope_mode_pair_constructs(self):
+        for scope, modes in FAULT_SCOPES.items():
+            for mode in modes:
+                FaultRule(scope=scope, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# JSON schema
+# ----------------------------------------------------------------------
+class TestSchema:
+    def test_plan_round_trips_through_json(self):
+        plan = FaultPlan(
+            seed=42,
+            rules=(
+                FaultRule(scope="worker", mode="exit", after=3),
+                FaultRule(
+                    scope="report",
+                    mode="silence",
+                    after=2,
+                    repeat=True,
+                    probability=0.5,
+                    ue=7,
+                ),
+                FaultRule(
+                    scope="deadline", mode="jitter", magnitude=0.25,
+                    repeat=True,
+                ),
+            ),
+        )
+        wire = json.dumps(plan.to_payload())
+        assert FaultPlan.from_payload(json.loads(wire)) == plan
+
+    def test_payload_defaults(self):
+        plan = FaultPlan.from_payload(
+            {"rules": [{"scope": "worker", "mode": "drop"}]}
+        )
+        assert plan.seed == 0
+        assert plan.rules[0] == FaultRule(scope="worker", mode="drop")
+
+
+# ----------------------------------------------------------------------
+# deterministic triggering
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def drive(self, plan, scope, n_events):
+        injector = plan.injector(scope)
+        fired_at = [
+            e for e in range(1, n_events + 1) if injector.poll() is not None
+        ]
+        return fired_at, injector.counters()
+
+    def test_one_shot_fires_exactly_once(self):
+        plan = FaultPlan(
+            rules=(FaultRule(scope="worker", mode="exit", after=3),)
+        )
+        fired_at, counters = self.drive(plan, "worker", 10)
+        assert fired_at == [3]
+        assert counters == {"events": 10, "fired": {0: 1}}
+
+    def test_repeat_fires_from_after_on(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(scope="worker", mode="drop", after=4, repeat=True),
+            )
+        )
+        fired_at, counters = self.drive(plan, "worker", 7)
+        assert fired_at == [4, 5, 6, 7]
+        assert counters["fired"] == {0: 4}
+
+    def test_probabilistic_rule_replays_identically(self):
+        plan = FaultPlan(
+            seed=11,
+            rules=(
+                FaultRule(
+                    scope="frame",
+                    mode="drop",
+                    repeat=True,
+                    probability=0.3,
+                ),
+            ),
+        )
+        first = self.drive(plan, "frame", 200)
+        second = self.drive(plan, "frame", 200)
+        assert first == second
+        # a fair plan seed actually exercises both branches
+        assert 0 < first[1]["fired"][0] < 200
+
+    def test_different_seeds_differ(self):
+        def fired(seed):
+            plan = FaultPlan(
+                seed=seed,
+                rules=(
+                    FaultRule(
+                        scope="frame",
+                        mode="drop",
+                        repeat=True,
+                        probability=0.5,
+                    ),
+                ),
+            )
+            return self.drive(plan, "frame", 100)[0]
+
+        assert fired(1) != fired(2)
+
+    def test_first_matching_rule_in_plan_order_wins(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(scope="worker", mode="hang", after=2),
+                FaultRule(scope="worker", mode="exit", after=2),
+            )
+        )
+        injector = plan.injector("worker")
+        injector.poll()
+        rule = injector.poll()
+        assert rule is not None and rule.mode == "hang"
+        assert injector.fired == {0: 1, 1: 0}
+
+    def test_jitter_is_pure_function_of_epoch(self):
+        plan = FaultPlan(
+            seed=9,
+            rules=(
+                FaultRule(
+                    scope="deadline",
+                    mode="jitter",
+                    magnitude=0.5,
+                    repeat=True,
+                ),
+            ),
+        )
+        a = plan.injector("deadline")
+        b = plan.injector("deadline")
+        values = [a.jitter(e) for e in range(20)]
+        assert values == [b.jitter(e) for e in range(20)]
+        assert all(abs(v) <= 0.5 for v in values)
+        assert len(set(values)) > 1
+        # jitter consumes no events
+        assert a.events == 0
+
+    def test_ue_scoped_rule_only_matches_its_ue(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    scope="report", mode="silence", ue=3, repeat=True
+                ),
+            )
+        )
+        mine = plan.injector("report", ue=3)
+        other = plan.injector("report", ue=4)
+        assert mine.poll() is not None
+        assert other.poll() is None
+
+
+# ----------------------------------------------------------------------
+# helpers on top of the plan
+# ----------------------------------------------------------------------
+class TestHelpers:
+    def test_silence_filter_mutes_on_schedule(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    scope="report",
+                    mode="silence",
+                    after=3,
+                    repeat=True,
+                    ue=1,
+                ),
+            )
+        )
+        should_send = silence_filter(plan, [0, 1])
+        sent = {
+            ue: [should_send(ue, epoch) for epoch in range(5)]
+            for ue in (0, 1)
+        }
+        assert sent[0] == [True] * 5
+        assert sent[1] == [True, True, False, False, False]
+
+    def test_silence_filter_without_plan_sends_everything(self):
+        should_send = silence_filter(None, [0, 1])
+        assert should_send(0, 0) and should_send(1, 99)
+
+    def test_make_clock_applies_skew(self):
+        t = {"now": 100.0}
+        base = lambda: t["now"]  # noqa: E731
+        plan = FaultPlan(
+            rules=(
+                FaultRule(scope="clock", mode="skew", magnitude=0.5),
+            )
+        )
+        clock = make_clock(plan, base=base)
+        start = clock()
+        t["now"] += 10.0
+        assert clock() - start == pytest.approx(15.0)
+
+    def test_make_clock_without_skew_is_the_base(self):
+        base = lambda: 1.0  # noqa: E731
+        assert make_clock(None, base=base) is base
+        assert make_clock(FaultPlan(), base=base) is base
+
+
+# ----------------------------------------------------------------------
+# FaultSpec compatibility bridge
+# ----------------------------------------------------------------------
+class TestFaultSpecBridge:
+    def test_reexported_from_distributed(self):
+        from repro.sim.distributed import FaultSpec as Legacy
+
+        assert Legacy is FaultSpec
+
+    def test_as_plan_matches_legacy_semantics(self):
+        plan = FaultSpec(after=2, mode="drop", repeat=True).as_plan()
+        injector = plan.injector("worker")
+        assert injector.poll() is None
+        assert injector.poll().mode == "drop"
+        assert injector.poll().mode == "drop"
+
+    def test_legacy_validation_preserved(self):
+        with pytest.raises(ValueError):
+            FaultSpec(after=0)
+        with pytest.raises(ValueError):
+            FaultSpec(mode="explode")

@@ -1,12 +1,12 @@
 """Transport-layer fault injection for the serve front-end.
 
-Reuses the :class:`~repro.sim.distributed.FaultSpec` shape (``after`` /
-``mode`` ∈ exit|drop|hang) to build misbehaving clients: abrupt
-disconnects, frames truncated mid-header and mid-payload, post-connect
-hangs, garbage and oversized length prefixes, undecodable bodies.  In
-every case the server counts the error, closes *that* connection only,
-and keeps serving healthy clients — a dying client can never kill or
-stall the decision loop.
+Drives misbehaving clients from the shared
+:class:`~repro.resilience.faults.FaultPlan` runtime (``"frame"``-scope
+rules: abrupt exits, truncated and undecodable frames, silent hangs) —
+plus raw-socket cases the plan can't express (garbage and oversized
+length prefixes, half a header).  In every case the server counts the
+error, closes *that* connection only, and keeps serving healthy clients
+— a dying client can never kill or stall the decision loop.
 """
 
 from __future__ import annotations
@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro.sim import SimulationParameters
-from repro.sim.distributed import FaultSpec
+from repro.resilience import FaultPlan, FaultRule, misbehaving_client
 from repro.serve import (
     DecisionService,
     Report,
@@ -43,30 +43,13 @@ def make_report(ue: int, epoch: int) -> Report:
     )
 
 
-async def faulty_client(host: str, port: int, fault: FaultSpec) -> None:
-    """Send ``fault.after`` good report frames, then misbehave per
-    ``fault.mode`` — the serve-side analogue of a worker's FaultSpec."""
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        await _send_ok(writer, {"type": "subscribe", "ue": 990})
-        await _read_reply(reader)
-        for k in range(fault.after):
-            writer.write(encode_frame(make_report(990, k).to_payload()))
-        await writer.drain()
-        if fault.mode == "exit":
-            return  # abrupt close, possibly mid-conversation
-        if fault.mode == "drop":
-            # truncate a frame: header promises more than is sent
-            frame = encode_frame(make_report(990, fault.after).to_payload())
-            writer.write(frame[: len(frame) // 2])
-            await writer.drain()
-            return
-        if fault.mode == "hang":
-            await asyncio.sleep(0.2)  # connect, say nothing, leave
-            return
-        raise AssertionError(f"unknown fault mode {fault.mode}")
-    finally:
-        writer.close()
+def frame_plan(mode: str, after: int = 2, seed: int = 3) -> FaultPlan:
+    """A one-rule frame-chaos plan: ``after`` good frames, then
+    misbehave."""
+    return FaultPlan(
+        seed=seed,
+        rules=(FaultRule(scope="frame", mode=mode, after=after),),
+    )
 
 
 async def _send_ok(writer, message) -> None:
@@ -105,14 +88,18 @@ async def _await_transport_errors(service, n: int) -> None:
         await asyncio.sleep(0.01)
 
 
-@pytest.mark.parametrize("mode", ["exit", "drop", "hang"])
+@pytest.mark.parametrize("mode", ["exit", "drop", "corrupt", "hang"])
 def test_faulty_client_cannot_stall_healthy_traffic(mode):
-    """A client that dies/truncates/hangs mid-stream: healthy clients'
-    reports keep closing epochs, and truncation is counted."""
+    """A client that dies/truncates/corrupts/hangs mid-stream: healthy
+    clients' reports keep closing epochs, and bad frames are counted."""
 
     async def scenario(service, host, port):
-        await faulty_client(host, port, FaultSpec(after=2, mode=mode))
-        if mode == "drop":
+        injector = await misbehaving_client(
+            host, port, frame_plan(mode), [make_report(990, k) for k in range(3)], ue=990
+        )
+        # the plan fired exactly its one rule — the determinism handle
+        assert injector.counters() == {"events": 2, "fired": {0: 1}}
+        if mode in ("drop", "corrupt"):
             await _await_transport_errors(service, 1)
 
         healthy = await ServeClient(host, port).connect()
